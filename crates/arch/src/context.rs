@@ -1,0 +1,191 @@
+//! Context identifiers and their binary encoding (the paper's Table 2).
+//!
+//! Contexts are switched by a `k`-bit context ID where `k = ceil(log2 n)`.
+//! For the paper's running example of four contexts the two ID bits are
+//! `(S1, S0)` and the encoding is:
+//!
+//! | context | S1 | S0 |
+//! |---------|----|----|
+//! | 0       | 0  | 0  |
+//! | 1       | 0  | 1  |
+//! | 2       | 1  | 0  |
+//! | 3       | 1  | 1  |
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArchError;
+
+/// The context-ID encoding for a device with a fixed number of contexts.
+///
+/// This is a tiny value type: it only remembers the context count and
+/// derives everything else (`S_i` bit values, bit width) arithmetically, so
+/// it is freely copyable into hot loops like decoder evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ContextId {
+    n_contexts: usize,
+}
+
+impl ContextId {
+    /// Maximum supported context count. Configuration columns store one bit
+    /// per context in a `u32`.
+    pub const MAX_CONTEXTS: usize = 32;
+
+    /// Create an encoding for `n_contexts` contexts.
+    pub fn new(n_contexts: usize) -> Result<Self, ArchError> {
+        if n_contexts < 2 {
+            return Err(ArchError::TooFewContexts(n_contexts));
+        }
+        if n_contexts > Self::MAX_CONTEXTS {
+            return Err(ArchError::TooManyContexts(n_contexts));
+        }
+        Ok(ContextId { n_contexts })
+    }
+
+    /// Number of contexts.
+    #[inline]
+    pub fn n_contexts(&self) -> usize {
+        self.n_contexts
+    }
+
+    /// Number of context-ID bits `k = ceil(log2 n)`.
+    #[inline]
+    pub fn n_bits(&self) -> usize {
+        usize::BITS as usize - (self.n_contexts - 1).leading_zeros() as usize
+    }
+
+    /// Value of ID bit `S_bit` in context `context` (the paper's Table 2).
+    ///
+    /// Panics if `context` or `bit` is out of range; these are programming
+    /// errors, not data errors.
+    #[inline]
+    pub fn id_bit(&self, context: usize, bit: usize) -> bool {
+        assert!(context < self.n_contexts, "context {context} out of range");
+        assert!(bit < self.n_bits(), "ID bit {bit} out of range");
+        (context >> bit) & 1 == 1
+    }
+
+    /// Iterator over all context indices.
+    pub fn contexts(&self) -> impl Iterator<Item = usize> + Clone {
+        0..self.n_contexts
+    }
+
+    /// The full Table 2: for each ID bit (row), the bit's value in each
+    /// context (columns, context 0 first).
+    pub fn table(&self) -> Vec<Vec<bool>> {
+        (0..self.n_bits())
+            .map(|bit| (0..self.n_contexts).map(|c| self.id_bit(c, bit)).collect())
+            .collect()
+    }
+
+    /// Render Table 2 as text, matching the paper's layout (context 3 ..
+    /// context 0 left-to-right for n = 4).
+    pub fn table_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let header: Vec<String> = (0..self.n_contexts)
+            .rev()
+            .map(|c| format!("ctx{c}"))
+            .collect();
+        let _ = writeln!(out, "      {}", header.join(" "));
+        for bit in 0..self.n_bits() {
+            let row: Vec<String> = (0..self.n_contexts)
+                .rev()
+                .map(|c| format!("   {}", u8::from(self.id_bit(c, bit))))
+                .collect();
+            let _ = writeln!(out, "S{bit}: {}", row.join(" "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_context_encoding_matches_table_2() {
+        let id = ContextId::new(4).unwrap();
+        assert_eq!(id.n_bits(), 2);
+        // S0 row: contexts 0..3 -> 0, 1, 0, 1
+        let table = id.table();
+        assert_eq!(table[0], vec![false, true, false, true]);
+        // S1 row: contexts 0..3 -> 0, 0, 1, 1
+        assert_eq!(table[1], vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn bit_width_covers_non_power_of_two() {
+        assert_eq!(ContextId::new(2).unwrap().n_bits(), 1);
+        assert_eq!(ContextId::new(3).unwrap().n_bits(), 2);
+        assert_eq!(ContextId::new(4).unwrap().n_bits(), 2);
+        assert_eq!(ContextId::new(5).unwrap().n_bits(), 3);
+        assert_eq!(ContextId::new(8).unwrap().n_bits(), 3);
+        assert_eq!(ContextId::new(9).unwrap().n_bits(), 4);
+        assert_eq!(ContextId::new(32).unwrap().n_bits(), 5);
+    }
+
+    #[test]
+    fn rejects_degenerate_counts() {
+        assert!(matches!(
+            ContextId::new(0),
+            Err(ArchError::TooFewContexts(0))
+        ));
+        assert!(matches!(
+            ContextId::new(1),
+            Err(ArchError::TooFewContexts(1))
+        ));
+        assert!(matches!(
+            ContextId::new(33),
+            Err(ArchError::TooManyContexts(33))
+        ));
+    }
+
+    #[test]
+    fn id_bits_reconstruct_context_index() {
+        for n in [2usize, 3, 4, 6, 8, 16] {
+            let id = ContextId::new(n).unwrap();
+            for c in 0..n {
+                let mut rebuilt = 0usize;
+                for b in 0..id.n_bits() {
+                    if id.id_bit(c, b) {
+                        rebuilt |= 1 << b;
+                    }
+                }
+                assert_eq!(rebuilt, c);
+            }
+        }
+    }
+
+    #[test]
+    fn table_string_mentions_every_bit() {
+        let id = ContextId::new(4).unwrap();
+        let s = id.table_string();
+        assert!(s.contains("S0"));
+        assert!(s.contains("S1"));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// ID bits always reconstruct the context index, and the bit width
+        /// is minimal.
+        #[test]
+        fn encoding_is_minimal_and_invertible(n in 2usize..=32) {
+            let id = ContextId::new(n).unwrap();
+            let k = id.n_bits();
+            prop_assert!(1usize << k >= n, "width covers all contexts");
+            prop_assert!(k == 1 || 1usize << (k - 1) < n, "width is minimal");
+            for c in 0..n {
+                let rebuilt: usize = (0..k)
+                    .filter(|&b| id.id_bit(c, b))
+                    .map(|b| 1usize << b)
+                    .sum();
+                prop_assert_eq!(rebuilt, c);
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type shared by architecture validation.
+
+use std::fmt;
+
+/// Errors raised while validating an architecture description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// The context count must be at least 2 (a single-context device is a
+    /// plain FPGA and has no context-ID bits to decode).
+    TooFewContexts(usize),
+    /// The context count exceeds what the configuration-column machinery
+    /// supports (columns are stored in a `u32` bit per context).
+    TooManyContexts(usize),
+    /// Grid dimensions must be non-zero.
+    EmptyGrid,
+    /// Channel width must be non-zero.
+    NoTracks,
+    /// LUT geometry is inconsistent (see message).
+    BadLutGeometry(String),
+    /// Requested LUT mode does not preserve the memory-bit pool.
+    BadLutMode { inputs: usize, planes: usize },
+    /// Double-length-line fraction must leave at least one single-length track.
+    BadSegmentSplit { tracks: usize, double_length: usize },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::TooFewContexts(n) => {
+                write!(f, "multi-context device needs >= 2 contexts, got {n}")
+            }
+            ArchError::TooManyContexts(n) => {
+                write!(f, "at most 32 contexts are supported, got {n}")
+            }
+            ArchError::EmptyGrid => write!(f, "grid dimensions must be non-zero"),
+            ArchError::NoTracks => write!(f, "channel width must be non-zero"),
+            ArchError::BadLutGeometry(msg) => write!(f, "inconsistent LUT geometry: {msg}"),
+            ArchError::BadLutMode { inputs, planes } => write!(
+                f,
+                "LUT mode ({inputs} inputs, {planes} planes) does not preserve the bit pool"
+            ),
+            ArchError::BadSegmentSplit {
+                tracks,
+                double_length,
+            } => write!(
+                f,
+                "cannot dedicate {double_length} of {tracks} tracks to double-length lines"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}

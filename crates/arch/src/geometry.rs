@@ -1,0 +1,155 @@
+//! Grid geometry: cell coordinates and the overall array of Fig. 1.
+//!
+//! The MC-FPGA is an array of cells; each cell holds a logic block and the
+//! switch-block fabric (RCM) next to it. Channels run between cells.
+
+use serde::{Deserialize, Serialize};
+
+/// A cell coordinate. `(0, 0)` is the bottom-left logic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Coord {
+    pub x: u16,
+    pub y: u16,
+}
+
+impl Coord {
+    pub fn new(x: u16, y: u16) -> Self {
+        Coord { x, y }
+    }
+
+    /// Manhattan distance to another coordinate.
+    pub fn manhattan(&self, other: &Coord) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+}
+
+impl std::fmt::Display for Coord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// One side of a cell, used to name channel segments and switch-block pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    North,
+    East,
+    South,
+    West,
+}
+
+impl Side {
+    pub const ALL: [Side; 4] = [Side::North, Side::East, Side::South, Side::West];
+
+    /// The opposite side (`North <-> South`, `East <-> West`).
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::North => Side::South,
+            Side::South => Side::North,
+            Side::East => Side::West,
+            Side::West => Side::East,
+        }
+    }
+}
+
+/// Logic-block grid dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GridDim {
+    pub width: u16,
+    pub height: u16,
+}
+
+impl GridDim {
+    pub fn new(width: u16, height: u16) -> Self {
+        GridDim { width, height }
+    }
+
+    /// Total number of logic-block sites.
+    pub fn n_cells(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Whether `c` lies inside the grid.
+    pub fn contains(&self, c: Coord) -> bool {
+        c.x < self.width && c.y < self.height
+    }
+
+    /// Row-major site index for a coordinate, for dense per-site tables.
+    pub fn index(&self, c: Coord) -> usize {
+        debug_assert!(self.contains(c));
+        c.y as usize * self.width as usize + c.x as usize
+    }
+
+    /// Inverse of [`GridDim::index`].
+    pub fn coord(&self, index: usize) -> Coord {
+        let w = self.width as usize;
+        Coord::new((index % w) as u16, (index / w) as u16)
+    }
+
+    /// Iterator over all coordinates in row-major order.
+    pub fn coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        let w = self.width;
+        let h = self.height;
+        (0..h).flat_map(move |y| (0..w).map(move |x| Coord::new(x, y)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Coord::new(1, 2);
+        let b = Coord::new(4, 0);
+        assert_eq!(a.manhattan(&b), 5);
+        assert_eq!(b.manhattan(&a), 5);
+        assert_eq!(a.manhattan(&a), 0);
+    }
+
+    #[test]
+    fn sides_pair_up() {
+        for s in Side::ALL {
+            assert_eq!(s.opposite().opposite(), s);
+            assert_ne!(s.opposite(), s);
+        }
+    }
+
+    #[test]
+    fn grid_indexing_roundtrip() {
+        let g = GridDim::new(5, 3);
+        assert_eq!(g.n_cells(), 15);
+        for (i, c) in g.coords().enumerate() {
+            assert_eq!(g.index(c), i);
+            assert_eq!(g.coord(i), c);
+            assert!(g.contains(c));
+        }
+        assert!(!g.contains(Coord::new(5, 0)));
+        assert!(!g.contains(Coord::new(0, 3)));
+    }
+
+    proptest! {
+        #[test]
+        fn index_roundtrip_random(w in 1u16..64, h in 1u16..64, x in 0u16..64, y in 0u16..64) {
+            let g = GridDim::new(w, h);
+            if x < w && y < h {
+                let c = Coord::new(x, y);
+                prop_assert_eq!(g.coord(g.index(c)), c);
+            }
+        }
+
+        #[test]
+        fn manhattan_is_symmetric_and_triangular(
+            ax in 0u16..100, ay in 0u16..100,
+            bx in 0u16..100, by in 0u16..100,
+            cx in 0u16..100, cy in 0u16..100,
+        ) {
+            let a = Coord::new(ax, ay);
+            let b = Coord::new(bx, by);
+            let c = Coord::new(cx, cy);
+            prop_assert_eq!(a.manhattan(&b), b.manhattan(&a));
+            prop_assert!(a.manhattan(&c) <= a.manhattan(&b) + b.manhattan(&c));
+        }
+    }
+}

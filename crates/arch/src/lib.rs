@@ -1,0 +1,27 @@
+//! Architecture description for the multi-context FPGA (MC-FPGA) reproduced
+//! from Chong, Ogata, Hariyama and Kameyama, *Architecture of a Multi-Context
+//! FPGA Using Reconfigurable Context Memory*, IPDPS 2005.
+//!
+//! This crate owns the *static* description of a device: how many contexts it
+//! supports and how they are encoded into context-ID bits (the paper's
+//! Table 2), the logic-block LUT geometry including the multi-granularity
+//! modes of Fig. 12, the routing fabric geometry (channel widths, single and
+//! double-length lines of Fig. 10), and the overall cell grid of Fig. 1.
+//!
+//! Everything downstream — configuration-bit classification, RCM decoder
+//! synthesis, mapping, placement, routing, simulation and the area model —
+//! consumes an [`ArchSpec`].
+
+pub mod context;
+pub mod error;
+pub mod geometry;
+pub mod lut_geometry;
+pub mod routing_geometry;
+pub mod spec;
+
+pub use context::ContextId;
+pub use error::ArchError;
+pub use geometry::{Coord, GridDim, Side};
+pub use lut_geometry::{LutGeometry, LutMode};
+pub use routing_geometry::{RoutingGeometry, SegmentKind};
+pub use spec::ArchSpec;

@@ -1,0 +1,239 @@
+//! Geometry of the multi-context multi-granularity LUT (MCMG-LUT, Fig. 12).
+//!
+//! An MCMG-LUT owns a fixed pool of memory bits per output. The pool can be
+//! organised as `p` configuration planes of a `k`-input LUT as long as
+//! `2^k * p` equals the pool size. The paper's example is a 64-bit pool:
+//! a 4-input LUT with four configuration planes, or a 5-input LUT with two
+//! planes (and, implicitly, a 6-input LUT with a single plane).
+//!
+//! A *configuration plane* is the group of memory bits selected under one
+//! context-ID state; growing the LUT converts plane-select address bits into
+//! ordinary data inputs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArchError;
+
+/// One way of organising the MCMG-LUT bit pool: `inputs`-input LUT with
+/// `planes` distinct configuration planes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LutMode {
+    pub inputs: usize,
+    pub planes: usize,
+}
+
+impl LutMode {
+    /// Memory bits consumed per output: `2^inputs * planes`.
+    pub fn bits(&self) -> usize {
+        (1usize << self.inputs) * self.planes
+    }
+
+    /// Number of context-ID bits consumed to select among `planes`.
+    pub fn plane_select_bits(&self) -> usize {
+        if self.planes <= 1 {
+            0
+        } else {
+            usize::BITS as usize - (self.planes - 1).leading_zeros() as usize
+        }
+    }
+}
+
+impl std::fmt::Display for LutMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-input x {} planes", self.inputs, self.planes)
+    }
+}
+
+/// Static geometry of the logic-block LUTs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LutGeometry {
+    /// Independent outputs per logic block (the paper evaluates 2).
+    pub outputs: usize,
+    /// Smallest LUT input count (`k_min`); with all planes in use the LUT is
+    /// a `k_min`-input LUT with `max_planes` planes.
+    pub min_inputs: usize,
+    /// Largest LUT input count (`k_max`); with a single plane the LUT is a
+    /// `k_max`-input LUT. `k_max = k_min + log2(max_planes)`.
+    pub max_inputs: usize,
+}
+
+impl LutGeometry {
+    /// The paper's evaluation geometry: 6-input 2-output MCMG-LUTs with
+    /// four contexts, i.e. `k` from 4 to 6 and up to 4 planes.
+    pub fn paper_default() -> Self {
+        LutGeometry {
+            outputs: 2,
+            min_inputs: 4,
+            max_inputs: 6,
+        }
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        if self.outputs == 0 {
+            return Err(ArchError::BadLutGeometry("zero outputs".into()));
+        }
+        if self.min_inputs == 0 {
+            return Err(ArchError::BadLutGeometry("zero-input LUT".into()));
+        }
+        if self.max_inputs < self.min_inputs {
+            return Err(ArchError::BadLutGeometry(format!(
+                "max_inputs {} < min_inputs {}",
+                self.max_inputs, self.min_inputs
+            )));
+        }
+        if self.max_inputs > 16 {
+            return Err(ArchError::BadLutGeometry(format!(
+                "max_inputs {} too large for truth-table storage",
+                self.max_inputs
+            )));
+        }
+        Ok(())
+    }
+
+    /// Maximum plane count (at `min_inputs`): `2^(k_max - k_min)`.
+    pub fn max_planes(&self) -> usize {
+        1usize << (self.max_inputs - self.min_inputs)
+    }
+
+    /// Memory bits in the pool, per output: `2^max_inputs`.
+    pub fn pool_bits(&self) -> usize {
+        1usize << self.max_inputs
+    }
+
+    /// All pool-preserving modes, largest plane count first
+    /// (Fig. 12: 4-in x 4 planes, 5-in x 2 planes, 6-in x 1 plane).
+    pub fn modes(&self) -> Vec<LutMode> {
+        (self.min_inputs..=self.max_inputs)
+            .map(|k| LutMode {
+                inputs: k,
+                planes: 1usize << (self.max_inputs - k),
+            })
+            .collect()
+    }
+
+    /// The mode with exactly `planes` planes, if the pool supports it.
+    pub fn mode_with_planes(&self, planes: usize) -> Result<LutMode, ArchError> {
+        self.modes()
+            .into_iter()
+            .find(|m| m.planes == planes)
+            .ok_or(ArchError::BadLutMode {
+                inputs: 0,
+                planes,
+            })
+    }
+
+    /// The smallest mode (fewest planes, hence most inputs) that still offers
+    /// at least `planes` distinct planes.
+    pub fn smallest_mode_with_at_least(&self, planes: usize) -> Option<LutMode> {
+        self.modes()
+            .into_iter()
+            .rev() // fewest planes first
+            .find(|m| m.planes >= planes)
+    }
+
+    /// Check that a mode belongs to this geometry's pool.
+    pub fn check_mode(&self, mode: LutMode) -> Result<(), ArchError> {
+        if mode.inputs >= self.min_inputs
+            && mode.inputs <= self.max_inputs
+            && mode.bits() == self.pool_bits()
+        {
+            Ok(())
+        } else {
+            Err(ArchError::BadLutMode {
+                inputs: mode.inputs,
+                planes: mode.planes,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_geometry_matches_fig_12() {
+        let g = LutGeometry::paper_default();
+        g.validate().unwrap();
+        assert_eq!(g.pool_bits(), 64);
+        assert_eq!(g.max_planes(), 4);
+        let modes = g.modes();
+        assert_eq!(
+            modes,
+            vec![
+                LutMode { inputs: 4, planes: 4 },
+                LutMode { inputs: 5, planes: 2 },
+                LutMode { inputs: 6, planes: 1 },
+            ]
+        );
+        for m in modes {
+            assert_eq!(m.bits(), 64);
+        }
+    }
+
+    #[test]
+    fn plane_select_bits() {
+        assert_eq!(LutMode { inputs: 4, planes: 4 }.plane_select_bits(), 2);
+        assert_eq!(LutMode { inputs: 5, planes: 2 }.plane_select_bits(), 1);
+        assert_eq!(LutMode { inputs: 6, planes: 1 }.plane_select_bits(), 0);
+        assert_eq!(LutMode { inputs: 3, planes: 3 }.plane_select_bits(), 2);
+    }
+
+    #[test]
+    fn smallest_mode_selection() {
+        let g = LutGeometry::paper_default();
+        assert_eq!(
+            g.smallest_mode_with_at_least(1).unwrap(),
+            LutMode { inputs: 6, planes: 1 }
+        );
+        assert_eq!(
+            g.smallest_mode_with_at_least(2).unwrap(),
+            LutMode { inputs: 5, planes: 2 }
+        );
+        assert_eq!(
+            g.smallest_mode_with_at_least(3).unwrap(),
+            LutMode { inputs: 4, planes: 4 }
+        );
+        assert_eq!(
+            g.smallest_mode_with_at_least(4).unwrap(),
+            LutMode { inputs: 4, planes: 4 }
+        );
+        assert_eq!(g.smallest_mode_with_at_least(5), None);
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        let mut g = LutGeometry::paper_default();
+        g.outputs = 0;
+        assert!(g.validate().is_err());
+        let g = LutGeometry {
+            outputs: 1,
+            min_inputs: 5,
+            max_inputs: 4,
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn check_mode_enforces_pool() {
+        let g = LutGeometry::paper_default();
+        assert!(g.check_mode(LutMode { inputs: 5, planes: 2 }).is_ok());
+        assert!(g.check_mode(LutMode { inputs: 5, planes: 4 }).is_err());
+        assert!(g.check_mode(LutMode { inputs: 3, planes: 8 }).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn all_modes_preserve_pool(min_k in 1usize..6, extra in 0usize..4, outs in 1usize..4) {
+            let g = LutGeometry { outputs: outs, min_inputs: min_k, max_inputs: min_k + extra };
+            g.validate().unwrap();
+            for m in g.modes() {
+                prop_assert_eq!(m.bits(), g.pool_bits());
+                g.check_mode(m).unwrap();
+            }
+            prop_assert_eq!(g.modes().len(), extra + 1);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Routing-fabric geometry: channels of single-length RCM-switched wires plus
+//! the high-speed double-length lines of Fig. 10.
+//!
+//! Signals routed through many switch elements in series are slow, so the
+//! architecture complements the RCM with double-length lines that bypass
+//! alternate diamond switches (Fig. 10/11); critical nets prefer them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArchError;
+
+/// Kind of wire segment in a routing channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SegmentKind {
+    /// Length-1 wire switched by RCM switch elements at every cell boundary.
+    Single,
+    /// Length-2 high-speed line connected through diamond switches, bypassing
+    /// every other switch point.
+    Double,
+}
+
+impl SegmentKind {
+    /// Span of the segment in cell units.
+    pub fn length(self) -> u16 {
+        match self {
+            SegmentKind::Single => 1,
+            SegmentKind::Double => 2,
+        }
+    }
+}
+
+/// Channel composition of the routing fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RoutingGeometry {
+    /// Total tracks per channel (per direction pair).
+    pub tracks_per_channel: usize,
+    /// How many of those tracks are double-length lines.
+    pub double_length_tracks: usize,
+    /// Logic-block input pins reachable from each adjacent channel
+    /// (connection-block flexibility is modelled as a full crossbar onto
+    /// these pins).
+    pub conn_block_pins: usize,
+}
+
+impl RoutingGeometry {
+    /// A small default suitable for the paper's demonstrations: 8 tracks,
+    /// 2 of them double-length.
+    pub fn paper_default() -> Self {
+        RoutingGeometry {
+            tracks_per_channel: 8,
+            double_length_tracks: 2,
+            conn_block_pins: 6,
+        }
+    }
+
+    pub fn validate(&self) -> Result<(), ArchError> {
+        if self.tracks_per_channel == 0 {
+            return Err(ArchError::NoTracks);
+        }
+        if self.double_length_tracks >= self.tracks_per_channel {
+            return Err(ArchError::BadSegmentSplit {
+                tracks: self.tracks_per_channel,
+                double_length: self.double_length_tracks,
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of single-length tracks.
+    pub fn single_tracks(&self) -> usize {
+        self.tracks_per_channel - self.double_length_tracks
+    }
+
+    /// The segment kind of a given track index. Double-length tracks occupy
+    /// the top of the channel.
+    pub fn track_kind(&self, track: usize) -> SegmentKind {
+        debug_assert!(track < self.tracks_per_channel);
+        if track >= self.single_tracks() {
+            SegmentKind::Double
+        } else {
+            SegmentKind::Single
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_is_valid() {
+        let g = RoutingGeometry::paper_default();
+        g.validate().unwrap();
+        assert_eq!(g.single_tracks(), 6);
+    }
+
+    #[test]
+    fn track_kinds_partition_the_channel() {
+        let g = RoutingGeometry {
+            tracks_per_channel: 5,
+            double_length_tracks: 2,
+            conn_block_pins: 4,
+        };
+        let kinds: Vec<SegmentKind> = (0..5).map(|t| g.track_kind(t)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SegmentKind::Single,
+                SegmentKind::Single,
+                SegmentKind::Single,
+                SegmentKind::Double,
+                SegmentKind::Double,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_all_double_channels() {
+        let g = RoutingGeometry {
+            tracks_per_channel: 4,
+            double_length_tracks: 4,
+            conn_block_pins: 4,
+        };
+        assert!(g.validate().is_err());
+        let g = RoutingGeometry {
+            tracks_per_channel: 0,
+            double_length_tracks: 0,
+            conn_block_pins: 4,
+        };
+        assert!(matches!(g.validate(), Err(ArchError::NoTracks)));
+    }
+
+    #[test]
+    fn segment_lengths() {
+        assert_eq!(SegmentKind::Single.length(), 1);
+        assert_eq!(SegmentKind::Double.length(), 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! The top-level architecture specification consumed by the whole flow.
+
+use serde::{Deserialize, Serialize};
+
+use crate::context::ContextId;
+use crate::error::ArchError;
+use crate::geometry::GridDim;
+use crate::lut_geometry::LutGeometry;
+use crate::routing_geometry::RoutingGeometry;
+
+/// Complete static description of one MC-FPGA device family member.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArchSpec {
+    /// Logic-block grid (Fig. 1's cell array).
+    pub grid: GridDim,
+    /// Number of contexts held on chip.
+    pub n_contexts: usize,
+    /// Logic-block LUT geometry (Fig. 12).
+    pub lut: LutGeometry,
+    /// Channel composition (Fig. 10).
+    pub routing: RoutingGeometry,
+}
+
+impl ArchSpec {
+    /// The paper's evaluation point: 4 contexts, 6-input 2-output MCMG-LUTs,
+    /// on a modest grid with double-length lines.
+    pub fn paper_default() -> Self {
+        ArchSpec {
+            grid: GridDim::new(8, 8),
+            n_contexts: 4,
+            lut: LutGeometry::paper_default(),
+            routing: RoutingGeometry::paper_default(),
+        }
+    }
+
+    /// Same architecture scaled to a different grid.
+    pub fn with_grid(mut self, width: u16, height: u16) -> Self {
+        self.grid = GridDim::new(width, height);
+        self
+    }
+
+    /// Same architecture with a different context count.
+    pub fn with_contexts(mut self, n: usize) -> Self {
+        self.n_contexts = n;
+        self
+    }
+
+    /// Validate the whole specification.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        if self.grid.n_cells() == 0 {
+            return Err(ArchError::EmptyGrid);
+        }
+        // Constructing the encoding validates the context count.
+        let _ = ContextId::new(self.n_contexts)?;
+        self.lut.validate()?;
+        self.routing.validate()?;
+        Ok(())
+    }
+
+    /// The context-ID encoding for this device.
+    pub fn context_id(&self) -> ContextId {
+        ContextId::new(self.n_contexts).expect("validated spec")
+    }
+
+    /// Logic-block count.
+    pub fn n_logic_blocks(&self) -> usize {
+        self.grid.n_cells()
+    }
+
+    /// Per-device LUT capacity: logic blocks x outputs x max planes.
+    /// This is the number of `min_inputs`-input LUT functions the device can
+    /// hold with every plane in use.
+    pub fn lut_capacity(&self) -> usize {
+        self.n_logic_blocks() * self.lut.outputs * self.lut.max_planes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        let spec = ArchSpec::paper_default();
+        spec.validate().unwrap();
+        assert_eq!(spec.n_contexts, 4);
+        assert_eq!(spec.context_id().n_bits(), 2);
+        assert_eq!(spec.lut_capacity(), 8 * 8 * 2 * 4);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let spec = ArchSpec::paper_default().with_grid(4, 2).with_contexts(8);
+        spec.validate().unwrap();
+        assert_eq!(spec.n_logic_blocks(), 8);
+        assert_eq!(spec.context_id().n_bits(), 3);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let spec = ArchSpec::paper_default().with_grid(0, 4);
+        assert!(matches!(spec.validate(), Err(ArchError::EmptyGrid)));
+        let spec = ArchSpec::paper_default().with_contexts(1);
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = ArchSpec::paper_default();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ArchSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -1,0 +1,85 @@
+//! Delay models: serial-SE routing vs double-length lines (Figs. 10–11) and
+//! the context-switch decode path.
+
+use serde::{Deserialize, Serialize};
+
+/// Delay constants (arbitrary units, consistent with the routing graph's
+/// hop delays).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayParams {
+    /// Delay through one RCM switch element (pass gate + wire segment).
+    pub se_hop: f64,
+    /// Delay of a double-length line crossing two cells through a diamond
+    /// switch.
+    pub double_hop: f64,
+    /// Delay of one decoder mux stage during a context switch.
+    pub decode_stage: f64,
+    /// Global context-ID wire distribution delay (high-speed wires).
+    pub id_distribution: f64,
+}
+
+impl Default for DelayParams {
+    fn default() -> Self {
+        DelayParams {
+            se_hop: 2.0,
+            double_hop: 2.4,
+            id_distribution: 1.0,
+            decode_stage: 0.8,
+        }
+    }
+}
+
+/// Routing delay for a path of `cells` cell-to-cell hops, with and without
+/// double-length lines. Without them every hop threads an RCM SE; with
+/// them, pairs of hops collapse onto double-length lines (Fig. 10) and only
+/// the remainder uses SEs.
+pub fn routing_delay(cells: usize, use_double: bool, p: &DelayParams) -> f64 {
+    if !use_double {
+        return cells as f64 * p.se_hop;
+    }
+    let doubles = cells / 2;
+    let singles = cells % 2;
+    doubles as f64 * p.double_hop + singles as f64 * p.se_hop
+}
+
+/// Context-switch latency: distribute the new context ID on global wires,
+/// then let every local decoder settle through its worst mux-tree depth.
+/// `max_decoder_depth` comes from the synthesised RCM programs (0 for
+/// constant/single-bit columns — the common case).
+pub fn context_switch_delay(max_decoder_depth: usize, p: &DelayParams) -> f64 {
+    p.id_distribution + max_decoder_depth as f64 * p.decode_stage
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_length_lines_win_on_long_paths() {
+        let p = DelayParams::default();
+        for cells in [2usize, 4, 8, 16] {
+            let serial = routing_delay(cells, false, &p);
+            let fast = routing_delay(cells, true, &p);
+            assert!(fast < serial, "{cells} cells: {fast} !< {serial}");
+        }
+        // Speedup approaches se_hop*2/double_hop for long paths.
+        let speedup = routing_delay(100, false, &p) / routing_delay(100, true, &p);
+        assert!((speedup - 2.0 * p.se_hop / p.double_hop).abs() < 0.01);
+    }
+
+    #[test]
+    fn single_hop_gains_nothing() {
+        let p = DelayParams::default();
+        assert_eq!(routing_delay(1, true, &p), routing_delay(1, false, &p));
+        assert_eq!(routing_delay(0, true, &p), 0.0);
+    }
+
+    #[test]
+    fn context_switch_is_fast_for_cheap_patterns() {
+        let p = DelayParams::default();
+        // Constant/single-bit decoders have depth 0: switching costs only
+        // the ID distribution.
+        assert_eq!(context_switch_delay(0, &p), p.id_distribution);
+        assert!(context_switch_delay(3, &p) > context_switch_delay(1, &p));
+    }
+}

@@ -1,0 +1,162 @@
+//! Logic-block area: fixed context memory vs the adaptive MCMG-LUT.
+//!
+//! Both architectures expose the same capability per logic-block output —
+//! `n` contexts of `k_min`-input functions. The conventional block backs
+//! every one of the `2^k_min` LUT configuration bits with `n` memory bits
+//! and an `n:1` context multiplexer. The adaptive block stores one plain
+//! plane per *distinct* function (shared logic collapses, Figs. 13–14) and
+//! selects planes through the input multiplexer tree, steered by an
+//! RCM-synthesised local size controller.
+//!
+//! The adaptive block's plane count is a workload property; [`LbWorkload`]
+//! carries it either from the analytic change-rate model or from a measured
+//! compiled design.
+
+use mcfpga_arch::LutGeometry;
+
+use crate::params::{AreaParams, Technology};
+use crate::switch::se_area;
+
+/// Workload-dependent inputs of the adaptive logic-block model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LbWorkload {
+    /// Mean configuration planes provisioned per logic block (1..=n).
+    pub mean_planes: f64,
+    /// Mean size-controller switch elements per logic block.
+    pub mean_controller_ses: f64,
+}
+
+impl LbWorkload {
+    /// Analytic model: each logic block's function tuple changes between
+    /// consecutive contexts with probability `q`; every change needs a new
+    /// plane, so over `n` contexts `E[planes] = 1 + (n-1) q`. With a
+    /// per-output function-change rate `rho` and `outputs` outputs,
+    /// `q = 1 - (1-rho)^outputs`.
+    ///
+    /// The controller estimate charges 1 SE per plane-select bit for shared
+    /// blocks (constant columns) rising towards the ID-bit cost as planes
+    /// diverge.
+    pub fn from_change_rate(rho: f64, geometry: &LutGeometry, n_contexts: usize) -> Self {
+        let q = 1.0 - (1.0 - rho).powi(geometry.outputs as i32);
+        let mean_planes = (1.0 + (n_contexts - 1) as f64 * q).min(geometry.max_planes() as f64);
+        let select_bits = {
+            // Bits needed for the provisioned plane count.
+            let p = mean_planes.ceil() as usize;
+            if p <= 1 {
+                0
+            } else {
+                usize::BITS as usize - (p - 1).leading_zeros() as usize
+            }
+        };
+        LbWorkload {
+            mean_planes,
+            // One SE per select bit (constant or single-ID-bit columns
+            // dominate at low change rates; see the decoder cost model).
+            mean_controller_ses: select_bits as f64,
+        }
+    }
+}
+
+/// Conventional multi-context logic block area (per block).
+pub fn conventional_lb_area(
+    geometry: &LutGeometry,
+    n_contexts: usize,
+    p: &AreaParams,
+) -> f64 {
+    let bits_per_output = 1usize << geometry.min_inputs;
+    let per_bit = n_contexts as f64 * p.sram_bit + n_contexts as f64 * p.ctx_mux_per_context;
+    let input_tree = (bits_per_output - 1) as f64 * p.mux2;
+    geometry.outputs as f64 * (bits_per_output as f64 * per_bit + input_tree + p.dff + p.buffer)
+}
+
+/// Adaptive MCMG logic block area (per block) for a workload.
+pub fn proposed_lb_area(
+    geometry: &LutGeometry,
+    workload: &LbWorkload,
+    tech: Technology,
+    p: &AreaParams,
+) -> f64 {
+    let bits_per_output = 1usize << geometry.min_inputs;
+    let mem_bits = bits_per_output as f64 * workload.mean_planes;
+    // Address tree spans data inputs plus plane-select lines: one mux2 per
+    // stored bit (a 2^m:1 tree has 2^m - 1 muxes; we charge mem_bits to stay
+    // monotone in the fractional plane count).
+    let input_tree = mem_bits * p.mux2;
+    let per_output = mem_bits * p.sram_bit + input_tree + p.dff + p.buffer;
+    let controller = workload.mean_controller_ses * se_area(tech, p);
+    geometry.outputs as f64 * per_output + controller
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo() -> LutGeometry {
+        LutGeometry::paper_default()
+    }
+
+    fn p() -> AreaParams {
+        AreaParams::paper_default()
+    }
+
+    #[test]
+    fn analytic_planes_match_hand_computation() {
+        // rho = 0.05, outputs = 2: q = 1 - 0.95^2 = 0.0975;
+        // planes = 1 + 3q = 1.2925.
+        let w = LbWorkload::from_change_rate(0.05, &geo(), 4);
+        assert!((w.mean_planes - 1.2925).abs() < 1e-9, "{}", w.mean_planes);
+        // Zero change: exactly one plane, no controller.
+        let w0 = LbWorkload::from_change_rate(0.0, &geo(), 4);
+        assert_eq!(w0.mean_planes, 1.0);
+        assert_eq!(w0.mean_controller_ses, 0.0);
+        // Total change: saturates at the pool's plane count.
+        let w1 = LbWorkload::from_change_rate(1.0, &geo(), 4);
+        assert_eq!(w1.mean_planes, 4.0);
+    }
+
+    #[test]
+    fn proposed_lb_beats_conventional_at_low_change() {
+        let w = LbWorkload::from_change_rate(0.05, &geo(), 4);
+        let prop = proposed_lb_area(&geo(), &w, Technology::Cmos, &p());
+        let conv = conventional_lb_area(&geo(), 4, &p());
+        let ratio = prop / conv;
+        assert!(
+            ratio > 0.2 && ratio < 0.6,
+            "LB ratio at 5% change: {ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn advantage_decays_with_change_rate() {
+        let conv = conventional_lb_area(&geo(), 4, &p());
+        let mut prev = 0.0;
+        for rho in [0.0, 0.05, 0.2, 0.5, 1.0] {
+            let w = LbWorkload::from_change_rate(rho, &geo(), 4);
+            let ratio = proposed_lb_area(&geo(), &w, Technology::Cmos, &p()) / conv;
+            assert!(ratio >= prev, "ratio must grow with change rate");
+            prev = ratio;
+        }
+        // Even at 100% change the proposed block stays cheaper than the
+        // conventional one: it drops the per-bit context multiplexers.
+        assert!(prev < 1.0);
+    }
+
+    #[test]
+    fn conventional_area_scales_with_contexts() {
+        let a4 = conventional_lb_area(&geo(), 4, &p());
+        let a8 = conventional_lb_area(&geo(), 8, &p());
+        assert!(a8 > 1.5 * a4);
+    }
+
+    #[test]
+    fn fepg_only_touches_the_controller() {
+        let w = LbWorkload {
+            mean_planes: 2.0,
+            mean_controller_ses: 4.0,
+        };
+        let cmos = proposed_lb_area(&geo(), &w, Technology::Cmos, &p());
+        let fepg = proposed_lb_area(&geo(), &w, Technology::Fepg, &p());
+        let se_delta = 4.0 * (se_area(Technology::Cmos, &p()) - se_area(Technology::Fepg, &p()));
+        assert!((cmos - fepg - se_delta).abs() < 1e-9);
+    }
+}

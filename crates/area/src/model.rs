@@ -1,0 +1,295 @@
+//! The fabric-level area comparison (Section 5's 45% / 37% numbers).
+
+use mcfpga_arch::{ArchSpec, ContextId};
+use mcfpga_config::{classify, ConfigColumn, PatternClass};
+use mcfpga_rcm::synthesize;
+use serde::{Deserialize, Serialize};
+
+use crate::logic::{conventional_lb_area, proposed_lb_area, LbWorkload};
+use crate::params::{AreaParams, Technology};
+use crate::switch::{conventional_switch_area, rcm_column_area};
+
+/// The exact probability distribution of configuration columns under the
+/// paper's change model: the context-0 value is uniform, and the bit flips
+/// between consecutive contexts with probability `r` (the evaluation sets
+/// `r = 0.05`, citing Kennedy's <3% measurement).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnDistribution {
+    pub ctx: ContextId,
+    pub change_rate: f64,
+    /// (column, probability) for every `2^n` pattern.
+    pub entries: Vec<(ConfigColumn, f64)>,
+}
+
+impl ColumnDistribution {
+    pub fn new(ctx: ContextId, change_rate: f64) -> Self {
+        let n = ctx.n_contexts();
+        let entries = ConfigColumn::enumerate_all(n)
+            .into_iter()
+            .map(|col| {
+                let changes = col.n_changes() as f64;
+                let stays = (n - 1) as f64 - changes;
+                let p = 0.5 * change_rate.powf(changes) * (1.0 - change_rate).powf(stays);
+                (col, p)
+            })
+            .collect();
+        ColumnDistribution {
+            ctx,
+            change_rate,
+            entries,
+        }
+    }
+
+    /// Probabilities sum to one (sanity invariant).
+    pub fn total_probability(&self) -> f64 {
+        self.entries.iter().map(|(_, p)| p).sum()
+    }
+
+    /// Expected switch elements per column under RCM decoding.
+    pub fn expected_ses(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|(col, p)| p * synthesize(*col, self.ctx).cost().n_ses as f64)
+            .sum()
+    }
+
+    /// Expected RCM area per column.
+    pub fn expected_column_area(&self, tech: Technology, params: &AreaParams) -> f64 {
+        self.entries
+            .iter()
+            .map(|(col, p)| {
+                let cost = synthesize(*col, self.ctx).cost();
+                p * rcm_column_area(&cost, tech, params)
+            })
+            .sum()
+    }
+
+    /// Class probabilities `(constant, single-bit, general)` — the
+    /// frequency companion to Figs. 3–5.
+    pub fn class_probabilities(&self) -> (f64, f64, f64) {
+        let mut acc = (0.0, 0.0, 0.0);
+        for (col, p) in &self.entries {
+            match classify(*col, self.ctx) {
+                PatternClass::Constant { .. } => acc.0 += p,
+                PatternClass::SingleBit { .. } => acc.1 += p,
+                PatternClass::General => acc.2 += p,
+            }
+        }
+        acc
+    }
+}
+
+/// How many of each resource one fabric cell carries. The routing-dominant
+/// split (~60% of FPGA area in interconnect) follows standard island-style
+/// data; the default gives each cell 24 multi-context routing switches plus
+/// its logic block.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricWeights {
+    /// Multi-context routing/connection switches per cell.
+    pub switches_per_cell: f64,
+}
+
+impl Default for FabricWeights {
+    fn default() -> Self {
+        FabricWeights {
+            switches_per_cell: 24.0,
+        }
+    }
+}
+
+/// Result of the Section 5 comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaComparison {
+    pub n_contexts: usize,
+    pub change_rate: f64,
+    /// Per-cell areas, unit transistors.
+    pub conventional_cell: f64,
+    pub proposed_cell: f64,
+    /// The headline ratio (proposed / conventional).
+    pub ratio: f64,
+    /// Component breakdown.
+    pub conventional_switches: f64,
+    pub proposed_switches: f64,
+    pub conventional_lb: f64,
+    pub proposed_lb: f64,
+}
+
+/// Run the Section 5 comparison for an architecture at a given change rate
+/// and technology.
+pub fn area_comparison(
+    arch: &ArchSpec,
+    change_rate: f64,
+    tech: Technology,
+    params: &AreaParams,
+    weights: &FabricWeights,
+) -> AreaComparison {
+    let ctx = arch.context_id();
+    let n = ctx.n_contexts();
+    let dist = ColumnDistribution::new(ctx, change_rate);
+
+    let conv_switch = conventional_switch_area(n, params) * weights.switches_per_cell;
+    let prop_switch = dist.expected_column_area(tech, params) * weights.switches_per_cell;
+
+    let lb_workload = LbWorkload::from_change_rate(change_rate, &arch.lut, n);
+    let conv_lb = conventional_lb_area(&arch.lut, n, params);
+    let prop_lb = proposed_lb_area(&arch.lut, &lb_workload, tech, params);
+
+    let conventional_cell = conv_switch + conv_lb;
+    let proposed_cell = prop_switch + prop_lb;
+    AreaComparison {
+        n_contexts: n,
+        change_rate,
+        conventional_cell,
+        proposed_cell,
+        ratio: proposed_cell / conventional_cell,
+        conventional_switches: conv_switch,
+        proposed_switches: prop_switch,
+        conventional_lb: conv_lb,
+        proposed_lb: prop_lb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arch() -> ArchSpec {
+        ArchSpec::paper_default()
+    }
+
+    #[test]
+    fn distribution_is_normalised() {
+        for n in [2usize, 4, 8] {
+            for r in [0.0, 0.05, 0.3, 1.0] {
+                let d = ColumnDistribution::new(ContextId::new(n).unwrap(), r);
+                assert!(
+                    (d.total_probability() - 1.0).abs() < 1e-9,
+                    "n={n} r={r}: {}",
+                    d.total_probability()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_change_is_all_constant() {
+        let d = ColumnDistribution::new(ContextId::new(4).unwrap(), 0.0);
+        let (c, s, g) = d.class_probabilities();
+        assert!((c - 1.0).abs() < 1e-12);
+        assert!(s.abs() < 1e-12 && g.abs() < 1e-12);
+        assert!((d.expected_ses() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_percent_change_matches_hand_numbers() {
+        // P(constant) = (1-r)^3 = 0.857375;
+        // single-bit mass = S1-type flips (one specific transition):
+        // 2 patterns of prob r(1-r)^2 / 2 each ... total r(1-r)^2.
+        let d = ColumnDistribution::new(ContextId::new(4).unwrap(), 0.05);
+        let (c, s, g) = d.class_probabilities();
+        assert!((c - 0.857375).abs() < 1e-9, "constant {c}");
+        let s_expected: f64 = {
+            // Patterns 0011/1100 (=S1 and complement) have exactly one
+            // change at the middle transition: 2 * 0.5 * r * (1-r)^2.
+            // Patterns 0101/1010 (=S0) change at all three transitions:
+            // 2 * 0.5 * r^3.
+            0.05f64 * 0.95 * 0.95 + 0.05f64.powi(3)
+        };
+        assert!((s - s_expected).abs() < 1e-9, "single {s} vs {s_expected}");
+        assert!((c + s + g - 1.0).abs() < 1e-9);
+        // Expected SEs: cheap mass at 1 SE, the rest at 4.
+        let cheap = c + s;
+        assert!((d.expected_ses() - (cheap + 4.0 * (1.0 - cheap))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn headline_cmos_ratio_is_in_the_45_percent_region() {
+        let cmp = area_comparison(
+            &arch(),
+            0.05,
+            Technology::Cmos,
+            &AreaParams::paper_default(),
+            &FabricWeights::default(),
+        );
+        assert!(
+            cmp.ratio > 0.35 && cmp.ratio < 0.55,
+            "CMOS ratio {:.3} (paper: 0.45)",
+            cmp.ratio
+        );
+    }
+
+    #[test]
+    fn headline_fepg_ratio_is_below_cmos() {
+        let params = AreaParams::paper_default();
+        let cmos = area_comparison(
+            &arch(),
+            0.05,
+            Technology::Cmos,
+            &params,
+            &FabricWeights::default(),
+        );
+        let fepg = area_comparison(
+            &arch(),
+            0.05,
+            Technology::Fepg,
+            &params,
+            &FabricWeights::default(),
+        );
+        assert!(fepg.ratio < cmos.ratio, "FePG must improve on CMOS");
+        assert!(
+            fepg.ratio > 0.25 && fepg.ratio < 0.47,
+            "FePG ratio {:.3} (paper: 0.37)",
+            fepg.ratio
+        );
+    }
+
+    #[test]
+    fn ratio_grows_with_change_rate_in_the_low_change_regime() {
+        // Monotone only for small r: as r -> 1 the columns *alternate*,
+        // which is again regular (the S0 pattern) and cheap for the RCM —
+        // a genuine property of the pattern taxonomy, not a model bug.
+        let params = AreaParams::paper_default();
+        let w = FabricWeights::default();
+        let mut prev = 0.0;
+        for r in [0.0, 0.05, 0.1, 0.2, 0.3] {
+            let cmp = area_comparison(&arch(), r, Technology::Cmos, &params, &w);
+            assert!(cmp.ratio > prev, "r={r}: {} <= {prev}", cmp.ratio);
+            prev = cmp.ratio;
+        }
+        // And the fully-alternating extreme is cheaper than the midpoint.
+        let mid = area_comparison(&arch(), 0.5, Technology::Cmos, &params, &w);
+        let alt = area_comparison(&arch(), 1.0, Technology::Cmos, &params, &w);
+        assert!(alt.proposed_switches < mid.proposed_switches);
+    }
+
+    #[test]
+    fn proposed_always_wins_at_the_paper_point() {
+        for n in [2usize, 4, 8] {
+            let a = arch().with_contexts(n);
+            let cmp = area_comparison(
+                &a,
+                0.05,
+                Technology::Cmos,
+                &AreaParams::paper_default(),
+                &FabricWeights::default(),
+            );
+            assert!(cmp.ratio < 1.0, "n={n}: ratio {}", cmp.ratio);
+        }
+    }
+
+    #[test]
+    fn breakdown_sums_to_cell_totals() {
+        let cmp = area_comparison(
+            &arch(),
+            0.05,
+            Technology::Cmos,
+            &AreaParams::paper_default(),
+            &FabricWeights::default(),
+        );
+        assert!(
+            (cmp.conventional_switches + cmp.conventional_lb - cmp.conventional_cell).abs()
+                < 1e-9
+        );
+        assert!((cmp.proposed_switches + cmp.proposed_lb - cmp.proposed_cell).abs() < 1e-9);
+    }
+}

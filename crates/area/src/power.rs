@@ -1,0 +1,138 @@
+//! Static power model: the FePG's second claim.
+//!
+//! Conventional MC-FPGAs leak in every SRAM plane whether or not the
+//! context is active. CMOS RCM reduces the bit count; FePG storage is
+//! non-volatile ferroelectric and contributes no static leakage at all
+//! (Section 5 / reference \[5\]).
+
+use mcfpga_arch::ArchSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::logic::LbWorkload;
+use crate::model::{ColumnDistribution, FabricWeights};
+use crate::params::Technology;
+
+/// Power-model constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerParams {
+    /// Leakage per SRAM bit (arbitrary units).
+    pub sram_leak: f64,
+    /// Leakage per FePG storage element (the paper's claim: ~0).
+    pub fepg_leak: f64,
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        PowerParams {
+            sram_leak: 1.0,
+            fepg_leak: 0.0,
+        }
+    }
+}
+
+/// Static-power report (per cell, arbitrary units).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    pub conventional: f64,
+    pub proposed: f64,
+    pub ratio: f64,
+}
+
+/// Count configuration storage bits per cell and price their leakage.
+pub fn static_power(
+    arch: &ArchSpec,
+    change_rate: f64,
+    tech: Technology,
+    params: &PowerParams,
+    weights: &FabricWeights,
+) -> PowerReport {
+    let ctx = arch.context_id();
+    let n = ctx.n_contexts() as f64;
+    // Conventional: n bits per switch, n bits per LUT bit.
+    let lut_bits = (arch.lut.outputs * (1usize << arch.lut.min_inputs)) as f64;
+    let conv_bits = weights.switches_per_cell * n + lut_bits * n;
+
+    // Proposed: 2 bits per SE for switches; plane-demand bits for LUTs.
+    let dist = ColumnDistribution::new(ctx, change_rate);
+    let se_bits = dist.expected_ses() * 2.0;
+    let lb = LbWorkload::from_change_rate(change_rate, &arch.lut, ctx.n_contexts());
+    let prop_bits = weights.switches_per_cell * se_bits + lut_bits * lb.mean_planes;
+
+    let leak = match tech {
+        Technology::Cmos => params.sram_leak,
+        Technology::Fepg => params.fepg_leak,
+    };
+    // LUT planes stay SRAM in both technologies; only the RCM storage (and
+    // switch planes) moves to FePG.
+    let conventional = conv_bits * params.sram_leak;
+    let proposed = weights.switches_per_cell * se_bits * leak
+        + lut_bits * lb.mean_planes * params.sram_leak;
+    let _ = prop_bits;
+    PowerReport {
+        conventional,
+        proposed,
+        ratio: proposed / conventional,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfpga_arch::ArchSpec;
+
+    #[test]
+    fn proposed_leaks_less_than_conventional() {
+        let arch = ArchSpec::paper_default();
+        let r = static_power(
+            &arch,
+            0.05,
+            Technology::Cmos,
+            &PowerParams::default(),
+            &FabricWeights::default(),
+        );
+        assert!(r.ratio < 1.0, "CMOS RCM ratio {}", r.ratio);
+    }
+
+    #[test]
+    fn fepg_eliminates_switch_storage_leakage() {
+        let arch = ArchSpec::paper_default();
+        let cmos = static_power(
+            &arch,
+            0.05,
+            Technology::Cmos,
+            &PowerParams::default(),
+            &FabricWeights::default(),
+        );
+        let fepg = static_power(
+            &arch,
+            0.05,
+            Technology::Fepg,
+            &PowerParams::default(),
+            &FabricWeights::default(),
+        );
+        assert!(fepg.proposed < cmos.proposed);
+        // Remaining leakage is exactly the SRAM LUT planes.
+        let arch_bits = (arch.lut.outputs * 16) as f64; // 2 outputs x 2^4
+        let lb = LbWorkload::from_change_rate(0.05, &arch.lut, 4);
+        assert!((fepg.proposed - arch_bits * lb.mean_planes).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_ratio_monotone_in_the_low_change_regime() {
+        // See the area-model tests: alternating columns at r -> 1 are
+        // regular again, so monotonicity only holds for small r.
+        let arch = ArchSpec::paper_default();
+        let mut prev = 0.0;
+        for r in [0.0, 0.1, 0.2, 0.3] {
+            let rep = static_power(
+                &arch,
+                r,
+                Technology::Cmos,
+                &PowerParams::default(),
+                &FabricWeights::default(),
+            );
+            assert!(rep.ratio >= prev);
+            prev = rep.ratio;
+        }
+    }
+}

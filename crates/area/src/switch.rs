@@ -1,0 +1,109 @@
+//! Switch-block area: conventional multi-context switch vs RCM decoder.
+
+use mcfpga_rcm::DecoderCost;
+
+use crate::params::{AreaParams, Technology};
+
+/// Conventional multi-context switch (Fig. 2): `n` SRAM bits, an `n:1`
+/// context multiplexer with its level-restoring buffer (a multi-stage
+/// pass-transistor mux degrades the gate drive; the RCM's single-stage SE
+/// does not need one), and the routing pass gate it drives.
+pub fn conventional_switch_area(n_contexts: usize, p: &AreaParams) -> f64 {
+    n_contexts as f64 * (p.sram_bit + p.ctx_mux_per_context) + p.buffer + p.pass_gate
+}
+
+/// One switch element (Fig. 8): two memory bits, a 2:1 multiplexer, and a
+/// pass gate. FePGs merge the storage into the device and halve the area
+/// (Section 5 / Fig. 15).
+pub fn se_area(tech: Technology, p: &AreaParams) -> f64 {
+    let cmos = 2.0 * p.sram_bit + p.mux2 + p.pass_gate;
+    match tech {
+        Technology::Cmos => cmos,
+        Technology::Fepg => cmos * p.fepg_se_scale,
+    }
+}
+
+/// Area of one input controller (Fig. 7(c)): a memory bit selecting
+/// straight or inverted polarity through a 2:1 mux.
+pub fn input_controller_area(p: &AreaParams) -> f64 {
+    p.sram_bit + p.inverter + p.mux2
+}
+
+/// Area of one programmable cross-point (Fig. 7(b)).
+pub fn programmable_switch_area(p: &AreaParams) -> f64 {
+    p.sram_bit + p.pass_gate
+}
+
+/// Area of one RCM-decoded configuration column: the synthesised decoder's
+/// switch elements plus its share of cross-points and input controllers,
+/// plus the routing pass gate the generated bit drives.
+pub fn rcm_column_area(cost: &DecoderCost, tech: Technology, p: &AreaParams) -> f64 {
+    cost.n_ses as f64 * se_area(tech, p)
+        + cost.n_pass_stages as f64 * programmable_switch_area(p)
+        + cost.n_inverters as f64 * input_controller_area(p)
+        + p.pass_gate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfpga_arch::ContextId;
+    use mcfpga_config::ConfigColumn;
+    use mcfpga_rcm::synthesize;
+
+    fn p() -> AreaParams {
+        AreaParams::paper_default()
+    }
+
+    #[test]
+    fn conventional_switch_grows_linearly_with_contexts() {
+        let a2 = conventional_switch_area(2, &p());
+        let a4 = conventional_switch_area(4, &p());
+        let a8 = conventional_switch_area(8, &p());
+        assert!((a4 - a2) - (a8 - a4) / 2.0 < 1e-9);
+        assert!(a8 > a4 && a4 > a2);
+    }
+
+    #[test]
+    fn fepg_se_is_half_of_cmos() {
+        let cmos = se_area(Technology::Cmos, &p());
+        let fepg = se_area(Technology::Fepg, &p());
+        assert!((fepg / cmos - 0.5).abs() < 1e-12, "paper Section 5");
+    }
+
+    #[test]
+    fn constant_column_beats_conventional_switch() {
+        // The core of the paper's argument: a never-changing configuration
+        // bit costs one SE instead of four memory planes.
+        let ctx = ContextId::new(4).unwrap();
+        let cost = synthesize(ConfigColumn::constant(true, 4), ctx).cost();
+        let rcm = rcm_column_area(&cost, Technology::Cmos, &p());
+        let conv = conventional_switch_area(4, &p());
+        assert!(
+            rcm < 0.6 * conv,
+            "constant column {rcm} should be well under conventional {conv}"
+        );
+    }
+
+    #[test]
+    fn general_column_costs_more_than_conventional() {
+        // Fig. 5 patterns are the RCM's worst case; the win relies on their
+        // rarity.
+        let ctx = ContextId::new(4).unwrap();
+        let cost = synthesize(ConfigColumn::from_mask(0b1000, 4), ctx).cost();
+        let rcm = rcm_column_area(&cost, Technology::Cmos, &p());
+        let conv = conventional_switch_area(4, &p());
+        assert!(rcm > conv);
+    }
+
+    #[test]
+    fn fepg_reduces_every_column() {
+        let ctx = ContextId::new(4).unwrap();
+        for col in ConfigColumn::enumerate_all(4) {
+            let cost = synthesize(col, ctx).cost();
+            let cmos = rcm_column_area(&cost, Technology::Cmos, &p());
+            let fepg = rcm_column_area(&cost, Technology::Fepg, &p());
+            assert!(fepg < cmos, "pattern {}", col.pattern_string());
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Bench: Section 5 area model (analytic + sweeps + power).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcfpga::area::{area_comparison, static_power, AreaParams, ColumnDistribution, FabricWeights, PowerParams, Technology};
+use mcfpga::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let arch = ArchSpec::paper_default();
+    let params = AreaParams::paper_default();
+    let weights = FabricWeights::default();
+    c.bench_function("area45_headline", |b| {
+        b.iter(|| area_comparison(black_box(&arch), 0.05, Technology::Cmos, &params, &weights))
+    });
+    c.bench_function("area37_headline", |b| {
+        b.iter(|| area_comparison(black_box(&arch), 0.05, Technology::Fepg, &params, &weights))
+    });
+    c.bench_function("sweep_change_11points", |b| {
+        b.iter(|| {
+            for r in [0.0, 0.01, 0.02, 0.03, 0.05, 0.08, 0.1, 0.15, 0.2, 0.3, 0.5] {
+                black_box(area_comparison(&arch, r, Technology::Cmos, &params, &weights));
+            }
+        })
+    });
+    let ctx8 = arch.clone().with_contexts(8);
+    c.bench_function("distribution_8ctx", |b| {
+        b.iter(|| ColumnDistribution::new(black_box(ctx8.context_id()), 0.05).expected_ses())
+    });
+    c.bench_function("static_power", |b| {
+        b.iter(|| static_power(black_box(&arch), 0.05, Technology::Fepg, &PowerParams::default(), &weights))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench: Table 1 statistics extraction from a compiled mixed device.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcfpga::prelude::*;
+use mcfpga::config::ColumnSetStats;
+use mcfpga_bench::mixed_contexts;
+
+fn bench(c: &mut Criterion) {
+    let arch = ArchSpec::paper_default();
+    let dev = MultiDevice::compile(&arch, &mixed_contexts()).unwrap();
+    let ctx = arch.context_id();
+    let columns = dev.switch_usage().columns();
+    c.bench_function("table1_stats_from_device", |b| {
+        b.iter(|| ColumnSetStats::measure(black_box(&columns), ctx))
+    });
+    c.bench_function("table1_full_compile", |b| {
+        b.iter(|| MultiDevice::compile(black_box(&arch), &mixed_contexts()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

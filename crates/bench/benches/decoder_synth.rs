@@ -1,0 +1,46 @@
+//! Bench: RCM decoder synthesis (Fig. 9 machinery) at 4 and 8 contexts.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcfpga_arch::ContextId;
+use mcfpga_config::{random_column, ConfigColumn};
+use mcfpga_rcm::{synthesize, RcmBlock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let ctx4 = ContextId::new(4).unwrap();
+    let ctx8 = ContextId::new(8).unwrap();
+    c.bench_function("synthesize_all_16_4ctx", |b| {
+        b.iter(|| {
+            for col in ConfigColumn::enumerate_all(4) {
+                black_box(synthesize(col, ctx4));
+            }
+        })
+    });
+    c.bench_function("synthesize_all_256_8ctx", |b| {
+        b.iter(|| {
+            for mask in 0..256u32 {
+                black_box(synthesize(ConfigColumn::from_mask(mask, 8), ctx8));
+            }
+        })
+    });
+    // Block allocation with sharing at the paper's change rate.
+    let mut rng = StdRng::seed_from_u64(3);
+    let cols: Vec<ConfigColumn> = (0..200).map(|_| random_column(ctx4, 0.05, &mut rng)).collect();
+    let block = RcmBlock::new(32, 32);
+    c.bench_function("rcm_block_allocate_200cols", |b| {
+        b.iter(|| block.allocate(black_box(&cols), ctx4).unwrap())
+    });
+    // Evaluate a synthesised decoder across contexts (context-switch path).
+    let prog = synthesize(ConfigColumn::from_mask(0b1000, 4), ctx4);
+    c.bench_function("decoder_eval_4ctx", |b| {
+        b.iter(|| {
+            for context in 0..4 {
+                black_box(prog.eval(ctx4, context));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

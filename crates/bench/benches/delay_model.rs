@@ -1,0 +1,27 @@
+//! Bench: routed critical-path delay with and without double-length lines.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcfpga::netlist::library;
+use mcfpga::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let with_dl = ArchSpec::paper_default();
+    let mut no_dl = ArchSpec::paper_default();
+    no_dl.routing.double_length_tracks = 0;
+    let circuit = library::adder(8);
+    c.bench_function("route_with_double_length", |b| {
+        b.iter(|| {
+            let dev = MultiDevice::compile(black_box(&with_dl), std::slice::from_ref(&circuit)).unwrap();
+            black_box(dev.critical_delay())
+        })
+    });
+    c.bench_function("route_without_double_length", |b| {
+        b.iter(|| {
+            let dev = MultiDevice::compile(black_box(&no_dl), std::slice::from_ref(&circuit)).unwrap();
+            black_box(dev.critical_delay())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench: Figs. 13-14 packing (global vs local control).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcfpga::map::{pack_global, pack_local, PackOptions};
+use mcfpga::netlist::dfg::{generated_family, paper_example};
+use mcfpga_arch::ContextId;
+
+fn bench(c: &mut Criterion) {
+    let opts = PackOptions::figure_13_14();
+    let ctx2 = ContextId::new(2).unwrap();
+    let paper = paper_example();
+    c.bench_function("pack_paper_example", |b| {
+        b.iter(|| {
+            let g = pack_global(black_box(&paper), &opts);
+            let l = pack_local(black_box(&paper), &opts, ctx2);
+            black_box((g, l))
+        })
+    });
+    let fam = generated_family(2, 6, 200, 0.5, 9);
+    c.bench_function("pack_family_200ops", |b| {
+        b.iter(|| {
+            let g = pack_global(black_box(&fam), &opts);
+            let l = pack_local(black_box(&fam), &opts, ctx2);
+            black_box((g, l))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Bench: Fig. 12 granularity mapping sweep over the circuit suite.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcfpga::map::map_netlist;
+use mcfpga_bench::suite;
+
+fn bench(c: &mut Criterion) {
+    let circuits = suite();
+    for k in [4usize, 5, 6] {
+        c.bench_function(&format!("map_suite_k{k}"), |b| {
+            b.iter(|| {
+                for circuit in &circuits {
+                    black_box(map_netlist(circuit, k).unwrap());
+                }
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench: pattern classification and census (Figs. 3-5 machinery).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcfpga_arch::ContextId;
+use mcfpga_config::{classify, pattern_census, random_column, ColumnSetStats, ConfigColumn};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let ctx4 = ContextId::new(4).unwrap();
+    let ctx8 = ContextId::new(8).unwrap();
+    c.bench_function("classify_all_16_patterns", |b| {
+        b.iter(|| {
+            for col in ConfigColumn::enumerate_all(4) {
+                black_box(classify(col, ctx4));
+            }
+        })
+    });
+    c.bench_function("census_8_contexts", |b| b.iter(|| pattern_census(black_box(ctx8))));
+    let mut rng = StdRng::seed_from_u64(1);
+    let cols: Vec<ConfigColumn> = (0..10_000).map(|_| random_column(ctx4, 0.05, &mut rng)).collect();
+    c.bench_function("stats_10k_columns", |b| {
+        b.iter(|| ColumnSetStats::measure(black_box(&cols), ctx4))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Shared helpers for the experiment harness and the Criterion benches.
+
+use mcfpga::netlist::{library, Netlist};
+
+/// The benchmark circuit suite used across experiments.
+pub fn suite() -> Vec<Netlist> {
+    library::benchmark_suite()
+}
+
+/// Four distinct combinational circuits used as the 4-context mixed
+/// workload (the Table 1 measurement target).
+pub fn mixed_contexts() -> Vec<Netlist> {
+    vec![
+        library::adder(4),
+        library::multiplier(3),
+        library::alu(4),
+        library::popcount(6),
+    ]
+}
+
+/// Render a ruled section header.
+pub fn header(title: &str) {
+    println!("\n==== {title} {}", "=".repeat(66usize.saturating_sub(title.len())));
+}

@@ -1,0 +1,242 @@
+//! Bitstream container: all configuration columns of a compiled design,
+//! keyed by the physical resource each column programs.
+//!
+//! The bitstream is the hand-off point between the router / logic-block
+//! packer (which decide what each configuration bit must be in each context)
+//! and the RCM synthesiser / area model (which decide what hardware those
+//! columns cost).
+
+use mcfpga_arch::{ContextId, Coord};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::column::ConfigColumn;
+use crate::stats::ColumnSetStats;
+
+/// Which fabric subsystem a configuration bit belongs to.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum ResourceClass {
+    /// A routing switch inside a switch block's RCM.
+    RoutingSwitch,
+    /// A connection-block switch (LB pin to track).
+    ConnectionSwitch,
+    /// A logic-block LUT memory bit.
+    LutBit,
+    /// A logic-block control bit (size controller, FF enable, ...).
+    LogicControl,
+}
+
+impl ResourceClass {
+    pub const ALL: [ResourceClass; 4] = [
+        ResourceClass::RoutingSwitch,
+        ResourceClass::ConnectionSwitch,
+        ResourceClass::LutBit,
+        ResourceClass::LogicControl,
+    ];
+}
+
+/// Identity of one configuration bit in the fabric.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct ResourceKey {
+    pub class: ResourceClass,
+    /// Owning cell.
+    pub cell: Coord,
+    /// Index of the bit within the cell's resources of this class.
+    pub index: u32,
+}
+
+/// All configuration columns of a compiled design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bitstream {
+    n_contexts: usize,
+    /// Serialised as an entry list: JSON objects cannot key on structs.
+    #[serde(with = "column_map_serde")]
+    columns: BTreeMap<ResourceKey, ConfigColumn>,
+}
+
+mod column_map_serde {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<ResourceKey, ConfigColumn>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let entries: Vec<(&ResourceKey, &ConfigColumn)> = map.iter().collect();
+        serde::Serialize::serialize(&entries, ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<BTreeMap<ResourceKey, ConfigColumn>, D::Error> {
+        let entries: Vec<(ResourceKey, ConfigColumn)> = serde::Deserialize::deserialize(de)?;
+        Ok(entries.into_iter().collect())
+    }
+}
+
+impl Bitstream {
+    pub fn new(n_contexts: usize) -> Self {
+        Bitstream {
+            n_contexts,
+            columns: BTreeMap::new(),
+        }
+    }
+
+    pub fn n_contexts(&self) -> usize {
+        self.n_contexts
+    }
+
+    /// Set a column; returns the previous value if the resource was already
+    /// programmed (useful to detect double-programming bugs).
+    pub fn set(&mut self, key: ResourceKey, column: ConfigColumn) -> Option<ConfigColumn> {
+        assert_eq!(
+            column.n_contexts(),
+            self.n_contexts,
+            "column context count must match the bitstream"
+        );
+        self.columns.insert(key, column)
+    }
+
+    pub fn get(&self, key: &ResourceKey) -> Option<ConfigColumn> {
+        self.columns.get(key).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&ResourceKey, &ConfigColumn)> {
+        self.columns.iter()
+    }
+
+    /// Columns of one resource class.
+    pub fn columns_of(&self, class: ResourceClass) -> Vec<ConfigColumn> {
+        self.columns
+            .iter()
+            .filter(|(k, _)| k.class == class)
+            .map(|(_, c)| *c)
+            .collect()
+    }
+
+    /// Columns belonging to one cell and class (a single switch block's
+    /// configuration data, as in Table 1).
+    pub fn columns_of_cell(&self, cell: Coord, class: ResourceClass) -> Vec<ConfigColumn> {
+        self.columns
+            .iter()
+            .filter(|(k, _)| k.class == class && k.cell == cell)
+            .map(|(_, c)| *c)
+            .collect()
+    }
+
+    /// Table 1-style statistics per resource class.
+    pub fn stats_by_class(&self, ctx: ContextId) -> BTreeMap<ResourceClass, ColumnSetStats> {
+        ResourceClass::ALL
+            .into_iter()
+            .map(|class| (class, ColumnSetStats::measure(&self.columns_of(class), ctx)))
+            .collect()
+    }
+
+    /// Statistics over every column.
+    pub fn stats(&self, ctx: ContextId) -> ColumnSetStats {
+        let all: Vec<ConfigColumn> = self.columns.values().copied().collect();
+        ColumnSetStats::measure(&all, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(class: ResourceClass, x: u16, y: u16, index: u32) -> ResourceKey {
+        ResourceKey {
+            class,
+            cell: Coord::new(x, y),
+            index,
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip_and_double_program_detection() {
+        let mut bs = Bitstream::new(4);
+        let k = key(ResourceClass::RoutingSwitch, 1, 2, 7);
+        let col = ConfigColumn::from_mask(0b1010, 4);
+        assert!(bs.set(k, col).is_none());
+        assert_eq!(bs.get(&k), Some(col));
+        let prev = bs.set(k, ConfigColumn::constant(true, 4));
+        assert_eq!(prev, Some(col));
+        assert_eq!(bs.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "context count")]
+    fn rejects_mismatched_context_count() {
+        let mut bs = Bitstream::new(4);
+        bs.set(
+            key(ResourceClass::LutBit, 0, 0, 0),
+            ConfigColumn::constant(false, 8),
+        );
+    }
+
+    #[test]
+    fn columns_filter_by_class_and_cell() {
+        let mut bs = Bitstream::new(4);
+        bs.set(
+            key(ResourceClass::RoutingSwitch, 0, 0, 0),
+            ConfigColumn::constant(true, 4),
+        );
+        bs.set(
+            key(ResourceClass::RoutingSwitch, 0, 0, 1),
+            ConfigColumn::constant(false, 4),
+        );
+        bs.set(
+            key(ResourceClass::RoutingSwitch, 1, 0, 0),
+            ConfigColumn::from_mask(0b0011, 4),
+        );
+        bs.set(
+            key(ResourceClass::LutBit, 0, 0, 0),
+            ConfigColumn::from_mask(0b0001, 4),
+        );
+        assert_eq!(bs.columns_of(ResourceClass::RoutingSwitch).len(), 3);
+        assert_eq!(bs.columns_of(ResourceClass::LutBit).len(), 1);
+        assert_eq!(
+            bs.columns_of_cell(Coord::new(0, 0), ResourceClass::RoutingSwitch)
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn stats_by_class_cover_all_classes() {
+        let mut bs = Bitstream::new(4);
+        bs.set(
+            key(ResourceClass::ConnectionSwitch, 2, 3, 0),
+            ConfigColumn::constant(true, 4),
+        );
+        let ctx = ContextId::new(4).unwrap();
+        let by_class = bs.stats_by_class(ctx);
+        assert_eq!(by_class.len(), 4);
+        assert_eq!(by_class[&ResourceClass::ConnectionSwitch].n_columns, 1);
+        assert_eq!(by_class[&ResourceClass::LutBit].n_columns, 0);
+        assert_eq!(bs.stats(ctx).n_columns, 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut bs = Bitstream::new(4);
+        bs.set(
+            key(ResourceClass::LogicControl, 5, 6, 9),
+            ConfigColumn::from_mask(0b0110, 4),
+        );
+        let json = serde_json::to_string(&bs).unwrap();
+        let back: Bitstream = serde_json::from_str(&json).unwrap();
+        assert_eq!(bs, back);
+    }
+}

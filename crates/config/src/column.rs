@@ -1,0 +1,219 @@
+//! One configuration bit across all contexts.
+
+use mcfpga_arch::ContextId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The value of a single configuration bit in each context of the device.
+///
+/// Bit `c` of `bits` is the configuration bit's value when context `c` is
+/// active. For the paper's 4-context device a column is one of 16 patterns,
+/// written `(C3, C2, C1, C0)` in the figures — [`ConfigColumn::pattern_string`]
+/// renders that form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConfigColumn {
+    bits: u32,
+    n_contexts: u8,
+}
+
+impl ConfigColumn {
+    /// Build from a raw per-context bitmask. Bits above `n_contexts` are
+    /// cleared.
+    pub fn from_mask(bits: u32, n_contexts: usize) -> Self {
+        assert!(
+            (2..=ContextId::MAX_CONTEXTS).contains(&n_contexts),
+            "context count {n_contexts} out of range"
+        );
+        let mask = if n_contexts == 32 {
+            u32::MAX
+        } else {
+            (1u32 << n_contexts) - 1
+        };
+        ConfigColumn {
+            bits: bits & mask,
+            n_contexts: n_contexts as u8,
+        }
+    }
+
+    /// Column that is `value` in every context (Fig. 3's patterns).
+    pub fn constant(value: bool, n_contexts: usize) -> Self {
+        Self::from_mask(if value { u32::MAX } else { 0 }, n_contexts)
+    }
+
+    /// Build by sampling a function of the context index.
+    pub fn from_fn(n_contexts: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut bits = 0u32;
+        for c in 0..n_contexts {
+            if f(c) {
+                bits |= 1 << c;
+            }
+        }
+        Self::from_mask(bits, n_contexts)
+    }
+
+    /// The column equal to context-ID bit `S_bit` (optionally inverted) —
+    /// Fig. 4's patterns.
+    pub fn id_bit(ctx: ContextId, bit: usize, inverted: bool) -> Self {
+        Self::from_fn(ctx.n_contexts(), |c| ctx.id_bit(c, bit) ^ inverted)
+    }
+
+    /// Value of the configuration bit in context `c`.
+    #[inline]
+    pub fn value_in(&self, context: usize) -> bool {
+        debug_assert!(context < self.n_contexts as usize);
+        (self.bits >> context) & 1 == 1
+    }
+
+    #[inline]
+    pub fn n_contexts(&self) -> usize {
+        self.n_contexts as usize
+    }
+
+    /// Raw per-context bitmask (bit `c` = value in context `c`).
+    #[inline]
+    pub fn mask(&self) -> u32 {
+        self.bits
+    }
+
+    /// Whether the bit never changes across contexts.
+    pub fn is_constant(&self) -> bool {
+        self.bits == 0 || self.bits == self.full_mask()
+    }
+
+    fn full_mask(&self) -> u32 {
+        if self.n_contexts == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.n_contexts) - 1
+        }
+    }
+
+    /// Number of context transitions `c -> c+1` where the bit changes —
+    /// the quantity behind the paper's "<3% of configuration data changes"
+    /// statistic.
+    pub fn n_changes(&self) -> usize {
+        (0..self.n_contexts as usize - 1)
+            .filter(|&c| self.value_in(c) != self.value_in(c + 1))
+            .count()
+    }
+
+    /// Restrict the column to the contexts where ID bit `bit` has `value`,
+    /// producing a column over the halved context space (used by the RCM
+    /// decoder's Shannon decomposition).
+    pub fn cofactor(&self, ctx: ContextId, bit: usize, value: bool) -> ConfigColumn {
+        let kept: Vec<bool> = (0..self.n_contexts as usize)
+            .filter(|&c| ctx.id_bit(c, bit) == value)
+            .map(|c| self.value_in(c))
+            .collect();
+        assert!(
+            !kept.is_empty(),
+            "cofactor selected no contexts (bit {bit} never {value})"
+        );
+        // A 1-context cofactor is represented as a 2-context constant-ish
+        // column so the type stays uniform; decoder code special-cases it.
+        let n = kept.len().max(2);
+        ConfigColumn::from_fn(n, |c| kept[c.min(kept.len() - 1)])
+    }
+
+    /// Paper-style pattern string `(C_{n-1}, ..., C_0)`, highest context
+    /// first, e.g. `1000` for Fig. 9's example.
+    pub fn pattern_string(&self) -> String {
+        (0..self.n_contexts as usize)
+            .rev()
+            .map(|c| if self.value_in(c) { '1' } else { '0' })
+            .collect()
+    }
+
+    /// All `2^n` columns for a context count (Figs. 3–5 enumerate these for
+    /// n = 4).
+    pub fn enumerate_all(n_contexts: usize) -> Vec<ConfigColumn> {
+        assert!(n_contexts <= 16, "enumeration only sensible for small n");
+        (0..(1u32 << n_contexts))
+            .map(|m| ConfigColumn::from_mask(m, n_contexts))
+            .collect()
+    }
+}
+
+impl fmt::Display for ConfigColumn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.pattern_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx4() -> ContextId {
+        ContextId::new(4).unwrap()
+    }
+
+    #[test]
+    fn constant_columns_match_fig3() {
+        let zeros = ConfigColumn::constant(false, 4);
+        let ones = ConfigColumn::constant(true, 4);
+        assert_eq!(zeros.pattern_string(), "0000");
+        assert_eq!(ones.pattern_string(), "1111");
+        assert!(zeros.is_constant() && ones.is_constant());
+        assert_eq!(zeros.n_changes(), 0);
+        assert_eq!(ones.n_changes(), 0);
+    }
+
+    #[test]
+    fn id_bit_columns_match_fig4() {
+        let ctx = ctx4();
+        // Fig. 4 lists (C3,C2,C1,C0) = 1010, 1100, 0101, 0011 as the
+        // single-ID-bit patterns (S0, S1, !S0, !S1).
+        assert_eq!(ConfigColumn::id_bit(ctx, 0, false).pattern_string(), "1010");
+        assert_eq!(ConfigColumn::id_bit(ctx, 1, false).pattern_string(), "1100");
+        assert_eq!(ConfigColumn::id_bit(ctx, 0, true).pattern_string(), "0101");
+        assert_eq!(ConfigColumn::id_bit(ctx, 1, true).pattern_string(), "0011");
+    }
+
+    #[test]
+    fn value_in_reads_each_context() {
+        let col = ConfigColumn::from_mask(0b1000, 4); // only context 3
+        assert_eq!(col.pattern_string(), "1000");
+        assert!(!col.value_in(0));
+        assert!(!col.value_in(1));
+        assert!(!col.value_in(2));
+        assert!(col.value_in(3));
+        assert_eq!(col.n_changes(), 1);
+    }
+
+    #[test]
+    fn masks_are_clipped_to_context_count() {
+        let col = ConfigColumn::from_mask(0xFFFF_FFFF, 4);
+        assert_eq!(col.mask(), 0b1111);
+    }
+
+    #[test]
+    fn cofactor_splits_on_id_bits() {
+        let ctx = ctx4();
+        // Pattern 1000: value 1 only in context 3 (S1=1, S0=1).
+        let col = ConfigColumn::from_mask(0b1000, 4);
+        // Fix S1 = 1: contexts 2 and 3 -> values 0, 1 -> pattern "10".
+        let hi = col.cofactor(ctx, 1, true);
+        assert_eq!(hi.pattern_string(), "10");
+        // Fix S1 = 0: contexts 0 and 1 -> values 0, 0 -> constant 0.
+        let lo = col.cofactor(ctx, 1, false);
+        assert!(lo.is_constant());
+        assert!(!lo.value_in(0));
+    }
+
+    #[test]
+    fn enumerate_all_is_complete_and_distinct() {
+        let all = ConfigColumn::enumerate_all(4);
+        assert_eq!(all.len(), 16);
+        let mut strings: Vec<String> = all.iter().map(|c| c.pattern_string()).collect();
+        strings.sort();
+        strings.dedup();
+        assert_eq!(strings.len(), 16);
+    }
+
+    #[test]
+    fn display_matches_pattern_string() {
+        let col = ConfigColumn::from_mask(0b0110, 4);
+        assert_eq!(format!("{col}"), "0110");
+    }
+}

@@ -1,0 +1,21 @@
+//! Configuration data for the multi-context FPGA: per-bit cross-context
+//! columns, the pattern taxonomy of Figs. 3–5, redundancy/regularity
+//! statistics (Table 1), and the bitstream container.
+//!
+//! The central object is the [`ConfigColumn`]: the value of *one*
+//! configuration bit in *every* context. The paper's whole argument is that
+//! these columns are highly redundant (most are constant) and regular (many
+//! equal a context-ID bit), so the per-bit `n`-plane memory of a conventional
+//! MC-FPGA can be replaced by tiny reconfigurable decoders.
+
+pub mod bitstream;
+pub mod column;
+pub mod pattern;
+pub mod reconfig;
+pub mod stats;
+
+pub use bitstream::{Bitstream, ResourceClass, ResourceKey};
+pub use column::ConfigColumn;
+pub use pattern::{classify, pattern_census, PatternClass};
+pub use reconfig::{apply_records, delta_records, plan_reload, ReconfigModel, ReloadPlan};
+pub use stats::{measure_change_rate, random_column, ColumnSetStats};

@@ -1,0 +1,172 @@
+//! The configuration-bit pattern taxonomy of Figs. 3–5.
+//!
+//! For a 4-context device there are 16 possible columns. The paper sorts
+//! them by decoder hardware cost:
+//!
+//! * **Fig. 3** — constants (`0000`, `1111`): a single memory bit.
+//! * **Fig. 4** — a single context-ID bit or its complement
+//!   (`1010`=S0, `0101`=!S0, `1100`=S1, `0011`=!S1): one memory bit plus a
+//!   wire to the ID bit.
+//! * **Fig. 5** — the ten remaining patterns: a 2:1 multiplexer over the ID
+//!   bits.
+//!
+//! [`classify`] generalises the taxonomy to any context count.
+
+use mcfpga_arch::ContextId;
+use serde::{Deserialize, Serialize};
+
+use crate::column::ConfigColumn;
+
+/// Hardware class of a configuration column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternClass {
+    /// Fig. 3: the bit never changes; `value` is its constant level.
+    Constant { value: bool },
+    /// Fig. 4: the bit equals context-ID bit `S_bit` (or its complement).
+    SingleBit { bit: usize, inverted: bool },
+    /// Fig. 5: a genuine function of two or more ID bits.
+    General,
+}
+
+impl PatternClass {
+    /// Fraction-independent display name matching the figure grouping.
+    pub fn figure(&self) -> &'static str {
+        match self {
+            PatternClass::Constant { .. } => "Fig.3 (constant)",
+            PatternClass::SingleBit { .. } => "Fig.4 (single ID bit)",
+            PatternClass::General => "Fig.5 (two ID bits)",
+        }
+    }
+}
+
+/// Classify a column against a context encoding.
+pub fn classify(column: ConfigColumn, ctx: ContextId) -> PatternClass {
+    assert_eq!(
+        column.n_contexts(),
+        ctx.n_contexts(),
+        "column/context-count mismatch"
+    );
+    if column.is_constant() {
+        return PatternClass::Constant {
+            value: column.value_in(0),
+        };
+    }
+    for bit in 0..ctx.n_bits() {
+        for inverted in [false, true] {
+            if ConfigColumn::id_bit(ctx, bit, inverted) == column {
+                return PatternClass::SingleBit { bit, inverted };
+            }
+        }
+    }
+    PatternClass::General
+}
+
+/// Census over all `2^n` patterns: `(constant, single-bit, general)` counts.
+/// For n = 4 this is the paper's 2 / 4 / 10 split.
+pub fn pattern_census(ctx: ContextId) -> (usize, usize, usize) {
+    let mut constant = 0;
+    let mut single = 0;
+    let mut general = 0;
+    for col in ConfigColumn::enumerate_all(ctx.n_contexts()) {
+        match classify(col, ctx) {
+            PatternClass::Constant { .. } => constant += 1,
+            PatternClass::SingleBit { .. } => single += 1,
+            PatternClass::General => general += 1,
+        }
+    }
+    (constant, single, general)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(n: usize) -> ContextId {
+        ContextId::new(n).unwrap()
+    }
+
+    #[test]
+    fn four_context_census_is_2_4_10() {
+        assert_eq!(pattern_census(ctx(4)), (2, 4, 10));
+    }
+
+    #[test]
+    fn two_context_census_has_no_general_patterns() {
+        // With one ID bit, every non-constant pattern *is* the ID bit.
+        assert_eq!(pattern_census(ctx(2)), (2, 2, 0));
+    }
+
+    #[test]
+    fn eight_context_census() {
+        // 2 constants + 6 single-bit (3 bits x 2 polarities); the remaining
+        // 248 of 256 need general decoding.
+        assert_eq!(pattern_census(ctx(8)), (2, 6, 248));
+    }
+
+    #[test]
+    fn classify_identifies_specific_patterns() {
+        let c = ctx(4);
+        assert_eq!(
+            classify(ConfigColumn::constant(true, 4), c),
+            PatternClass::Constant { value: true }
+        );
+        // Mask bit c = value in context c: 0b1010 is high in contexts 1
+        // and 3, exactly where S0 = 1.
+        assert_eq!(
+            classify(ConfigColumn::from_mask(0b1010, 4), c),
+            PatternClass::SingleBit {
+                bit: 0,
+                inverted: false
+            }
+        );
+        assert_eq!(
+            classify(ConfigColumn::from_mask(0b0101, 4), c),
+            PatternClass::SingleBit {
+                bit: 0,
+                inverted: true
+            }
+        );
+        assert_eq!(
+            classify(ConfigColumn::from_mask(0b1000, 4), c),
+            PatternClass::General
+        );
+        assert_eq!(
+            classify(ConfigColumn::from_mask(0b0110, 4), c),
+            PatternClass::General
+        );
+    }
+
+    #[test]
+    fn every_pattern_class_consistent_with_reconstruction() {
+        // If classify says SingleBit, reconstructing from the ID bit must
+        // reproduce the column; if Constant, the constant must match.
+        let c = ctx(4);
+        for col in ConfigColumn::enumerate_all(4) {
+            match classify(col, c) {
+                PatternClass::Constant { value } => {
+                    assert_eq!(ConfigColumn::constant(value, 4), col);
+                }
+                PatternClass::SingleBit { bit, inverted } => {
+                    assert_eq!(ConfigColumn::id_bit(c, bit, inverted), col);
+                }
+                PatternClass::General => {
+                    assert!(!col.is_constant());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure_labels() {
+        assert!(PatternClass::General.figure().contains("Fig.5"));
+        assert!(PatternClass::Constant { value: false }
+            .figure()
+            .contains("Fig.3"));
+        assert!(PatternClass::SingleBit {
+            bit: 0,
+            inverted: false
+        }
+        .figure()
+        .contains("Fig.4"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Reconfiguration-time model: exploiting redundancy to speed up context
+//! loading (the paper's reference \[4\], Kennedy FPL'03).
+//!
+//! An MC-FPGA switches between *resident* planes in one cycle, but loading a
+//! new configuration into a plane from outside still costs bandwidth. The
+//! same redundancy the RCM converts into area lets a loader send only the
+//! *delta* against the plane already resident: with <5% of bits changing,
+//! delta reconfiguration is an order of magnitude faster than a full
+//! reload — which is why the paper can assume contexts are swapped in the
+//! background.
+
+use serde::{Deserialize, Serialize};
+
+/// Loader timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigModel {
+    /// Configuration-port width in bits per cycle (full reload streams at
+    /// this rate).
+    pub word_bits: usize,
+    /// Cycles to issue one delta record (address + data word).
+    pub delta_record_cycles: usize,
+    /// Bits covered by one delta record.
+    pub delta_word_bits: usize,
+}
+
+impl Default for ReconfigModel {
+    fn default() -> Self {
+        ReconfigModel {
+            word_bits: 32,
+            delta_record_cycles: 2, // address cycle + data cycle
+            delta_word_bits: 32,
+        }
+    }
+}
+
+/// A planned reconfiguration from one configuration image to another.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReloadPlan {
+    pub total_bits: usize,
+    pub changed_bits: usize,
+    /// Words that contain at least one changed bit (what the delta loader
+    /// must actually send).
+    pub dirty_words: usize,
+    pub total_words: usize,
+    pub full_cycles: usize,
+    pub delta_cycles: usize,
+}
+
+impl ReloadPlan {
+    /// Speedup of delta over full reconfiguration.
+    pub fn speedup(&self) -> f64 {
+        if self.delta_cycles == 0 {
+            f64::INFINITY
+        } else {
+            self.full_cycles as f64 / self.delta_cycles as f64
+        }
+    }
+
+    /// Fraction of bits that changed.
+    pub fn change_fraction(&self) -> f64 {
+        if self.total_bits == 0 {
+            0.0
+        } else {
+            self.changed_bits as f64 / self.total_bits as f64
+        }
+    }
+}
+
+/// Plan the reload of `new` over a resident image `old`.
+pub fn plan_reload(old: &[bool], new: &[bool], model: &ReconfigModel) -> ReloadPlan {
+    assert_eq!(old.len(), new.len(), "images must be the same size");
+    let total_bits = old.len();
+    let changed_bits = old.iter().zip(new).filter(|(a, b)| a != b).count();
+    let w = model.delta_word_bits;
+    let total_words = total_bits.div_ceil(model.word_bits);
+    let dirty_words = old
+        .chunks(w)
+        .zip(new.chunks(w))
+        .filter(|(a, b)| a != b)
+        .count();
+    ReloadPlan {
+        total_bits,
+        changed_bits,
+        dirty_words,
+        total_words,
+        full_cycles: total_words,
+        delta_cycles: dirty_words * model.delta_record_cycles,
+    }
+}
+
+/// Delta-encode: the dirty-word records a loader would stream
+/// (`(word_index, new_word_bits)`).
+pub fn delta_records(
+    old: &[bool],
+    new: &[bool],
+    model: &ReconfigModel,
+) -> Vec<(usize, Vec<bool>)> {
+    assert_eq!(old.len(), new.len());
+    let w = model.delta_word_bits;
+    old.chunks(w)
+        .zip(new.chunks(w))
+        .enumerate()
+        .filter(|(_, (a, b))| a != b)
+        .map(|(i, (_, b))| (i, b.to_vec()))
+        .collect()
+}
+
+/// Apply delta records to a resident image (the loader's other half);
+/// `apply(old, delta_records(old, new)) == new`.
+pub fn apply_records(
+    image: &mut [bool],
+    records: &[(usize, Vec<bool>)],
+    model: &ReconfigModel,
+) {
+    let w = model.delta_word_bits;
+    for (word, bits) in records {
+        let start = word * w;
+        image[start..start + bits.len()].copy_from_slice(bits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_image(n: usize, rng: &mut StdRng) -> Vec<bool> {
+        (0..n).map(|_| rng.gen_bool(0.5)).collect()
+    }
+
+    fn perturbed(image: &[bool], rate: f64, rng: &mut StdRng) -> Vec<bool> {
+        image
+            .iter()
+            .map(|&b| if rng.gen_bool(rate) { !b } else { b })
+            .collect()
+    }
+
+    #[test]
+    fn identical_images_cost_nothing() {
+        let model = ReconfigModel::default();
+        let img = vec![true; 1024];
+        let plan = plan_reload(&img, &img, &model);
+        assert_eq!(plan.changed_bits, 0);
+        assert_eq!(plan.delta_cycles, 0);
+        assert_eq!(plan.speedup(), f64::INFINITY);
+    }
+
+    #[test]
+    fn five_percent_change_gives_large_speedup() {
+        let model = ReconfigModel::default();
+        let mut rng = StdRng::seed_from_u64(8);
+        let old = random_image(32 * 1024, &mut rng);
+        let new = perturbed(&old, 0.05, &mut rng);
+        let plan = plan_reload(&old, &new, &model);
+        assert!((plan.change_fraction() - 0.05).abs() < 0.01);
+        // With 32-bit words and 5% random bit changes most words are dirty
+        // (1 - 0.95^32 ~ 0.80), so the speedup is modest at word level...
+        assert!(plan.speedup() > 0.5);
+        // ...but at the paper's structural redundancy (whole switch columns
+        // unchanged) dirtiness clusters; model that with block-sparse
+        // changes:
+        let mut new_sparse = old.clone();
+        for chunk in new_sparse.chunks_mut(32).step_by(20) {
+            for b in chunk.iter_mut() {
+                *b = !*b;
+            }
+        }
+        let plan = plan_reload(&old, &new_sparse, &model);
+        assert!(
+            plan.speedup() > 8.0,
+            "clustered 5% change speedup {:.1}",
+            plan.speedup()
+        );
+    }
+
+    #[test]
+    fn delta_records_roundtrip() {
+        let model = ReconfigModel::default();
+        let mut rng = StdRng::seed_from_u64(13);
+        let old = random_image(1000, &mut rng);
+        let new = perturbed(&old, 0.1, &mut rng);
+        let records = delta_records(&old, &new, &model);
+        let mut img = old.clone();
+        apply_records(&mut img, &records, &model);
+        assert_eq!(img, new);
+        let plan = plan_reload(&old, &new, &model);
+        assert_eq!(records.len(), plan.dirty_words);
+    }
+
+    #[test]
+    fn full_reload_scales_with_image_size() {
+        let model = ReconfigModel::default();
+        let old = vec![false; 640];
+        let new = vec![true; 640];
+        let plan = plan_reload(&old, &new, &model);
+        assert_eq!(plan.full_cycles, 20);
+        assert_eq!(plan.dirty_words, 20);
+        // All-dirty delta is *slower* than full reload (address overhead) —
+        // the crossover the loader must respect.
+        assert!(plan.delta_cycles > plan.full_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "same size")]
+    fn size_mismatch_panics() {
+        let model = ReconfigModel::default();
+        let _ = plan_reload(&[true], &[true, false], &model);
+    }
+}

@@ -1,0 +1,245 @@
+//! Redundancy and regularity statistics over configuration data (Table 1).
+//!
+//! The paper motivates the RCM with three observations about a switch
+//! block's configuration data:
+//!
+//! 1. many columns never change between contexts (G3, G9 in Table 1);
+//! 2. different switches carry identical columns (G2 = G4);
+//! 3. many columns are *regular*: they equal a context-ID bit (G2 repeats
+//!    `(0, 1)`).
+//!
+//! [`ColumnSetStats`] measures all three on any set of columns, plus the
+//! inter-context change rate the evaluation parameterises at 5%.
+
+use mcfpga_arch::ContextId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::column::ConfigColumn;
+use crate::pattern::{classify, PatternClass};
+
+/// Statistics over a set of configuration columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnSetStats {
+    pub n_columns: usize,
+    /// Columns that never change (Fig. 3 / Table 1's G3, G9).
+    pub n_constant: usize,
+    /// Columns equal to a single context-ID bit (Fig. 4).
+    pub n_single_bit: usize,
+    /// Columns needing general decoding (Fig. 5).
+    pub n_general: usize,
+    /// Columns whose pattern also appears on an earlier column
+    /// (Table 1's G2 = G4 inter-switch redundancy).
+    pub n_duplicate: usize,
+    /// Number of distinct patterns present.
+    pub n_distinct: usize,
+    /// Fraction of (column, transition) pairs where the bit changes between
+    /// consecutive contexts — the paper's "<3%" / assumed-5% statistic.
+    pub change_rate: f64,
+}
+
+impl ColumnSetStats {
+    /// Measure a column set.
+    pub fn measure(columns: &[ConfigColumn], ctx: ContextId) -> Self {
+        let mut n_constant = 0;
+        let mut n_single = 0;
+        let mut n_general = 0;
+        let mut seen: HashMap<u32, usize> = HashMap::new();
+        let mut n_duplicate = 0;
+        let mut changes = 0usize;
+        for col in columns {
+            match classify(*col, ctx) {
+                PatternClass::Constant { .. } => n_constant += 1,
+                PatternClass::SingleBit { .. } => n_single += 1,
+                PatternClass::General => n_general += 1,
+            }
+            *seen.entry(col.mask()).or_insert(0) += 1;
+            changes += col.n_changes();
+        }
+        for count in seen.values() {
+            n_duplicate += count - 1;
+        }
+        let transitions = columns.len() * (ctx.n_contexts() - 1);
+        ColumnSetStats {
+            n_columns: columns.len(),
+            n_constant,
+            n_single_bit: n_single,
+            n_general,
+            n_duplicate,
+            n_distinct: seen.len(),
+            change_rate: if transitions == 0 {
+                0.0
+            } else {
+                changes as f64 / transitions as f64
+            },
+        }
+    }
+
+    /// Fraction of columns that are constant.
+    pub fn constant_fraction(&self) -> f64 {
+        if self.n_columns == 0 {
+            0.0
+        } else {
+            self.n_constant as f64 / self.n_columns as f64
+        }
+    }
+
+    /// Fraction of columns decodable by a single switch element
+    /// (constant or single-ID-bit).
+    pub fn cheap_fraction(&self) -> f64 {
+        if self.n_columns == 0 {
+            0.0
+        } else {
+            (self.n_constant + self.n_single_bit) as f64 / self.n_columns as f64
+        }
+    }
+
+    /// Render a Table 1-style summary.
+    pub fn table_string(&self) -> String {
+        format!(
+            "columns: {}  constant: {} ({:.1}%)  single-bit: {}  general: {}  \
+             duplicates: {}  distinct: {}  change-rate: {:.2}%",
+            self.n_columns,
+            self.n_constant,
+            100.0 * self.constant_fraction(),
+            self.n_single_bit,
+            self.n_general,
+            self.n_duplicate,
+            self.n_distinct,
+            100.0 * self.change_rate
+        )
+    }
+}
+
+/// Generate a random column under the paper's change model: the context-0
+/// value is uniform, and each consecutive context flips the bit with
+/// probability `change_rate` (the evaluation assumes 0.05).
+pub fn random_column(ctx: ContextId, change_rate: f64, rng: &mut impl Rng) -> ConfigColumn {
+    let mut bits = 0u32;
+    let mut cur = rng.gen_bool(0.5);
+    for c in 0..ctx.n_contexts() {
+        if c > 0 && rng.gen_bool(change_rate) {
+            cur = !cur;
+        }
+        if cur {
+            bits |= 1 << c;
+        }
+    }
+    ConfigColumn::from_mask(bits, ctx.n_contexts())
+}
+
+/// Measure the *structural* change rate between two netlist-like bit
+/// vectors: the fraction of positions that differ. Used to check real
+/// circuit pairs against the paper's <3%/5% assumption.
+pub fn measure_change_rate(a: &[bool], b: &[bool]) -> f64 {
+    assert_eq!(a.len(), b.len(), "change rate needs equal-length data");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let diff = a.iter().zip(b).filter(|(x, y)| x != y).count();
+    diff as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx4() -> ContextId {
+        ContextId::new(4).unwrap()
+    }
+
+    /// The paper's Table 1 rows G1, G2, G3, G4, G9, written as the figures
+    /// print them: `(C3, C2, C1, C0)` strings.
+    fn table1_columns() -> Vec<ConfigColumn> {
+        ["1010", "0101", "0000", "0101", "1111"]
+            .iter()
+            .map(|s| ConfigColumn::from_fn(4, |c| s.as_bytes()[3 - c] == b'1'))
+            .collect()
+    }
+
+    #[test]
+    fn table1_stats_show_redundancy_and_regularity() {
+        let cols = table1_columns();
+        let stats = ColumnSetStats::measure(&cols, ctx4());
+        assert_eq!(stats.n_columns, 5);
+        // G3 and G9 are constant.
+        assert_eq!(stats.n_constant, 2);
+        // G1 (=S0), G2 and G4 (=!S0) are single-ID-bit patterns.
+        assert_eq!(stats.n_single_bit, 3);
+        assert_eq!(stats.n_general, 0);
+        // G4 duplicates G2.
+        assert_eq!(stats.n_duplicate, 1);
+        assert_eq!(stats.n_distinct, 4);
+    }
+
+    #[test]
+    fn change_rate_of_constants_is_zero() {
+        let cols = vec![
+            ConfigColumn::constant(true, 4),
+            ConfigColumn::constant(false, 4),
+        ];
+        let stats = ColumnSetStats::measure(&cols, ctx4());
+        assert_eq!(stats.change_rate, 0.0);
+        assert_eq!(stats.constant_fraction(), 1.0);
+        assert_eq!(stats.cheap_fraction(), 1.0);
+    }
+
+    #[test]
+    fn change_rate_of_alternating_pattern_is_one() {
+        // 0101-style pattern changes at every transition.
+        let col = ConfigColumn::id_bit(ctx4(), 0, false);
+        let stats = ColumnSetStats::measure(&[col], ctx4());
+        assert_eq!(stats.change_rate, 1.0);
+    }
+
+    #[test]
+    fn random_columns_approach_requested_change_rate() {
+        let ctx = ctx4();
+        let mut rng = StdRng::seed_from_u64(17);
+        let cols: Vec<ConfigColumn> = (0..20_000)
+            .map(|_| random_column(ctx, 0.05, &mut rng))
+            .collect();
+        let stats = ColumnSetStats::measure(&cols, ctx);
+        assert!(
+            (stats.change_rate - 0.05).abs() < 0.01,
+            "measured {:.4}",
+            stats.change_rate
+        );
+        // With 5% change, the vast majority of columns are constant:
+        // (1 - 0.05)^3 ~= 0.857.
+        assert!(
+            (stats.constant_fraction() - 0.857).abs() < 0.02,
+            "constant fraction {:.4}",
+            stats.constant_fraction()
+        );
+    }
+
+    #[test]
+    fn zero_change_rate_yields_only_constants() {
+        let ctx = ctx4();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert!(random_column(ctx, 0.0, &mut rng).is_constant());
+        }
+    }
+
+    #[test]
+    fn measure_change_rate_counts_positions() {
+        let a = [true, false, true, true];
+        let b = [true, true, true, false];
+        assert_eq!(measure_change_rate(&a, &b), 0.5);
+        assert_eq!(measure_change_rate(&a, &a), 0.0);
+        assert_eq!(measure_change_rate(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn table_string_is_informative() {
+        let cols = table1_columns();
+        let s = ColumnSetStats::measure(&cols, ctx4()).table_string();
+        assert!(s.contains("columns: 5"));
+        assert!(s.contains("duplicates: 1"));
+    }
+}

@@ -1,0 +1,131 @@
+//! High-level flow helpers: measured (rather than analytic) area
+//! comparisons and the one-call Section 5 evaluation.
+
+use mcfpga_arch::ArchSpec;
+use mcfpga_area::{
+    area_comparison, conventional_lb_area, conventional_switch_area, proposed_lb_area,
+    rcm_column_area, AreaComparison, AreaParams, FabricWeights, LbWorkload, Technology,
+};
+use mcfpga_rcm::synthesize;
+use mcfpga_sim::Device;
+
+/// Area comparison driven by a *compiled device's measured* statistics —
+/// actual switch columns from routing and actual plane demand from
+/// cross-context sharing — instead of the analytic change-rate model.
+pub fn measured_area_comparison(
+    device: &Device,
+    tech: Technology,
+    params: &AreaParams,
+    weights: &FabricWeights,
+) -> AreaComparison {
+    let arch = device.arch();
+    let ctx = arch.context_id();
+    let n = ctx.n_contexts();
+
+    // Switch side: mean measured column area over the routed design.
+    let columns = device.switch_usage().columns();
+    let mean_col_area = if columns.is_empty() {
+        0.0
+    } else {
+        columns
+            .iter()
+            .map(|c| rcm_column_area(&synthesize(*c, ctx).cost(), tech, params))
+            .sum::<f64>()
+            / columns.len() as f64
+    };
+    let conv_switch = conventional_switch_area(n, params) * weights.switches_per_cell;
+    let prop_switch = mean_col_area * weights.switches_per_cell;
+
+    // Logic side: measured plane demand and controller cost.
+    let shared = device.shared_design();
+    let report = device.report();
+    let n_lbs = report.n_lbs.max(1) as f64;
+    let lb_workload = LbWorkload {
+        mean_planes: shared.mean_planes(),
+        mean_controller_ses: report.controller_ses as f64 / n_lbs,
+    };
+    let conv_lb = conventional_lb_area(&arch.lut, n, params);
+    let prop_lb = proposed_lb_area(&arch.lut, &lb_workload, tech, params);
+
+    let conventional_cell = conv_switch + conv_lb;
+    let proposed_cell = prop_switch + prop_lb;
+    AreaComparison {
+        n_contexts: n,
+        change_rate: report.switch_stats.change_rate,
+        conventional_cell,
+        proposed_cell,
+        ratio: proposed_cell / conventional_cell,
+        conventional_switches: conv_switch,
+        proposed_switches: prop_switch,
+        conventional_lb: conv_lb,
+        proposed_lb: prop_lb,
+    }
+}
+
+/// The paper's Section 5 evaluation in one call: 4 contexts, 6-input
+/// 2-output MCMG-LUTs, 5% configuration change.
+#[derive(Debug, Clone)]
+pub struct PaperEvaluation {
+    pub cmos: AreaComparison,
+    pub fepg: AreaComparison,
+}
+
+/// Evaluate the paper's headline point (expected: CMOS ≈ 45%, FePG ≈ 37%).
+pub fn evaluate_paper_point() -> PaperEvaluation {
+    let arch = ArchSpec::paper_default();
+    let params = AreaParams::paper_default();
+    let weights = FabricWeights::default();
+    PaperEvaluation {
+        cmos: area_comparison(&arch, 0.05, Technology::Cmos, &params, &weights),
+        fepg: area_comparison(&arch, 0.05, Technology::Fepg, &params, &weights),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfpga_netlist::{workload, RandomNetlistParams};
+
+    #[test]
+    fn paper_point_reproduces_the_headline_shape() {
+        let eval = evaluate_paper_point();
+        assert!(eval.cmos.ratio < 1.0);
+        assert!(eval.fepg.ratio < eval.cmos.ratio);
+        assert!(
+            (eval.cmos.ratio - 0.45).abs() < 0.10,
+            "CMOS {:.3} vs paper 0.45",
+            eval.cmos.ratio
+        );
+        assert!(
+            (eval.fepg.ratio - 0.37).abs() < 0.10,
+            "FePG {:.3} vs paper 0.37",
+            eval.fepg.ratio
+        );
+    }
+
+    #[test]
+    fn measured_comparison_tracks_the_analytic_model() {
+        let arch = ArchSpec::paper_default();
+        let w = workload(
+            RandomNetlistParams {
+                n_inputs: 8,
+                n_gates: 60,
+                n_outputs: 6,
+                dff_fraction: 0.0,
+            },
+            4,
+            0.05,
+            42,
+        );
+        let device = Device::compile(&arch, &w).unwrap();
+        let params = AreaParams::paper_default();
+        let weights = FabricWeights::default();
+        let measured = measured_area_comparison(&device, Technology::Cmos, &params, &weights);
+        assert!(measured.ratio < 1.0);
+        // Structure-preserving workloads route identically in every
+        // context, so measured switch columns are all constant — the
+        // measured ratio sits below the analytic 5% point.
+        let analytic = area_comparison(&arch, 0.05, Technology::Cmos, &params, &weights);
+        assert!(measured.ratio <= analytic.ratio + 0.05);
+    }
+}

@@ -1,0 +1,22 @@
+//! Multi-context multi-granularity LUTs and the adaptive logic block.
+//!
+//! An MCMG-LUT (Fig. 12) owns a fixed pool of memory bits that can be
+//! organised as a small LUT with many configuration planes or a large LUT
+//! with few: the 64-bit pool of the paper's example is a 4-input LUT with
+//! four planes or a 5-input LUT with two. A *configuration plane* is the
+//! group of bits selected under one context-ID state; shrinking the plane
+//! count converts plane-select address lines into data inputs.
+//!
+//! The *adaptive* logic block (Fig. 14) gives every LUT a local size
+//! controller — itself synthesised from RCM switch elements — so that logic
+//! shared between contexts is stored once, in a single plane, instead of
+//! being duplicated per context as a globally controlled design must
+//! (Fig. 13).
+
+pub mod logic_block;
+pub mod mcmg;
+pub mod size_control;
+
+pub use logic_block::AdaptiveLogicBlock;
+pub use mcmg::{McmgLut, TruthTable};
+pub use size_control::{LocalSizeController, SizeControl};

@@ -1,0 +1,223 @@
+//! The adaptive multi-context logic block: an MCMG-LUT, its size
+//! controller, and per-output flip-flops.
+//!
+//! This is the functional model of one cell's logic half: given the active
+//! context and the block's input pins, it produces the block's outputs,
+//! optionally registered. Sequential state lives *outside* the
+//! configuration planes — a context switch changes the logic but the
+//! flip-flops carry their values across, which is what lets multi-context
+//! designs pipeline data between contexts (the paper's DPGA heritage).
+
+use mcfpga_arch::{ArchError, ContextId, LutGeometry, LutMode};
+use serde::{Deserialize, Serialize};
+
+use crate::mcmg::{McmgLut, TruthTable};
+use crate::size_control::SizeControl;
+
+/// One logic block of the fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveLogicBlock {
+    lut: McmgLut,
+    control: SizeControl,
+    /// Per output: route through the flip-flop instead of combinationally.
+    registered: Vec<bool>,
+    /// Per output: current flip-flop value.
+    ff_state: Vec<bool>,
+}
+
+impl AdaptiveLogicBlock {
+    pub fn new(
+        geometry: LutGeometry,
+        mode: LutMode,
+        control: SizeControl,
+    ) -> Result<Self, ArchError> {
+        let lut = McmgLut::new(geometry, mode)?;
+        let outs = geometry.outputs;
+        Ok(AdaptiveLogicBlock {
+            lut,
+            control,
+            registered: vec![false; outs],
+            ff_state: vec![false; outs],
+        })
+    }
+
+    pub fn lut(&self) -> &McmgLut {
+        &self.lut
+    }
+
+    /// Mutable LUT access (fault injection and repair experiments).
+    pub fn lut_mut(&mut self) -> &mut McmgLut {
+        &mut self.lut
+    }
+
+    pub fn control(&self) -> &SizeControl {
+        &self.control
+    }
+
+    pub fn mode(&self) -> LutMode {
+        self.lut.mode()
+    }
+
+    /// Program one plane of one output.
+    pub fn program(&mut self, output: usize, plane: usize, table: &TruthTable) {
+        self.lut.set_plane(output, plane, table);
+    }
+
+    /// Choose registered/combinational per output.
+    pub fn set_registered(&mut self, output: usize, registered: bool) {
+        self.registered[output] = registered;
+    }
+
+    pub fn is_registered(&self, output: usize) -> bool {
+        self.registered[output]
+    }
+
+    /// Reset all flip-flops.
+    pub fn reset(&mut self) {
+        self.ff_state.iter_mut().for_each(|b| *b = false);
+    }
+
+    /// Current flip-flop values (exposed for state save/restore tests).
+    pub fn ff_state(&self) -> &[bool] {
+        &self.ff_state
+    }
+
+    /// Combinational outputs for the active context, *without* clocking.
+    pub fn outputs(&self, ctx: ContextId, context: usize, inputs: &[bool]) -> Vec<bool> {
+        let plane = self.control.plane(ctx, context, self.lut.mode());
+        (0..self.lut.geometry().outputs)
+            .map(|o| {
+                if self.registered[o] {
+                    self.ff_state[o]
+                } else {
+                    self.lut.eval(o, plane, inputs)
+                }
+            })
+            .collect()
+    }
+
+    /// One clock edge: capture every registered output's LUT value.
+    pub fn clock(&mut self, ctx: ContextId, context: usize, inputs: &[bool]) {
+        let plane = self.control.plane(ctx, context, self.lut.mode());
+        for o in 0..self.lut.geometry().outputs {
+            if self.registered[o] {
+                self.ff_state[o] = self.lut.eval(o, plane, inputs);
+            }
+        }
+    }
+
+    /// RCM switch elements consumed by this block's size controller.
+    pub fn controller_se_cost(&self) -> usize {
+        self.control.se_cost()
+    }
+
+    /// Flip one LUT memory bit (fault injection): plane-local address
+    /// `assignment` of `plane` of `output`.
+    pub fn flip_lut_bit(&mut self, output: usize, plane: usize, assignment: usize) {
+        let k = 1usize << self.lut.mode().inputs;
+        assert!(plane < self.lut.mode().planes, "plane out of range");
+        assert!(assignment < k, "assignment out of range");
+        self.lut.flip_bit(output, plane * k + assignment);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::size_control::LocalSizeController;
+
+    fn ctx4() -> ContextId {
+        ContextId::new(4).unwrap()
+    }
+
+    fn geo() -> LutGeometry {
+        LutGeometry::paper_default()
+    }
+
+    #[test]
+    fn combinational_outputs_follow_the_active_plane() {
+        let ctx = ctx4();
+        let g = geo();
+        let mode = g.mode_with_planes(4).unwrap();
+        let mut lb = AdaptiveLogicBlock::new(g, mode, SizeControl::Global).unwrap();
+        // Plane p of output 0 computes parity XOR (p odd).
+        for p in 0..4 {
+            let t = TruthTable::from_fn(4, move |a| ((a.count_ones() as usize) + p) % 2 == 1);
+            lb.program(0, p, &t);
+        }
+        let inputs = [true, false, false, false]; // parity 1
+        for context in 0..4 {
+            let out = lb.outputs(ctx, context, &inputs);
+            let expect = (1 + context) % 2 == 1;
+            assert_eq!(out[0], expect, "context {context}");
+        }
+    }
+
+    #[test]
+    fn registered_outputs_hold_across_context_switches() {
+        let ctx = ctx4();
+        let g = geo();
+        let mode = g.mode_with_planes(2).unwrap(); // 5-input, 2 planes
+        let mut lb = AdaptiveLogicBlock::new(g, mode, SizeControl::Global).unwrap();
+        // Output 0 (registered) = input 0 passthrough in both planes.
+        let t = TruthTable::from_fn(5, |a| a & 1 == 1);
+        lb.program(0, 0, &t);
+        lb.program(0, 1, &t);
+        lb.set_registered(0, true);
+
+        // Clock in a 1 while context 0 is active.
+        lb.clock(ctx, 0, &[true, false, false, false, false]);
+        // Switch to context 3: the FF value must survive.
+        let out = lb.outputs(ctx, 3, &[false; 5]);
+        assert!(out[0], "FF state crosses context switches");
+        // Clock a 0 in context 3; value updates.
+        lb.clock(ctx, 3, &[false; 5]);
+        assert!(!lb.outputs(ctx, 0, &[false; 5])[0]);
+    }
+
+    #[test]
+    fn local_control_shares_a_plane_between_contexts() {
+        // Fig. 14: contexts 0 and 1 share plane 0 (the merged O5 node).
+        let ctx = ctx4();
+        let g = geo();
+        let mode = g.mode_with_planes(2).unwrap();
+        let controller = LocalSizeController::new(ctx, &[0, 0, 1, 1], mode);
+        let mut lb =
+            AdaptiveLogicBlock::new(g, mode, SizeControl::Local(controller)).unwrap();
+        let shared = TruthTable::from_fn(5, |a| a == 0b11);
+        let other = TruthTable::from_fn(5, |a| a == 0b100);
+        lb.program(0, 0, &shared);
+        lb.program(0, 1, &other);
+        let hit = [true, true, false, false, false];
+        assert!(lb.outputs(ctx, 0, &hit)[0]);
+        assert!(lb.outputs(ctx, 1, &hit)[0], "context 1 shares plane 0");
+        assert!(!lb.outputs(ctx, 2, &hit)[0], "context 2 uses plane 1");
+        assert!(lb.controller_se_cost() > 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let ctx = ctx4();
+        let g = geo();
+        let mode = g.mode_with_planes(1).unwrap();
+        let mut lb = AdaptiveLogicBlock::new(g, mode, SizeControl::Global).unwrap();
+        lb.program(0, 0, &TruthTable::from_fn(6, |_| true));
+        lb.set_registered(0, true);
+        lb.clock(ctx, 0, &[false; 6]);
+        assert!(lb.ff_state()[0]);
+        lb.reset();
+        assert!(!lb.ff_state()[0]);
+    }
+
+    #[test]
+    fn second_output_is_independent() {
+        let ctx = ctx4();
+        let g = geo();
+        let mode = g.mode_with_planes(1).unwrap();
+        let mut lb = AdaptiveLogicBlock::new(g, mode, SizeControl::Global).unwrap();
+        lb.program(0, 0, &TruthTable::from_fn(6, |a| a & 1 == 1));
+        lb.program(1, 0, &TruthTable::from_fn(6, |a| a & 1 == 0));
+        let out = lb.outputs(ctx, 0, &[true, false, false, false, false, false]);
+        assert_eq!(out, vec![true, false]);
+    }
+}

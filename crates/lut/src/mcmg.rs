@@ -1,0 +1,266 @@
+//! The multi-context multi-granularity LUT of Fig. 12.
+
+use mcfpga_arch::{ArchError, LutGeometry, LutMode};
+use serde::{Deserialize, Serialize};
+
+/// A k-input truth table, bit `i` = output for input assignment `i`
+/// (input 0 is the least-significant address bit).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TruthTable {
+    inputs: usize,
+    bits: Vec<bool>,
+}
+
+impl TruthTable {
+    pub fn new(inputs: usize, bits: Vec<bool>) -> Self {
+        assert_eq!(bits.len(), 1 << inputs, "truth table size mismatch");
+        TruthTable { inputs, bits }
+    }
+
+    /// All-zero table.
+    pub fn zero(inputs: usize) -> Self {
+        TruthTable {
+            inputs,
+            bits: vec![false; 1 << inputs],
+        }
+    }
+
+    /// Build from a function of the input assignment.
+    pub fn from_fn(inputs: usize, f: impl FnMut(usize) -> bool) -> Self {
+        TruthTable {
+            inputs,
+            bits: (0..1usize << inputs).map(f).collect(),
+        }
+    }
+
+    /// Build from packed `u64` words (LSB = assignment 0), the mapper's
+    /// native format for k <= 6.
+    pub fn from_packed(inputs: usize, packed: u64) -> Self {
+        assert!(inputs <= 6, "packed form covers k <= 6");
+        Self::from_fn(inputs, |a| (packed >> a) & 1 == 1)
+    }
+
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    #[inline]
+    pub fn eval(&self, assignment: usize) -> bool {
+        self.bits[assignment]
+    }
+
+    /// Evaluate against a slice of input values (LSB first; missing inputs
+    /// read as 0, extra inputs are ignored — matching unconnected LUT pins
+    /// tied low).
+    pub fn eval_bits(&self, inputs: &[bool]) -> bool {
+        let mut a = 0usize;
+        for (i, &b) in inputs.iter().take(self.inputs).enumerate() {
+            if b {
+                a |= 1 << i;
+            }
+        }
+        self.bits[a]
+    }
+
+    /// Widen to `inputs` inputs; the new (higher) inputs are don't-cares.
+    pub fn widened(&self, inputs: usize) -> TruthTable {
+        assert!(inputs >= self.inputs);
+        let mask = (1usize << self.inputs) - 1;
+        TruthTable::from_fn(inputs, |a| self.bits[a & mask])
+    }
+
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+}
+
+/// An MCMG-LUT: the bit pool of one logic-block output, organised under a
+/// granularity mode.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct McmgLut {
+    geometry: LutGeometry,
+    mode: LutMode,
+    /// `memory[output]` is the full bit pool of that output; under mode
+    /// `(k, p)` the pool is read as `p` planes of `2^k` bits, plane-major.
+    memory: Vec<Vec<bool>>,
+}
+
+impl McmgLut {
+    /// Create a zero-initialised LUT in the given mode.
+    pub fn new(geometry: LutGeometry, mode: LutMode) -> Result<Self, ArchError> {
+        geometry.validate()?;
+        geometry.check_mode(mode)?;
+        Ok(McmgLut {
+            geometry,
+            mode,
+            memory: vec![vec![false; geometry.pool_bits()]; geometry.outputs],
+        })
+    }
+
+    pub fn geometry(&self) -> LutGeometry {
+        self.geometry
+    }
+
+    pub fn mode(&self) -> LutMode {
+        self.mode
+    }
+
+    /// Reorganise the pool under a different mode. The raw bits are kept —
+    /// this mirrors the hardware, where the mode only re-routes address
+    /// lines (Fig. 12's size controller) and the memory itself is untouched.
+    pub fn set_mode(&mut self, mode: LutMode) -> Result<(), ArchError> {
+        self.geometry.check_mode(mode)?;
+        self.mode = mode;
+        Ok(())
+    }
+
+    /// Program one plane of one output.
+    pub fn set_plane(&mut self, output: usize, plane: usize, table: &TruthTable) {
+        assert!(output < self.geometry.outputs, "output {output} out of range");
+        assert!(plane < self.mode.planes, "plane {plane} out of range");
+        assert_eq!(
+            table.inputs(),
+            self.mode.inputs,
+            "table width must match the mode"
+        );
+        let k = 1usize << self.mode.inputs;
+        let base = plane * k;
+        self.memory[output][base..base + k].copy_from_slice(table.bits());
+    }
+
+    /// Read one plane back as a truth table.
+    pub fn plane(&self, output: usize, plane: usize) -> TruthTable {
+        let k = 1usize << self.mode.inputs;
+        let base = plane * k;
+        TruthTable::new(
+            self.mode.inputs,
+            self.memory[output][base..base + k].to_vec(),
+        )
+    }
+
+    /// Evaluate an output under an active plane.
+    pub fn eval(&self, output: usize, plane: usize, inputs: &[bool]) -> bool {
+        assert!(plane < self.mode.planes, "plane {plane} out of range");
+        let mut a = 0usize;
+        for (i, &b) in inputs.iter().take(self.mode.inputs).enumerate() {
+            if b {
+                a |= 1 << i;
+            }
+        }
+        let k = 1usize << self.mode.inputs;
+        self.memory[output][plane * k + a]
+    }
+
+    /// Total memory bits (constant across modes — the Fig. 12 invariant).
+    pub fn total_bits(&self) -> usize {
+        self.geometry.outputs * self.geometry.pool_bits()
+    }
+
+    /// Flip one raw memory bit (fault injection / SEU modelling). `addr`
+    /// indexes the pool of `output`, i.e. `plane * 2^k + assignment` under
+    /// the current mode.
+    pub fn flip_bit(&mut self, output: usize, addr: usize) {
+        let bit = &mut self.memory[output][addr];
+        *bit = !*bit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo() -> LutGeometry {
+        LutGeometry::paper_default()
+    }
+
+    #[test]
+    fn truth_table_eval() {
+        let t = TruthTable::from_fn(2, |a| a == 3); // AND
+        assert!(!t.eval_bits(&[true, false]));
+        assert!(t.eval_bits(&[true, true]));
+        assert_eq!(t.inputs(), 2);
+        let packed = TruthTable::from_packed(2, 0b1000);
+        assert_eq!(t, packed);
+    }
+
+    #[test]
+    fn truth_table_widening_ignores_new_inputs() {
+        let t = TruthTable::from_fn(2, |a| a & 1 == 1).widened(4);
+        assert_eq!(t.inputs(), 4);
+        for hi in 0..4 {
+            assert!(t.eval(0b0001 | hi << 2));
+            assert!(!t.eval(0b0010 | hi << 2));
+        }
+    }
+
+    #[test]
+    fn mcmg_modes_share_one_bit_pool() {
+        let g = geo();
+        for mode in g.modes() {
+            let lut = McmgLut::new(g, mode).unwrap();
+            assert_eq!(lut.total_bits(), 2 * 64, "Fig. 12 invariant for {mode}");
+        }
+    }
+
+    #[test]
+    fn plane_programming_and_eval() {
+        let g = geo();
+        let mode = g.mode_with_planes(4).unwrap(); // 4-input, 4 planes
+        let mut lut = McmgLut::new(g, mode).unwrap();
+        // Plane p computes "input pattern == p".
+        for p in 0..4 {
+            let t = TruthTable::from_fn(4, |a| a == p);
+            lut.set_plane(0, p, &t);
+            assert_eq!(lut.plane(0, p), t);
+        }
+        for p in 0..4 {
+            let inputs: Vec<bool> = (0..4).map(|i| (p >> i) & 1 == 1).collect();
+            assert!(lut.eval(0, p, &inputs), "plane {p} detects its index");
+            assert!(!lut.eval(0, p, &[true, true, true, true]) || p == 15);
+        }
+    }
+
+    #[test]
+    fn outputs_are_independent() {
+        let g = geo();
+        let mode = g.mode_with_planes(1).unwrap(); // 6-input single plane
+        let mut lut = McmgLut::new(g, mode).unwrap();
+        lut.set_plane(0, 0, &TruthTable::from_fn(6, |a| a & 1 == 1));
+        lut.set_plane(1, 0, &TruthTable::from_fn(6, |a| a & 2 == 2));
+        assert!(lut.eval(0, 0, &[true, false]));
+        assert!(!lut.eval(1, 0, &[true, false]));
+        assert!(lut.eval(1, 0, &[false, true]));
+    }
+
+    #[test]
+    fn mode_change_preserves_memory() {
+        // Fig. 12: the same 64 bits read as 4x16 or 2x32.
+        let g = geo();
+        let mut lut = McmgLut::new(g, g.mode_with_planes(4).unwrap()).unwrap();
+        let t = TruthTable::from_fn(4, |a| a % 3 == 0);
+        lut.set_plane(0, 1, &t);
+        lut.set_mode(g.mode_with_planes(2).unwrap()).unwrap();
+        // Old plane 1 (bits 16..32) is now the upper half of new plane 0:
+        // with 5 inputs, addresses 16..32 have input 4 high.
+        for a in 0..16usize {
+            let inputs: Vec<bool> = (0..5).map(|i| ((a | 16) >> i) & 1 == 1).collect();
+            assert_eq!(lut.eval(0, 0, &inputs), t.eval(a), "address {a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "plane 2 out of range")]
+    fn plane_bounds_are_checked() {
+        let g = geo();
+        let lut = McmgLut::new(g, g.mode_with_planes(2).unwrap()).unwrap();
+        let _ = lut.eval(0, 2, &[false; 5]);
+    }
+
+    #[test]
+    fn rejects_foreign_modes() {
+        let g = geo();
+        assert!(McmgLut::new(g, LutMode { inputs: 3, planes: 8 }).is_err());
+        let mut lut = McmgLut::new(g, g.mode_with_planes(1).unwrap()).unwrap();
+        assert!(lut.set_mode(LutMode { inputs: 7, planes: 1 }).is_err());
+    }
+}

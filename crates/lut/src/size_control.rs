@@ -1,0 +1,200 @@
+//! Size control for MCMG-LUTs: global (Fig. 13) vs local (Fig. 14).
+//!
+//! Under *global* control one signal programs every logic block identically:
+//! each LUT keeps one plane per context (plane = low context-ID bits), so a
+//! function shared by several contexts is stored redundantly in each of
+//! their planes.
+//!
+//! Under *local* control each logic block owns a programmable size
+//! controller mapping the active context to a plane. Contexts that share a
+//! function map to the *same* plane, and the freed planes either hold other
+//! functions or convert into extra LUT inputs. The controller is not
+//! dedicated hardware: the paper builds it from the block's RCM, so its
+//! cost is counted in switch elements — each plane-select bit, viewed as a
+//! function of the context, is exactly a configuration column and is
+//! synthesised with the same decoder machinery.
+
+use mcfpga_arch::{ContextId, LutMode};
+use mcfpga_config::ConfigColumn;
+use mcfpga_rcm::{synthesize, DecoderProgram};
+use serde::{Deserialize, Serialize};
+
+/// How a logic block derives the active plane from the context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SizeControl {
+    /// Plane = low bits of the context ID (one plane per context modulo the
+    /// plane count). Free, but cannot merge shared logic.
+    Global,
+    /// Per-block programmable context -> plane map, decoded by RCM.
+    Local(LocalSizeController),
+}
+
+impl SizeControl {
+    /// The active plane for `context` under mode `mode`.
+    pub fn plane(&self, ctx: ContextId, context: usize, mode: LutMode) -> usize {
+        match self {
+            SizeControl::Global => {
+                if mode.planes == 0 {
+                    0
+                } else {
+                    context % mode.planes
+                }
+            }
+            SizeControl::Local(c) => c.plane(ctx, context),
+        }
+    }
+
+    /// Switch elements consumed by the controller (0 for global).
+    pub fn se_cost(&self) -> usize {
+        match self {
+            SizeControl::Global => 0,
+            SizeControl::Local(c) => c.se_cost(),
+        }
+    }
+}
+
+/// A local size controller: one decoded column per plane-select bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalSizeController {
+    plane_of_context: Vec<usize>,
+    select_bits: Vec<DecoderProgram>,
+}
+
+impl LocalSizeController {
+    /// Build a controller realising `plane_of_context` (indexed by context).
+    /// Each bit of the plane index, as a function of the context, becomes a
+    /// configuration column synthesised into an RCM decoder.
+    pub fn new(ctx: ContextId, plane_of_context: &[usize], mode: LutMode) -> Self {
+        assert_eq!(
+            plane_of_context.len(),
+            ctx.n_contexts(),
+            "one plane per context"
+        );
+        for &p in plane_of_context {
+            assert!(p < mode.planes, "plane {p} exceeds mode {mode}");
+        }
+        let n_bits = mode.plane_select_bits();
+        let select_bits = (0..n_bits)
+            .map(|b| {
+                let col = ConfigColumn::from_fn(ctx.n_contexts(), |c| {
+                    (plane_of_context[c] >> b) & 1 == 1
+                });
+                synthesize(col, ctx)
+            })
+            .collect();
+        LocalSizeController {
+            plane_of_context: plane_of_context.to_vec(),
+            select_bits,
+        }
+    }
+
+    /// The plane chosen in `context`, evaluated through the *decoders* (so
+    /// tests exercise the lowered hardware, not just the stored map).
+    pub fn plane(&self, ctx: ContextId, context: usize) -> usize {
+        let mut plane = 0usize;
+        for (b, prog) in self.select_bits.iter().enumerate() {
+            if prog.eval(ctx, context) {
+                plane |= 1 << b;
+            }
+        }
+        debug_assert_eq!(plane, self.plane_of_context[context]);
+        plane
+    }
+
+    /// RCM switch elements consumed.
+    pub fn se_cost(&self) -> usize {
+        self.select_bits
+            .iter()
+            .map(|p| p.netlist.n_ses())
+            .sum()
+    }
+
+    /// Number of distinct planes actually used.
+    pub fn planes_used(&self) -> usize {
+        let mut seen: Vec<usize> = self.plane_of_context.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx4() -> ContextId {
+        ContextId::new(4).unwrap()
+    }
+
+    #[test]
+    fn global_control_uses_low_id_bits() {
+        let ctx = ctx4();
+        let m4 = LutMode { inputs: 4, planes: 4 };
+        let m2 = LutMode { inputs: 5, planes: 2 };
+        let m1 = LutMode { inputs: 6, planes: 1 };
+        for c in 0..4 {
+            assert_eq!(SizeControl::Global.plane(ctx, c, m4), c);
+            assert_eq!(SizeControl::Global.plane(ctx, c, m2), c % 2);
+            assert_eq!(SizeControl::Global.plane(ctx, c, m1), 0);
+        }
+        assert_eq!(SizeControl::Global.se_cost(), 0);
+    }
+
+    #[test]
+    fn local_control_realises_arbitrary_maps() {
+        let ctx = ctx4();
+        let mode = LutMode { inputs: 4, planes: 4 };
+        // Contexts 0 and 3 share plane 0; 1 -> 2; 2 -> 1.
+        let map = [0usize, 2, 1, 0];
+        let c = LocalSizeController::new(ctx, &map, mode);
+        for (context, &want) in map.iter().enumerate() {
+            assert_eq!(c.plane(ctx, context), want);
+        }
+        assert_eq!(c.planes_used(), 3);
+    }
+
+    #[test]
+    fn shared_plane_controller_is_cheap() {
+        // Fig. 14's LUT2: one plane for all contexts. Both select bits are
+        // constant-0 columns -> 1 SE each.
+        let ctx = ctx4();
+        let mode = LutMode { inputs: 4, planes: 4 };
+        let c = LocalSizeController::new(ctx, &[0, 0, 0, 0], mode);
+        assert_eq!(c.se_cost(), 2, "two constant select bits");
+        assert_eq!(c.planes_used(), 1);
+        // A single-plane mode needs no select bits at all.
+        let m1 = LutMode { inputs: 6, planes: 1 };
+        let c1 = LocalSizeController::new(ctx, &[0, 0, 0, 0], m1);
+        assert_eq!(c1.se_cost(), 0);
+    }
+
+    #[test]
+    fn identity_map_costs_like_id_bits() {
+        // plane = context: select bit b = S_b, each 1 SE.
+        let ctx = ctx4();
+        let mode = LutMode { inputs: 4, planes: 4 };
+        let c = LocalSizeController::new(ctx, &[0, 1, 2, 3], mode);
+        assert_eq!(c.se_cost(), 2);
+        for context in 0..4 {
+            assert_eq!(c.plane(ctx, context), context);
+        }
+    }
+
+    #[test]
+    fn irregular_map_needs_general_decoders() {
+        // plane sequence 0,1,1,0 on bit 0 is the XOR pattern -> 4 SEs.
+        let ctx = ctx4();
+        let mode = LutMode { inputs: 5, planes: 2 };
+        let c = LocalSizeController::new(ctx, &[0, 1, 1, 0], mode);
+        assert_eq!(c.se_cost(), 4);
+        assert_eq!(c.plane(ctx, 2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds mode")]
+    fn plane_bounds_checked() {
+        let ctx = ctx4();
+        let mode = LutMode { inputs: 5, planes: 2 };
+        let _ = LocalSizeController::new(ctx, &[0, 1, 2, 0], mode);
+    }
+}

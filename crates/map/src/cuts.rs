@@ -1,0 +1,360 @@
+//! Priority-cut enumeration and cone truth-table computation.
+//!
+//! A *cut* of node `v` is a set of nodes (leaves) such that every path from
+//! the primary inputs/registers to `v` crosses a leaf; a cut with at most
+//! `k` leaves can be implemented by one k-input LUT computing the cone
+//! function. We enumerate bounded sets of cuts per node in topological
+//! order (the classic priority-cuts scheme) and keep the best few by
+//! (depth, size).
+
+use mcfpga_netlist::{Gate, Netlist, NodeId};
+
+/// Maximum cuts retained per node.
+const CUT_LIMIT: usize = 8;
+
+/// A cut: sorted leaf list plus bookkeeping for covering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut {
+    /// Sorted, deduplicated leaves.
+    pub leaves: Vec<NodeId>,
+    /// Mapping depth if this cut is chosen (max leaf depth + 1).
+    pub depth: usize,
+}
+
+impl Cut {
+    fn trivial(node: NodeId, depth: usize) -> Self {
+        Cut {
+            leaves: vec![node],
+            depth,
+        }
+    }
+
+    fn merge(a: &Cut, b: &Cut, k: usize) -> Option<Vec<NodeId>> {
+        let mut leaves = Vec::with_capacity(a.leaves.len() + b.leaves.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.leaves.len() || j < b.leaves.len() {
+            let next = match (a.leaves.get(i), b.leaves.get(j)) {
+                (Some(&x), Some(&y)) => {
+                    if x < y {
+                        i += 1;
+                        x
+                    } else if y < x {
+                        j += 1;
+                        y
+                    } else {
+                        i += 1;
+                        j += 1;
+                        x
+                    }
+                }
+                (Some(&x), None) => {
+                    i += 1;
+                    x
+                }
+                (None, Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (None, None) => break,
+            };
+            leaves.push(next);
+            if leaves.len() > k {
+                return None;
+            }
+        }
+        Some(leaves)
+    }
+}
+
+/// Whether a node is a mapping *source*: its value is available without a
+/// LUT (primary input, register output, constant).
+pub fn is_source(netlist: &Netlist, node: NodeId) -> bool {
+    matches!(
+        netlist.gate(node),
+        Gate::Input(_) | Gate::Dff { .. } | Gate::Const(_)
+    )
+}
+
+/// Per-node cut sets for a netlist at LUT size `k`.
+pub struct CutSet {
+    /// `cuts[node]` — each node's retained cuts, best first.
+    pub cuts: Vec<Vec<Cut>>,
+    /// Chosen (best) mapping depth per node.
+    pub depth: Vec<usize>,
+}
+
+/// Enumerate priority cuts for every node.
+pub fn enumerate(netlist: &Netlist, k: usize) -> CutSet {
+    assert!((2..=6).contains(&k), "LUT size {k} out of supported range");
+    let n = netlist.n_gates();
+    let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); n];
+    let mut depth = vec![0usize; n];
+    let order = netlist.topo_order().expect("valid netlist");
+    for id in order {
+        let gate = netlist.gate(id);
+        if is_source(netlist, id) {
+            depth[id.index()] = 0;
+            cuts[id.index()] = vec![Cut::trivial(id, 0)];
+            continue;
+        }
+        let fanins = gate.fanins();
+        // Merge fan-in cut sets pairwise; a cut's depth is recomputed from
+        // its leaves' chosen mapping depths (not from the fan-in cuts —
+        // expanding through a fan-in absorbs it into this LUT's cone).
+        let mut merged: Vec<Vec<NodeId>> = vec![Vec::new()];
+        for f in &fanins {
+            let mut next: Vec<Vec<NodeId>> = Vec::new();
+            for m in &merged {
+                let m_cut = Cut {
+                    leaves: m.clone(),
+                    depth: 0,
+                };
+                for fc in &cuts[f.index()] {
+                    if let Some(leaves) = Cut::merge(&m_cut, fc, k) {
+                        if !next.contains(&leaves) {
+                            next.push(leaves);
+                        }
+                    }
+                }
+            }
+            merged = next;
+            if merged.is_empty() {
+                break;
+            }
+        }
+        let mut node_cuts: Vec<Cut> = merged
+            .into_iter()
+            .map(|leaves| {
+                let d = leaves.iter().map(|l| depth[l.index()]).max().unwrap_or(0) + 1;
+                Cut { leaves, depth: d }
+            })
+            .collect();
+        // The trivial cut guarantees feasibility (this node as a leaf of its
+        // fanouts once it is itself implemented).
+        let best_cut_depth = node_cuts.iter().map(|c| c.depth).min();
+        let own_depth = best_cut_depth.unwrap_or_else(|| {
+            fanins
+                .iter()
+                .map(|f| depth[f.index()])
+                .max()
+                .unwrap_or(0)
+                + 1
+        });
+        node_cuts.push(Cut::trivial(id, own_depth));
+        // Trivial cuts sort last: they are fallbacks, not real covers.
+        let sort_len = |c: &Cut| {
+            if c.leaves == [id] {
+                usize::MAX
+            } else {
+                c.leaves.len()
+            }
+        };
+        node_cuts.sort_by(|a, b| {
+            (a.depth, sort_len(a), &a.leaves).cmp(&(b.depth, sort_len(b), &b.leaves))
+        });
+        node_cuts.dedup_by(|a, b| a.leaves == b.leaves);
+        if node_cuts.len() > CUT_LIMIT {
+            // The trivial cut must survive truncation: fan-out merges rely
+            // on every node being usable as a leaf.
+            let trivial_pos = node_cuts
+                .iter()
+                .position(|c| c.leaves == [id])
+                .expect("trivial cut present");
+            if trivial_pos >= CUT_LIMIT {
+                let t = node_cuts.remove(trivial_pos);
+                node_cuts.truncate(CUT_LIMIT - 1);
+                node_cuts.push(t);
+            } else {
+                node_cuts.truncate(CUT_LIMIT);
+            }
+        }
+        depth[id.index()] = own_depth;
+        cuts[id.index()] = node_cuts;
+    }
+    CutSet { cuts, depth }
+}
+
+/// Compute the truth table of `root`'s cone over `leaves`, bit-parallel over
+/// the `2^|leaves|` assignments (`|leaves| <= 6` so one `u64` suffices).
+pub fn cone_table(netlist: &Netlist, root: NodeId, leaves: &[NodeId]) -> u64 {
+    assert!(leaves.len() <= 6, "cone over more than 6 leaves");
+    // Projection masks: leaf i's value across the 64 assignments.
+    const PROJ: [u64; 6] = [
+        0xAAAA_AAAA_AAAA_AAAA,
+        0xCCCC_CCCC_CCCC_CCCC,
+        0xF0F0_F0F0_F0F0_F0F0,
+        0xFF00_FF00_FF00_FF00,
+        0xFFFF_0000_FFFF_0000,
+        0xFFFF_FFFF_0000_0000,
+    ];
+    fn eval(
+        netlist: &Netlist,
+        node: NodeId,
+        leaves: &[NodeId],
+        memo: &mut std::collections::HashMap<NodeId, u64>,
+    ) -> u64 {
+        if let Some(pos) = leaves.iter().position(|&l| l == node) {
+            return PROJ[pos];
+        }
+        if let Some(&v) = memo.get(&node) {
+            return v;
+        }
+        let v = match *netlist.gate(node) {
+            Gate::Const(c) => {
+                if c {
+                    u64::MAX
+                } else {
+                    0
+                }
+            }
+            Gate::Input(_) | Gate::Dff { .. } => {
+                panic!("cone reaches source {node} that is not a leaf")
+            }
+            Gate::Not(a) => !eval(netlist, a, leaves, memo),
+            Gate::And(a, b) => eval(netlist, a, leaves, memo) & eval(netlist, b, leaves, memo),
+            Gate::Or(a, b) => eval(netlist, a, leaves, memo) | eval(netlist, b, leaves, memo),
+            Gate::Xor(a, b) => eval(netlist, a, leaves, memo) ^ eval(netlist, b, leaves, memo),
+            Gate::Nand(a, b) => {
+                !(eval(netlist, a, leaves, memo) & eval(netlist, b, leaves, memo))
+            }
+            Gate::Nor(a, b) => {
+                !(eval(netlist, a, leaves, memo) | eval(netlist, b, leaves, memo))
+            }
+            Gate::Xnor(a, b) => {
+                !(eval(netlist, a, leaves, memo) ^ eval(netlist, b, leaves, memo))
+            }
+            Gate::Mux { sel, a, b } => {
+                let s = eval(netlist, sel, leaves, memo);
+                let av = eval(netlist, a, leaves, memo);
+                let bv = eval(netlist, b, leaves, memo);
+                (s & bv) | (!s & av)
+            }
+        };
+        memo.insert(node, v);
+        v
+    }
+    let mut memo = std::collections::HashMap::new();
+    let full = eval(netlist, root, leaves, &mut memo);
+    // Mask to the used assignments.
+    if leaves.len() == 6 {
+        full
+    } else {
+        full & ((1u64 << (1 << leaves.len())) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_cut_always_present() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let g = n.and(a, b);
+        n.output("o", g);
+        let cs = enumerate(&n, 4);
+        let gc = &cs.cuts[g.index()];
+        assert!(gc.iter().any(|c| c.leaves == vec![a, b]));
+        assert!(gc.iter().any(|c| c.leaves == vec![g]));
+        assert_eq!(cs.depth[g.index()], 1);
+    }
+
+    #[test]
+    fn deep_chain_collapses_into_one_lut() {
+        // not(not(not(not(a)))) fits a single 1-input cut at k>=2.
+        let mut n = Netlist::new("chain");
+        let a = n.input("a");
+        let mut cur = a;
+        for _ in 0..4 {
+            cur = n.not(cur);
+        }
+        n.output("o", cur);
+        let cs = enumerate(&n, 4);
+        assert_eq!(cs.depth[cur.index()], 1, "whole chain in one LUT");
+        let best = &cs.cuts[cur.index()][0];
+        assert_eq!(best.leaves, vec![a]);
+        // Identity over one input: assignment 0 -> 0, assignment 1 -> 1.
+        assert_eq!(cone_table(&n, cur, &best.leaves), 0b10, "4 inversions = identity");
+    }
+
+    #[test]
+    fn cone_tables_match_direct_evaluation() {
+        let mut n = Netlist::new("fa");
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let axb = n.xor(a, b);
+        let sum = n.xor(axb, c);
+        let g1 = n.and(a, b);
+        let g2 = n.and(axb, c);
+        let cout = n.or(g1, g2);
+        n.output("s", sum);
+        n.output("co", cout);
+        let leaves = vec![a, b, c];
+        let sum_t = cone_table(&n, sum, &leaves);
+        let cout_t = cone_table(&n, cout, &leaves);
+        for assignment in 0..8usize {
+            let bits = [
+                assignment & 1 == 1,
+                assignment & 2 == 2,
+                assignment & 4 == 4,
+            ];
+            let expect = n.eval_comb(&bits).unwrap();
+            assert_eq!((sum_t >> assignment) & 1 == 1, expect[0]);
+            assert_eq!((cout_t >> assignment) & 1 == 1, expect[1]);
+        }
+    }
+
+    #[test]
+    fn k_bound_is_respected() {
+        let mut n = Netlist::new("wide");
+        let ins: Vec<NodeId> = (0..8).map(|i| n.input(format!("i{i}"))).collect();
+        let mut cur = ins[0];
+        for &i in &ins[1..] {
+            cur = n.xor(cur, i);
+        }
+        n.output("o", cur);
+        for k in 2..=6 {
+            let cs = enumerate(&n, k);
+            for cuts in &cs.cuts {
+                for c in cuts {
+                    assert!(c.leaves.len() <= k, "cut wider than k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mux_cone_table() {
+        let mut n = Netlist::new("m");
+        let s = n.input("s");
+        let a = n.input("a");
+        let b = n.input("b");
+        let m = n.mux(s, a, b);
+        n.output("o", m);
+        let t = cone_table(&n, m, &[s, a, b]);
+        for assignment in 0..8usize {
+            let s_v = assignment & 1 == 1;
+            let a_v = assignment & 2 == 2;
+            let b_v = assignment & 4 == 4;
+            let expect = if s_v { b_v } else { a_v };
+            assert_eq!((t >> assignment) & 1 == 1, expect, "assignment {assignment:03b}");
+        }
+    }
+
+    #[test]
+    fn dff_outputs_are_cut_sources() {
+        let mut n = Netlist::new("seq");
+        let x = n.input("x");
+        let q = n.dff(x, false);
+        let g = n.xor(q, x);
+        n.output("o", g);
+        let cs = enumerate(&n, 4);
+        assert_eq!(cs.cuts[q.index()].len(), 1, "sources have only the trivial cut");
+        let best = &cs.cuts[g.index()][0];
+        assert!(best.leaves.contains(&q));
+        assert!(best.leaves.contains(&x));
+    }
+}

@@ -1,0 +1,206 @@
+//! LUT-level common-subexpression elimination.
+//!
+//! The paper closes by naming "mapping tools that exploit regularity and
+//! redundancy of configuration bits" as future work. Cross-context
+//! redundancy is handled by [`crate::share`]; this pass removes *intra*-
+//! context redundancy: two LUTs with identical input sources and identical
+//! truth tables compute the same signal, so one can feed both fan-outs. On
+//! the MC-FPGA this saves logic blocks directly and, transitively, the
+//! configuration columns behind them.
+
+use std::collections::HashMap;
+
+use crate::mapper::{MappedDff, MappedLut, MappedNetlist, MappedSource};
+
+/// Result of a deduplication pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DedupeStats {
+    pub before: usize,
+    pub after: usize,
+}
+
+impl DedupeStats {
+    pub fn removed(&self) -> usize {
+        self.before - self.after
+    }
+}
+
+/// Deduplicate identical LUTs. Iterates to a fixpoint: merging two LUTs can
+/// make their fan-outs identical in turn.
+pub fn dedupe_luts(mapped: &MappedNetlist) -> (MappedNetlist, DedupeStats) {
+    let before = mapped.luts.len();
+    let mut current = mapped.clone();
+    loop {
+        let (next, changed) = dedupe_once(&current);
+        current = next;
+        if !changed {
+            break;
+        }
+    }
+    let stats = DedupeStats {
+        before,
+        after: current.luts.len(),
+    };
+    (current, stats)
+}
+
+fn rewrite(src: MappedSource, remap: &[usize]) -> MappedSource {
+    match src {
+        MappedSource::Lut(l) => MappedSource::Lut(remap[l]),
+        other => other,
+    }
+}
+
+fn dedupe_once(mapped: &MappedNetlist) -> (MappedNetlist, bool) {
+    // Canonical key: (inputs, table). Inputs are already topologically
+    // emitted, so earlier LUTs' identities are final when later ones are
+    // examined.
+    let mut canon: HashMap<(Vec<MappedSource>, u64), usize> = HashMap::new();
+    // remap[i] = index of the surviving LUT in the *new* list.
+    let mut remap: Vec<usize> = Vec::with_capacity(mapped.luts.len());
+    let mut new_luts: Vec<MappedLut> = Vec::new();
+    let mut changed = false;
+    for lut in &mapped.luts {
+        let inputs: Vec<MappedSource> =
+            lut.inputs.iter().map(|&s| rewrite(s, &remap)).collect();
+        let key = (inputs.clone(), lut.table);
+        match canon.get(&key) {
+            Some(&existing) => {
+                remap.push(existing);
+                changed = true;
+            }
+            None => {
+                let idx = new_luts.len();
+                new_luts.push(MappedLut {
+                    root: lut.root,
+                    inputs,
+                    table: lut.table,
+                });
+                canon.insert(key, idx);
+                remap.push(idx);
+            }
+        }
+    }
+    let dffs: Vec<MappedDff> = mapped
+        .dffs
+        .iter()
+        .map(|d| MappedDff {
+            d: rewrite(d.d, &remap),
+            init: d.init,
+        })
+        .collect();
+    let outputs = mapped
+        .outputs
+        .iter()
+        .map(|(name, s)| (name.clone(), rewrite(*s, &remap)))
+        .collect();
+    (
+        MappedNetlist {
+            name: mapped.name.clone(),
+            k: mapped.k,
+            luts: new_luts,
+            dffs,
+            outputs,
+            n_inputs: mapped.n_inputs,
+        },
+        changed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::map_netlist;
+    use mcfpga_netlist::{library, Netlist};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_same_behaviour(a: &MappedNetlist, b: &MappedNetlist, n_inputs: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut st_a = a.initial_state();
+        let mut st_b = b.initial_state();
+        for _ in 0..60 {
+            let inputs: Vec<bool> = (0..n_inputs).map(|_| rng.gen_bool(0.5)).collect();
+            assert_eq!(a.step(&inputs, &mut st_a), b.step(&inputs, &mut st_b));
+        }
+    }
+
+    #[test]
+    fn redundant_logic_is_merged() {
+        // Build a netlist with a duplicated cone.
+        let mut n = Netlist::new("dup");
+        let a = n.input("a");
+        let b = n.input("b");
+        let x1 = n.xor(a, b);
+        let x2 = n.xor(a, b); // identical cone
+        let y1 = n.and(x1, a);
+        let y2 = n.and(x2, a); // identical after x1/x2 merge
+        n.output("p", y1);
+        n.output("q", y2);
+        let mapped = map_netlist(&n, 4).unwrap();
+        let (deduped, stats) = dedupe_luts(&mapped);
+        assert!(stats.removed() >= 1, "duplicate cones must merge");
+        check_same_behaviour(&mapped, &deduped, 2, 3);
+        // Both outputs now reference the same LUT.
+        assert_eq!(deduped.outputs[0].1, deduped.outputs[1].1);
+    }
+
+    #[test]
+    fn fixpoint_merges_cascaded_duplicates() {
+        let mut n = Netlist::new("cascade");
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        // Two identical 2-level cones.
+        let m1 = n.and(a, b);
+        let m2 = n.and(a, b);
+        let o1 = n.xor(m1, c);
+        let o2 = n.xor(m2, c);
+        n.output("o1", o1);
+        n.output("o2", o2);
+        // Map at k=2 so the cones stay 2 levels deep.
+        let mapped = map_netlist(&n, 3).unwrap();
+        let (deduped, _) = dedupe_luts(&mapped);
+        check_same_behaviour(&mapped, &deduped, 3, 9);
+        assert_eq!(
+            deduped.outputs[0].1, deduped.outputs[1].1,
+            "cascaded duplicates collapse through the fixpoint"
+        );
+    }
+
+    #[test]
+    fn clean_circuits_are_untouched_or_reduced() {
+        for circuit in library::benchmark_suite() {
+            let mapped = map_netlist(&circuit, 5).unwrap();
+            let (deduped, stats) = dedupe_luts(&mapped);
+            assert!(stats.after <= stats.before);
+            check_same_behaviour(&mapped, &deduped, circuit.inputs().len(), 1);
+        }
+    }
+
+    #[test]
+    fn sequential_references_are_rewritten() {
+        let mut n = Netlist::new("seqdup");
+        let a = n.input("a");
+        let x1 = n.not(a);
+        let x2 = n.not(a);
+        let q1 = n.dff(x1, false);
+        let q2 = n.dff(x2, false);
+        let o = n.xor(q1, q2);
+        n.output("o", o);
+        let mapped = map_netlist(&n, 4).unwrap();
+        let (deduped, stats) = dedupe_luts(&mapped);
+        assert!(stats.removed() >= 1);
+        // Both DFFs now sample the same LUT.
+        assert_eq!(deduped.dffs[0].d, deduped.dffs[1].d);
+        check_same_behaviour(&mapped, &deduped, 1, 5);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let mapped = map_netlist(&library::multiplier(3), 4).unwrap();
+        let (deduped, stats) = dedupe_luts(&mapped);
+        assert_eq!(stats.before, mapped.luts.len());
+        assert_eq!(stats.after, deduped.luts.len());
+    }
+}

@@ -1,0 +1,32 @@
+//! Technology mapping for the MC-FPGA: gate-level netlists to k-input LUT
+//! networks, plus the cross-context sharing analysis behind the adaptive
+//! logic block (Figs. 13–14).
+//!
+//! The paper leaves mapping tools as future work, so this crate implements a
+//! standard cut-based mapper (priority cuts, depth-then-area covering) as
+//! the substrate the architecture evaluation needs:
+//!
+//! * [`map_netlist`] maps one context's netlist to k-LUTs;
+//! * [`map_workload`] maps a multi-context workload *with a shared cover*:
+//!   context 0's cut choices are reused for every context (perturbed
+//!   workloads keep the same structure), so the per-context LUT networks
+//!   align position-by-position and cross-context redundancy becomes
+//!   directly measurable;
+//! * [`share`] merges aligned LUTs whose truth tables coincide, yielding the
+//!   per-logic-block plane demand that drives the adaptive MCMG-LUT and the
+//!   area model;
+//! * [`pack`] reproduces the paper's LUT-counting model for globally vs
+//!   locally controlled MCMG-LUTs on dataflow graphs.
+
+pub mod cuts;
+pub mod dedupe;
+pub mod mapper;
+pub mod pack;
+pub mod share;
+pub mod temporal;
+
+pub use dedupe::{dedupe_luts, DedupeStats};
+pub use mapper::{map_netlist, map_workload, MapError, MappedLut, MappedNetlist, MappedSource};
+pub use pack::{pack_global, pack_local, PackOptions, PackResult};
+pub use share::{share_workload, LutPlane, SharedDesign, SharedLut};
+pub use temporal::{temporal_partition, TemporalDesign, TemporalExecutor, TemporalOutput, TemporalStage};

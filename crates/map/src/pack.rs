@@ -1,0 +1,275 @@
+//! The paper's LUT-counting model for globally vs locally controlled
+//! MCMG-LUTs (Figs. 13–14), applied to dataflow graphs.
+//!
+//! Capacity model of one MCMG-LUT with a bit pool of `2^k_max` bits (per
+//! base output) used in mode `(k, p)` (`2^k * p = 2^k_max`):
+//!
+//! * each of the `p` planes stores `2^k` bits;
+//! * a plane holds one function per base output under global control; under
+//!   local control a *merged* plane may pack several functions as long as
+//!   their tables fit the plane's bits (`sum 2^arity <= 2^k`) — this is how
+//!   Fig. 14's LUT2 stores the merged `O5 = {O2, O3}` pair in one plane;
+//! * under global control the plane index *is* the context (low ID bits):
+//!   a function used by several contexts is stored once per context
+//!   (Fig. 13's redundant `O3`); under local control the per-block size
+//!   controller maps every context of a shared function to one plane.
+//!
+//! `pack_global` and `pack_local` count the MCMG-LUTs each discipline
+//! needs; on the paper's own example the counts are 3 vs 2.
+
+use mcfpga_arch::{ContextId, LutGeometry};
+use mcfpga_netlist::{Dfg, MergedDfg};
+use serde::{Deserialize, Serialize};
+
+/// Packing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PackOptions {
+    /// LUT geometry (pool size and mode range). The paper's Fig. 13/14
+    /// example corresponds to a pool of `2^3 = 8` bits: a 2-input LUT with
+    /// two planes, or a 3-input LUT with one.
+    pub geometry: LutGeometry,
+    /// Base outputs per LUT under global control (the figures draw
+    /// single-output LUTs; the evaluation architecture has 2).
+    pub base_outputs: usize,
+}
+
+impl PackOptions {
+    /// The Fig. 13/14 setting: single-output LUTs, 8-bit pool.
+    pub fn figure_13_14() -> Self {
+        PackOptions {
+            geometry: LutGeometry {
+                outputs: 1,
+                min_inputs: 2,
+                max_inputs: 3,
+            },
+            base_outputs: 1,
+        }
+    }
+}
+
+/// Result of a packing run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackResult {
+    /// MCMG-LUTs consumed.
+    pub n_luts: usize,
+    /// Total configuration planes stored (redundant copies included).
+    pub planes_stored: usize,
+    /// Total function instances packed.
+    pub functions: usize,
+}
+
+/// Globally controlled packing (Fig. 13): every LUT runs in the
+/// maximum-plane mode and plane `c` serves context `c`; each context's
+/// functions occupy one output slot of some LUT in that context's plane.
+/// A function appearing in `m` contexts is stored `m` times.
+pub fn pack_global(contexts: &[Dfg], opts: &PackOptions) -> PackResult {
+    let p_max = opts.geometry.max_planes();
+    assert!(
+        contexts.len() <= p_max,
+        "global control needs one plane per context ({} > {p_max})",
+        contexts.len()
+    );
+    let k_min = opts.geometry.min_inputs;
+    let mut per_context_slots: Vec<usize> = Vec::new();
+    let mut planes_stored = 0usize;
+    let mut functions = 0usize;
+    for dfg in contexts {
+        let mut slots = 0usize;
+        for id in 0..dfg.nodes().len() {
+            let id = mcfpga_netlist::DfgNodeId(id as u32);
+            let arity = dfg.op_arity(id);
+            if arity == 0 {
+                continue; // inputs
+            }
+            assert!(
+                arity <= k_min,
+                "global mode is fixed at {k_min} inputs; node has {arity}"
+            );
+            slots += 1;
+            planes_stored += 1;
+            functions += 1;
+        }
+        per_context_slots.push(slots.div_ceil(opts.base_outputs));
+    }
+    // Each LUT offers one slot-group per context; contexts pack
+    // independently into the same LUT pool, so the LUT count is the widest
+    // context's demand.
+    let n_luts = per_context_slots.into_iter().max().unwrap_or(0);
+    PackResult {
+        n_luts,
+        planes_stored,
+        functions,
+    }
+}
+
+/// One logic block being filled by the local packer.
+#[derive(Debug)]
+struct LocalLb {
+    /// Planes: each holds a set of (arity) functions and a context mask.
+    planes: Vec<(Vec<usize>, u32)>,
+}
+
+/// Locally controlled packing (Fig. 14): structurally shared nodes are
+/// merged first ([`MergedDfg`]); each unique function needs one plane for
+/// all its contexts, and functions whose combined tables fit one plane's
+/// bits merge into multi-output planes. First-fit-decreasing over blocks.
+pub fn pack_local(contexts: &[Dfg], opts: &PackOptions, ctx: ContextId) -> PackResult {
+    assert_eq!(ctx.n_contexts(), contexts.len().max(2));
+    let merged = MergedDfg::merge(contexts);
+    let pool_bits = opts.geometry.pool_bits();
+    let p_max = opts.geometry.max_planes();
+
+    // Sort unique functions by (shared first, large first) so merging
+    // happens eagerly.
+    let mut nodes: Vec<(&str, u32, usize)> = merged
+        .nodes
+        .iter()
+        .map(|n| (n.key.as_str(), n.context_mask, n.arity))
+        .collect();
+    nodes.sort_by_key(|(_, mask, arity)| {
+        (usize::MAX - mask.count_ones() as usize, usize::MAX - *arity)
+    });
+
+    let mut lbs: Vec<LocalLb> = Vec::new();
+    'next_node: for (_key, mask, arity) in nodes {
+        let bits = 1usize << arity;
+        for lb in &mut lbs {
+            // Try to join an existing plane with the *same* context mask
+            // (the merged multi-output plane of Fig. 14).
+            let planes_used = lb.planes.len();
+            for (funcs, pmask) in &mut lb.planes {
+                if *pmask == mask {
+                    let plane_bits: usize =
+                        funcs.iter().map(|&a| 1usize << a).sum::<usize>() + bits;
+                    // A plane's capacity is pool/planes-used; joining must
+                    // keep the whole block feasible.
+                    if plane_bits * planes_used <= pool_bits {
+                        funcs.push(arity);
+                        continue 'next_node;
+                    }
+                }
+            }
+            // Try a new plane in this block: context masks must be disjoint
+            // (each context maps to exactly one plane).
+            let used_mask: u32 = lb.planes.iter().map(|(_, m)| m).fold(0, |a, b| a | b);
+            if used_mask & mask == 0 && lb.planes.len() < p_max {
+                let planes_used = lb.planes.len() + 1;
+                let worst_plane_bits = lb
+                    .planes
+                    .iter()
+                    .map(|(funcs, _)| funcs.iter().map(|&a| 1usize << a).sum::<usize>())
+                    .chain(std::iter::once(bits))
+                    .max()
+                    .unwrap_or(0);
+                if worst_plane_bits * planes_used <= pool_bits {
+                    lb.planes.push((vec![arity], mask));
+                    continue 'next_node;
+                }
+            }
+        }
+        // Open a new block.
+        assert!(
+            bits <= pool_bits,
+            "function arity {arity} exceeds the whole pool"
+        );
+        lbs.push(LocalLb {
+            planes: vec![(vec![arity], mask)],
+        });
+    }
+
+    let planes_stored = lbs.iter().map(|lb| lb.planes.len()).sum();
+    PackResult {
+        n_luts: lbs.len(),
+        planes_stored,
+        functions: merged.unique_nodes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfpga_netlist::dfg::{generated_family, paper_example};
+
+    fn ctx(n: usize) -> ContextId {
+        ContextId::new(n).unwrap()
+    }
+
+    /// The paper's own result: three globally controlled MCMG-LUTs vs two
+    /// locally controlled ones (Figs. 13(b) and 14(b)).
+    #[test]
+    fn paper_example_is_3_vs_2() {
+        let dfgs = paper_example();
+        let opts = PackOptions::figure_13_14();
+        let global = pack_global(&dfgs, &opts);
+        let local = pack_local(&dfgs, &opts, ctx(2));
+        assert_eq!(global.n_luts, 3, "Fig. 13(b)");
+        assert_eq!(local.n_luts, 2, "Fig. 14(b)");
+        // Global stores O2 and O3 twice: 6 planes; local stores 4 unique
+        // functions in 3 planes (O2+O3 share one).
+        assert_eq!(global.planes_stored, 6);
+        assert_eq!(local.functions, 4);
+        assert!(local.planes_stored < global.planes_stored);
+    }
+
+    #[test]
+    fn full_sharing_collapses_local_count() {
+        let fam = generated_family(2, 4, 12, 1.0, 3);
+        let opts = PackOptions::figure_13_14();
+        let global = pack_global(&fam, &opts);
+        let local = pack_local(&fam, &opts, ctx(2));
+        assert!(local.n_luts < global.n_luts);
+        // All nodes shared -> every plane serves both contexts.
+        assert_eq!(local.functions, 12);
+    }
+
+    #[test]
+    fn no_sharing_keeps_counts_equalish() {
+        let fam = generated_family(2, 4, 12, 0.0, 3);
+        let opts = PackOptions::figure_13_14();
+        let global = pack_global(&fam, &opts);
+        let local = pack_local(&fam, &opts, ctx(2));
+        // Without sharing, local control cannot do better than global.
+        assert!(local.n_luts >= global.n_luts);
+    }
+
+    #[test]
+    fn local_count_decreases_with_share_fraction() {
+        let opts = PackOptions::figure_13_14();
+        let mut prev = usize::MAX;
+        for share in [0.0, 0.5, 1.0] {
+            let fam = generated_family(2, 4, 16, share, 9);
+            let local = pack_local(&fam, &opts, ctx(2));
+            assert!(
+                local.n_luts <= prev,
+                "sharing {share} grew the count: {} > {prev}",
+                local.n_luts
+            );
+            prev = local.n_luts;
+        }
+    }
+
+    #[test]
+    fn four_context_packing_works() {
+        let fam = generated_family(4, 4, 10, 0.6, 21);
+        let opts = PackOptions {
+            geometry: LutGeometry {
+                outputs: 1,
+                min_inputs: 2,
+                max_inputs: 4,
+            },
+            base_outputs: 1,
+        };
+        let global = pack_global(&fam, &opts);
+        let local = pack_local(&fam, &opts, ctx(4));
+        assert!(global.n_luts >= 10);
+        assert!(local.n_luts <= global.n_luts);
+    }
+
+    #[test]
+    #[should_panic(expected = "one plane per context")]
+    fn global_rejects_too_many_contexts() {
+        let fam = generated_family(4, 4, 4, 0.0, 2);
+        let opts = PackOptions::figure_13_14(); // only 2 planes
+        let _ = pack_global(&fam, &opts);
+    }
+}

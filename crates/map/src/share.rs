@@ -1,0 +1,295 @@
+//! Cross-context sharing analysis over aligned mapped workloads.
+//!
+//! After [`crate::map_workload`] the per-context LUT networks align
+//! position-by-position: position `i` has the same root and the same input
+//! sources in every context, only the truth table may differ. Each position
+//! therefore becomes one logic-block LUT whose *plane demand* equals the
+//! number of distinct tables across contexts:
+//!
+//! * demand 1 — the function is shared by all contexts (Fig. 14's merged
+//!   `O5`): a single configuration plane suffices and the freed planes can
+//!   enlarge the LUT;
+//! * demand `n` — every context differs: the conventional one-plane-per-
+//!   context storage is genuinely needed.
+//!
+//! The resulting [`SharedDesign`] carries everything the adaptive logic
+//! block and area model need: per-position plane maps, the local
+//! size-controller columns, and the LUT-bit configuration columns.
+
+use mcfpga_arch::ContextId;
+use mcfpga_config::ConfigColumn;
+use serde::{Deserialize, Serialize};
+
+use crate::mapper::{MappedNetlist, MappedSource};
+
+/// One configuration plane of a shared LUT position: a truth table and the
+/// contexts that use it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LutPlane {
+    pub table: u64,
+    /// Bitmask of contexts mapped to this plane.
+    pub context_mask: u32,
+}
+
+/// One logic-block LUT position shared across contexts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharedLut {
+    /// Input sources (identical across contexts by construction).
+    pub inputs: Vec<MappedSource>,
+    /// Distinct planes, in first-use order; `plane_of_context[c]` indexes
+    /// into this.
+    pub planes: Vec<LutPlane>,
+    pub plane_of_context: Vec<usize>,
+}
+
+impl SharedLut {
+    /// Number of distinct configuration planes needed.
+    pub fn planes_needed(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// Whether all contexts share one plane.
+    pub fn fully_shared(&self) -> bool {
+        self.planes.len() == 1
+    }
+
+    /// The size-controller columns for this LUT: bit `b` of the plane index
+    /// as a function of the context. Constant columns (fully shared LUTs)
+    /// cost one SE each; see `mcfpga_lut::LocalSizeController`.
+    pub fn controller_columns(&self, ctx: ContextId, select_bits: usize) -> Vec<ConfigColumn> {
+        (0..select_bits)
+            .map(|b| {
+                ConfigColumn::from_fn(ctx.n_contexts(), |c| {
+                    (self.plane_of_context[c] >> b) & 1 == 1
+                })
+            })
+            .collect()
+    }
+
+    /// The per-bit configuration columns of this LUT's memory, under the
+    /// *conventional* storage model (every context stores its full table):
+    /// used by the Table 1 statistics and the area comparison baseline.
+    pub fn conventional_bit_columns(&self, ctx: ContextId, k: usize) -> Vec<ConfigColumn> {
+        (0..(1usize << k))
+            .map(|bit| {
+                ConfigColumn::from_fn(ctx.n_contexts(), |c| {
+                    let t = self.planes[self.plane_of_context[c]].table;
+                    (t >> bit) & 1 == 1
+                })
+            })
+            .collect()
+    }
+}
+
+/// A whole workload shared across contexts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharedDesign {
+    pub n_contexts: usize,
+    pub k: usize,
+    pub luts: Vec<SharedLut>,
+}
+
+impl SharedDesign {
+    /// Total LUT positions.
+    pub fn n_positions(&self) -> usize {
+        self.luts.len()
+    }
+
+    /// Total plane instances under conventional storage (`positions x n`).
+    pub fn conventional_planes(&self) -> usize {
+        self.luts.len() * self.n_contexts
+    }
+
+    /// Total planes after sharing.
+    pub fn shared_planes(&self) -> usize {
+        self.luts.iter().map(|l| l.planes_needed()).sum()
+    }
+
+    /// Histogram of plane demand: `hist[p-1]` = positions needing `p` planes.
+    pub fn plane_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.n_contexts];
+        for l in &self.luts {
+            hist[l.planes_needed() - 1] += 1;
+        }
+        hist
+    }
+
+    /// Average planes needed per position.
+    pub fn mean_planes(&self) -> f64 {
+        if self.luts.is_empty() {
+            return 0.0;
+        }
+        self.shared_planes() as f64 / self.luts.len() as f64
+    }
+}
+
+/// Merge an aligned workload (`map_workload` output) into a [`SharedDesign`].
+pub fn share_workload(mapped: &[MappedNetlist]) -> SharedDesign {
+    assert!(!mapped.is_empty());
+    let n_contexts = mapped.len();
+    let n_luts = mapped[0].luts.len();
+    for m in mapped {
+        assert_eq!(
+            m.luts.len(),
+            n_luts,
+            "workload must be mapped with a shared cover"
+        );
+    }
+    let mut luts = Vec::with_capacity(n_luts);
+    for i in 0..n_luts {
+        let inputs = mapped[0].luts[i].inputs.clone();
+        let mut planes: Vec<LutPlane> = Vec::new();
+        let mut plane_of_context = Vec::with_capacity(n_contexts);
+        for (c, m) in mapped.iter().enumerate() {
+            assert_eq!(
+                m.luts[i].inputs, inputs,
+                "position {i} misaligned in context {c}"
+            );
+            let table = m.luts[i].table;
+            let slot = planes.iter().position(|p| p.table == table);
+            let slot = match slot {
+                Some(s) => s,
+                None => {
+                    planes.push(LutPlane {
+                        table,
+                        context_mask: 0,
+                    });
+                    planes.len() - 1
+                }
+            };
+            planes[slot].context_mask |= 1 << c;
+            plane_of_context.push(slot);
+        }
+        luts.push(SharedLut {
+            inputs,
+            planes,
+            plane_of_context,
+        });
+    }
+    SharedDesign {
+        n_contexts,
+        k: mapped[0].k,
+        luts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::map_workload;
+    use mcfpga_netlist::{perturb_netlist, random_netlist, workload, RandomNetlistParams};
+
+    fn params() -> RandomNetlistParams {
+        RandomNetlistParams {
+            n_inputs: 8,
+            n_gates: 80,
+            n_outputs: 8,
+            dff_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn identical_contexts_fully_share() {
+        let base = random_netlist(params(), 7);
+        let contexts = vec![base.clone(), base.clone(), base.clone(), base];
+        let mapped = map_workload(&contexts, 4).unwrap();
+        let shared = share_workload(&mapped);
+        assert!(shared.luts.iter().all(|l| l.fully_shared()));
+        assert_eq!(shared.mean_planes(), 1.0);
+        assert_eq!(shared.shared_planes(), shared.n_positions());
+        assert_eq!(shared.conventional_planes(), 4 * shared.n_positions());
+    }
+
+    #[test]
+    fn plane_demand_grows_with_change_rate() {
+        let low = workload(params(), 4, 0.02, 11);
+        let high = workload(params(), 4, 0.40, 11);
+        let s_low = share_workload(&map_workload(&low, 4).unwrap());
+        let s_high = share_workload(&map_workload(&high, 4).unwrap());
+        assert!(
+            s_low.mean_planes() < s_high.mean_planes(),
+            "low {} vs high {}",
+            s_low.mean_planes(),
+            s_high.mean_planes()
+        );
+        assert!(s_low.mean_planes() >= 1.0);
+        assert!(s_high.mean_planes() <= 4.0);
+    }
+
+    #[test]
+    fn plane_histogram_sums_to_positions() {
+        let w = workload(params(), 4, 0.1, 23);
+        let shared = share_workload(&map_workload(&w, 5).unwrap());
+        let hist = shared.plane_histogram();
+        assert_eq!(hist.iter().sum::<usize>(), shared.n_positions());
+        assert_eq!(hist.len(), 4);
+    }
+
+    #[test]
+    fn plane_of_context_is_consistent() {
+        let base = random_netlist(params(), 3);
+        let contexts = vec![
+            base.clone(),
+            perturb_netlist(&base, 0.3, 5),
+            base.clone(),
+            perturb_netlist(&base, 0.3, 6),
+        ];
+        let shared = share_workload(&map_workload(&contexts, 4).unwrap());
+        for lut in &shared.luts {
+            assert_eq!(lut.plane_of_context.len(), 4);
+            // Context masks partition the contexts.
+            let mut union = 0u32;
+            for (pi, plane) in lut.planes.iter().enumerate() {
+                assert_ne!(plane.context_mask, 0);
+                assert_eq!(union & plane.context_mask, 0, "planes overlap");
+                union |= plane.context_mask;
+                for c in 0..4 {
+                    if (plane.context_mask >> c) & 1 == 1 {
+                        assert_eq!(lut.plane_of_context[c], pi);
+                    }
+                }
+            }
+            assert_eq!(union, 0b1111);
+            // Contexts 0 and 2 are identical netlists -> same plane.
+            assert_eq!(lut.plane_of_context[0], lut.plane_of_context[2]);
+        }
+    }
+
+    #[test]
+    fn controller_columns_encode_the_plane_map() {
+        let ctx = ContextId::new(4).unwrap();
+        let lut = SharedLut {
+            inputs: vec![],
+            planes: vec![
+                LutPlane { table: 1, context_mask: 0b1001 },
+                LutPlane { table: 2, context_mask: 0b0110 },
+            ],
+            plane_of_context: vec![0, 1, 1, 0],
+        };
+        let cols = lut.controller_columns(ctx, 1);
+        assert_eq!(cols.len(), 1);
+        // Plane bit 0 per context: 0,1,1,0 -> pattern string 0110.
+        assert_eq!(cols[0].pattern_string(), "0110");
+    }
+
+    #[test]
+    fn conventional_bit_columns_reflect_table_changes() {
+        let ctx = ContextId::new(4).unwrap();
+        let lut = SharedLut {
+            inputs: vec![],
+            planes: vec![
+                LutPlane { table: 0b0001, context_mask: 0b0011 },
+                LutPlane { table: 0b0011, context_mask: 0b1100 },
+            ],
+            plane_of_context: vec![0, 0, 1, 1],
+        };
+        let cols = lut.conventional_bit_columns(ctx, 2);
+        assert_eq!(cols.len(), 4);
+        // Bit 0 is 1 in every context -> constant.
+        assert!(cols[0].is_constant());
+        // Bit 1 is 0 in contexts 0,1 and 1 in contexts 2,3 -> equals S1.
+        assert_eq!(cols[1].pattern_string(), "1100");
+        // Bits 2 and 3 are always 0.
+        assert!(cols[2].is_constant() && cols[3].is_constant());
+    }
+}

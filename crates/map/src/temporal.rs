@@ -1,0 +1,403 @@
+//! Temporal partitioning: run a circuit that does not fit the array by
+//! splitting it across contexts — the DPGA execution model the paper
+//! builds on ("a DPGA can be sequentially configured as different
+//! processors in real time, and efficiently reuse the limited hardware
+//! resources in time", §1).
+//!
+//! A combinational LUT network is cut into stages of at most `capacity`
+//! LUTs along its topological order. Values crossing a stage boundary are
+//! carried in *transfer registers* — exactly the flip-flops of the adaptive
+//! logic blocks, whose state survives context switches. Executing one
+//! *macro-cycle* = stepping through the stages (contexts) in order; after
+//! the last stage the primary outputs sit in their registers.
+//!
+//! Each stage is an ordinary [`MappedNetlist`]: its DFF list is the set of
+//! transfer registers it touches (read-only registers hold themselves), so
+//! a stage can be compiled onto the fabric like any other context — see
+//! `mcfpga-sim`'s temporal tests for the full fabric demonstration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mapper::{MappedDff, MappedLut, MappedNetlist, MappedSource};
+
+/// Where a temporal design's primary output lives after the last stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TemporalOutput {
+    /// Transfer register holding the value.
+    Register(usize),
+    /// The output is a primary input passed through.
+    Input(usize),
+    /// Constant output.
+    Const(bool),
+}
+
+/// One stage of a temporal design.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemporalStage {
+    /// The stage's LUT network. Its DFF list corresponds entry-for-entry to
+    /// [`TemporalStage::registers`].
+    pub netlist: MappedNetlist,
+    /// Global transfer-register ids backing the netlist's DFF slots.
+    pub registers: Vec<usize>,
+}
+
+/// A temporally partitioned design.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemporalDesign {
+    pub stages: Vec<TemporalStage>,
+    /// Total transfer registers.
+    pub n_registers: usize,
+    pub n_inputs: usize,
+    /// Primary outputs, read after the final stage.
+    pub outputs: Vec<(String, TemporalOutput)>,
+}
+
+/// Partitioning failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemporalError {
+    /// The input netlist is sequential; temporal partitioning here covers
+    /// combinational circuits (sequential splitting needs retiming).
+    Sequential,
+    /// Capacity must be at least 1.
+    ZeroCapacity,
+}
+
+impl std::fmt::Display for TemporalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TemporalError::Sequential => {
+                write!(f, "temporal partitioning requires a combinational netlist")
+            }
+            TemporalError::ZeroCapacity => write!(f, "stage capacity must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for TemporalError {}
+
+/// Partition a combinational mapped netlist into stages of at most
+/// `capacity` LUTs.
+pub fn temporal_partition(
+    mapped: &MappedNetlist,
+    capacity: usize,
+) -> Result<TemporalDesign, TemporalError> {
+    if !mapped.dffs.is_empty() {
+        return Err(TemporalError::Sequential);
+    }
+    if capacity == 0 {
+        return Err(TemporalError::ZeroCapacity);
+    }
+    let n = mapped.luts.len();
+    // Stage assignment: LUTs are already topological, so a simple
+    // capacity-bounded scan preserves the invariant that every input comes
+    // from the same or an earlier stage.
+    let stage_of: Vec<usize> = (0..n).map(|i| i / capacity).collect();
+    let n_stages = n.div_ceil(capacity).max(1);
+
+    // A LUT needs a transfer register iff some consumer lives in a later
+    // stage, or it drives a primary output.
+    let mut needs_reg = vec![false; n];
+    for (i, lut) in mapped.luts.iter().enumerate() {
+        for src in &lut.inputs {
+            if let MappedSource::Lut(j) = src {
+                if stage_of[*j] < stage_of[i] {
+                    needs_reg[*j] = true;
+                }
+            }
+        }
+    }
+    for (_, src) in &mapped.outputs {
+        if let MappedSource::Lut(j) = src {
+            needs_reg[*j] = true;
+        }
+    }
+    let mut reg_of_lut = vec![usize::MAX; n];
+    let mut n_registers = 0usize;
+    for i in 0..n {
+        if needs_reg[i] {
+            reg_of_lut[i] = n_registers;
+            n_registers += 1;
+        }
+    }
+
+    // Build the stages.
+    let mut stages = Vec::with_capacity(n_stages);
+    for s in 0..n_stages {
+        let members: Vec<usize> = (0..n).filter(|&i| stage_of[i] == s).collect();
+        let local_of: std::collections::HashMap<usize, usize> = members
+            .iter()
+            .enumerate()
+            .map(|(local, &global)| (global, local))
+            .collect();
+        // Registers this stage touches: reads (inputs from earlier stages)
+        // and writes (own LUTs that need registers).
+        let mut regs: Vec<usize> = Vec::new();
+        let reg_slot = |regs: &mut Vec<usize>, global_reg: usize| -> usize {
+            match regs.iter().position(|&r| r == global_reg) {
+                Some(p) => p,
+                None => {
+                    regs.push(global_reg);
+                    regs.len() - 1
+                }
+            }
+        };
+        // First pass: collect read registers so slot indices are stable
+        // before we emit LUT inputs.
+        for &i in &members {
+            for src in &mapped.luts[i].inputs {
+                if let MappedSource::Lut(j) = src {
+                    if stage_of[*j] < s {
+                        reg_slot(&mut regs, reg_of_lut[*j]);
+                    }
+                }
+            }
+        }
+        for &i in &members {
+            if needs_reg[i] {
+                reg_slot(&mut regs, reg_of_lut[i]);
+            }
+        }
+        let slot_of_reg: std::collections::HashMap<usize, usize> = regs
+            .iter()
+            .enumerate()
+            .map(|(slot, &g)| (g, slot))
+            .collect();
+
+        let luts: Vec<MappedLut> = members
+            .iter()
+            .map(|&i| {
+                let src = &mapped.luts[i];
+                MappedLut {
+                    root: src.root,
+                    inputs: src
+                        .inputs
+                        .iter()
+                        .map(|inp| match inp {
+                            MappedSource::Lut(j) => {
+                                if stage_of[*j] == s {
+                                    MappedSource::Lut(local_of[j])
+                                } else {
+                                    MappedSource::Register(slot_of_reg[&reg_of_lut[*j]])
+                                }
+                            }
+                            other => *other,
+                        })
+                        .collect(),
+                    table: src.table,
+                }
+            })
+            .collect();
+
+        // DFFs: one per touched register. Written registers sample their
+        // LUT; read-only registers hold themselves.
+        let written: std::collections::HashMap<usize, usize> = members
+            .iter()
+            .filter(|&&i| needs_reg[i])
+            .map(|&i| (reg_of_lut[i], local_of[&i]))
+            .collect();
+        let dffs: Vec<MappedDff> = regs
+            .iter()
+            .enumerate()
+            .map(|(slot, g)| MappedDff {
+                d: match written.get(g) {
+                    Some(&local) => MappedSource::Lut(local),
+                    None => MappedSource::Register(slot),
+                },
+                init: false,
+            })
+            .collect();
+
+        stages.push(TemporalStage {
+            netlist: MappedNetlist {
+                name: format!("{}_stage{s}", mapped.name),
+                k: mapped.k,
+                luts,
+                dffs,
+                outputs: Vec::new(),
+                n_inputs: mapped.n_inputs,
+            },
+            registers: regs,
+        });
+    }
+
+    let outputs = mapped
+        .outputs
+        .iter()
+        .map(|(name, src)| {
+            let out = match src {
+                MappedSource::Lut(j) => TemporalOutput::Register(reg_of_lut[*j]),
+                MappedSource::Input(p) => TemporalOutput::Input(*p),
+                MappedSource::Const(c) => TemporalOutput::Const(*c),
+                MappedSource::Register(_) => unreachable!("combinational netlist"),
+            };
+            (name.clone(), out)
+        })
+        .collect();
+
+    Ok(TemporalDesign {
+        stages,
+        n_registers,
+        n_inputs: mapped.n_inputs,
+        outputs,
+    })
+}
+
+impl TemporalDesign {
+    /// Largest stage (LUTs) — what must fit one context of the fabric.
+    pub fn max_stage_luts(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|s| s.netlist.luts.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Macro-cycle length in context switches.
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+/// Architecture-independent executor for a temporal design: a shared
+/// transfer-register file plus sequential stage evaluation.
+#[derive(Debug, Clone)]
+pub struct TemporalExecutor {
+    design: TemporalDesign,
+    regs: Vec<bool>,
+}
+
+impl TemporalExecutor {
+    pub fn new(design: TemporalDesign) -> Self {
+        let regs = vec![false; design.n_registers];
+        TemporalExecutor { design, regs }
+    }
+
+    pub fn design(&self) -> &TemporalDesign {
+        &self.design
+    }
+
+    /// One macro-cycle: run every stage in order, return the outputs.
+    pub fn run(&mut self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.design.n_inputs, "input arity");
+        for stage in &self.design.stages {
+            // Load the stage's register view from the global file.
+            let mut state = stage.netlist.initial_state();
+            for (slot, &g) in stage.registers.iter().enumerate() {
+                state.bits[slot] = self.regs[g];
+            }
+            let _ = stage.netlist.step(inputs, &mut state);
+            // Commit back.
+            for (slot, &g) in stage.registers.iter().enumerate() {
+                self.regs[g] = state.bits[slot];
+            }
+        }
+        self.design
+            .outputs
+            .iter()
+            .map(|(_, out)| match out {
+                TemporalOutput::Register(g) => self.regs[*g],
+                TemporalOutput::Input(p) => inputs[*p],
+                TemporalOutput::Const(c) => *c,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::map_netlist;
+    use mcfpga_netlist::library;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_temporal(circuit: &mcfpga_netlist::Netlist, capacity: usize, seed: u64) {
+        let mapped = map_netlist(circuit, 4).unwrap();
+        let design = temporal_partition(&mapped, capacity).unwrap();
+        assert!(design.max_stage_luts() <= capacity);
+        let mut exec = TemporalExecutor::new(design);
+        let n_in = circuit.inputs().len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..60 {
+            let inputs: Vec<bool> = (0..n_in).map(|_| rng.gen_bool(0.5)).collect();
+            let expect = circuit.eval_comb(&inputs).unwrap();
+            let got = exec.run(&inputs);
+            assert_eq!(got, expect, "{} capacity {capacity}", circuit.name());
+        }
+    }
+
+    #[test]
+    fn multiplier_runs_in_pieces() {
+        // mul3 maps to ~30 LUTs at k=4; run it through stages of 8.
+        check_temporal(&library::multiplier(3), 8, 1);
+    }
+
+    #[test]
+    fn various_circuits_and_capacities() {
+        check_temporal(&library::adder(6), 5, 2);
+        check_temporal(&library::alu(4), 10, 3);
+        check_temporal(&library::comparator(4), 3, 4);
+        check_temporal(&library::popcount(6), 4, 5);
+    }
+
+    #[test]
+    fn capacity_one_is_fully_serial() {
+        let circuit = library::parity(8);
+        let mapped = map_netlist(&circuit, 4).unwrap();
+        let design = temporal_partition(&mapped, 1).unwrap();
+        assert_eq!(design.n_stages(), mapped.luts.len());
+        check_temporal(&circuit, 1, 6);
+    }
+
+    #[test]
+    fn huge_capacity_is_a_single_stage() {
+        let circuit = library::adder(4);
+        let mapped = map_netlist(&circuit, 4).unwrap();
+        let design = temporal_partition(&mapped, 10_000).unwrap();
+        assert_eq!(design.n_stages(), 1);
+        check_temporal(&circuit, 10_000, 7);
+    }
+
+    #[test]
+    fn sequential_netlists_are_rejected() {
+        let mapped = map_netlist(&library::counter(4), 4).unwrap();
+        assert_eq!(
+            temporal_partition(&mapped, 4).unwrap_err(),
+            TemporalError::Sequential
+        );
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        let mapped = map_netlist(&library::adder(4), 4).unwrap();
+        assert_eq!(
+            temporal_partition(&mapped, 0).unwrap_err(),
+            TemporalError::ZeroCapacity
+        );
+    }
+
+    #[test]
+    fn register_count_is_no_more_than_luts() {
+        let mapped = map_netlist(&library::multiplier(3), 4).unwrap();
+        let design = temporal_partition(&mapped, 6).unwrap();
+        assert!(design.n_registers <= mapped.luts.len());
+        assert!(design.n_registers > 0, "stage boundaries must be crossed");
+    }
+
+    #[test]
+    fn passthrough_and_const_outputs_work() {
+        let mut n = mcfpga_netlist::Netlist::new("pass");
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.constant(true);
+        let g = n.and(a, b);
+        n.output("g", g);
+        n.output("direct", a);
+        n.output("konst", c);
+        let mapped = map_netlist(&n, 4).unwrap();
+        let design = temporal_partition(&mapped, 1).unwrap();
+        let mut exec = TemporalExecutor::new(design);
+        let out = exec.run(&[true, false]);
+        assert_eq!(out, vec![false, true, true]);
+    }
+}

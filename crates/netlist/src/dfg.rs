@@ -1,0 +1,331 @@
+//! Dataflow-graph IR for the adaptive-logic-block experiment (Figs. 13/14).
+//!
+//! The paper maps per-context dataflow graphs (DFGs) onto MCMG-LUTs in two
+//! ways: *globally controlled* (every logic block keeps one configuration
+//! plane per context, so a node repeated in several contexts is stored
+//! redundantly) and *locally controlled* (nodes shared between contexts are
+//! detected, merged, and stored in a single plane, freeing the plane-select
+//! input to enlarge the LUT). This module provides the DFG representation,
+//! structural-equality hashing, and the cross-context merge of Fig. 14(a).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Node index inside a [`Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DfgNodeId(pub u32);
+
+impl DfgNodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A DFG node: either a named external input or an operation over earlier
+/// nodes. Operation names are opaque; equality of name + operands defines
+/// structural sharing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DfgNode {
+    Input(String),
+    Op { name: String, args: Vec<DfgNodeId> },
+}
+
+/// A per-context dataflow graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dfg {
+    name: String,
+    nodes: Vec<DfgNode>,
+    outputs: Vec<DfgNodeId>,
+}
+
+impl Dfg {
+    pub fn new(name: impl Into<String>) -> Self {
+        Dfg {
+            name: name.into(),
+            nodes: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn input(&mut self, name: impl Into<String>) -> DfgNodeId {
+        self.push(DfgNode::Input(name.into()))
+    }
+
+    pub fn op(&mut self, name: impl Into<String>, args: &[DfgNodeId]) -> DfgNodeId {
+        self.push(DfgNode::Op {
+            name: name.into(),
+            args: args.to_vec(),
+        })
+    }
+
+    fn push(&mut self, node: DfgNode) -> DfgNodeId {
+        let id = DfgNodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    pub fn mark_output(&mut self, id: DfgNodeId) {
+        self.outputs.push(id);
+    }
+
+    pub fn nodes(&self) -> &[DfgNode] {
+        &self.nodes
+    }
+
+    pub fn node(&self, id: DfgNodeId) -> &DfgNode {
+        &self.nodes[id.index()]
+    }
+
+    pub fn outputs(&self) -> &[DfgNodeId] {
+        &self.outputs
+    }
+
+    /// Operation nodes only (inputs are free).
+    pub fn n_ops(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, DfgNode::Op { .. }))
+            .count()
+    }
+
+    /// Number of distinct external inputs feeding an op node, transitively
+    /// cut at op boundaries (i.e. the op's direct argument count).
+    pub fn op_arity(&self, id: DfgNodeId) -> usize {
+        match self.node(id) {
+            DfgNode::Input(_) => 0,
+            DfgNode::Op { args, .. } => args.len(),
+        }
+    }
+
+    /// Canonical structural keys for every node: two nodes (possibly in
+    /// different DFGs) receive equal keys iff their operator trees over
+    /// external inputs are identical.
+    pub fn structural_keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let key = match node {
+                DfgNode::Input(name) => format!("in:{name}"),
+                DfgNode::Op { name, args } => {
+                    let parts: Vec<&str> =
+                        args.iter().map(|a| keys[a.index()].as_str()).collect();
+                    format!("{name}({})", parts.join(","))
+                }
+            };
+            keys.push(key);
+        }
+        keys
+    }
+}
+
+/// One node of a merged multi-context DFG: the operation's structural key,
+/// the contexts it appears in, and its arity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergedNode {
+    pub key: String,
+    /// Bitmask of contexts containing this node.
+    pub context_mask: u32,
+    pub arity: usize,
+}
+
+impl MergedNode {
+    /// Number of contexts sharing this node.
+    pub fn n_contexts(&self) -> usize {
+        self.context_mask.count_ones() as usize
+    }
+}
+
+/// The cross-context merge of Fig. 14(a): per-context DFGs with structurally
+/// identical nodes unified.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergedDfg {
+    pub n_contexts: usize,
+    pub nodes: Vec<MergedNode>,
+}
+
+impl MergedDfg {
+    /// Merge one DFG per context.
+    pub fn merge(contexts: &[Dfg]) -> Self {
+        assert!(!contexts.is_empty());
+        let mut order: Vec<String> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut merged: Vec<MergedNode> = Vec::new();
+        for (c, dfg) in contexts.iter().enumerate() {
+            let keys = dfg.structural_keys();
+            for (i, node) in dfg.nodes().iter().enumerate() {
+                if let DfgNode::Op { args, .. } = node {
+                    let key = &keys[i];
+                    let slot = *index.entry(key.clone()).or_insert_with(|| {
+                        order.push(key.clone());
+                        merged.push(MergedNode {
+                            key: key.clone(),
+                            context_mask: 0,
+                            arity: args.len(),
+                        });
+                        merged.len() - 1
+                    });
+                    merged[slot].context_mask |= 1 << c;
+                }
+            }
+        }
+        MergedDfg {
+            n_contexts: contexts.len(),
+            nodes: merged,
+        }
+    }
+
+    /// Total op nodes counting per-context duplicates (the "globally
+    /// controlled" storage demand).
+    pub fn total_instances(&self) -> usize {
+        self.nodes.iter().map(|n| n.n_contexts()).sum()
+    }
+
+    /// Unique op nodes after merging (the "locally controlled" demand).
+    pub fn unique_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Nodes appearing in more than one context.
+    pub fn shared_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.n_contexts() > 1).count()
+    }
+}
+
+/// The paper's own Fig. 13(a)/14(a) example: two contexts over inputs
+/// R, T, V, W where `O2` and `O3` are shared, context 1 additionally
+/// computes `O4(O2, O3)` and context 2 computes `O1(O2, O3)`.
+pub fn paper_example() -> Vec<Dfg> {
+    let mut ctx1 = Dfg::new("context1");
+    let r = ctx1.input("R");
+    let t = ctx1.input("T");
+    let v = ctx1.input("V");
+    let w = ctx1.input("W");
+    let o2 = ctx1.op("O2", &[r, t]);
+    let o3 = ctx1.op("O3", &[v, w]);
+    let o4 = ctx1.op("O4", &[o2, o3]);
+    ctx1.mark_output(o4);
+
+    let mut ctx2 = Dfg::new("context2");
+    let r = ctx2.input("R");
+    let t = ctx2.input("T");
+    let v = ctx2.input("V");
+    let w = ctx2.input("W");
+    let o2 = ctx2.op("O2", &[r, t]);
+    let o3 = ctx2.op("O3", &[v, w]);
+    let o1 = ctx2.op("O1", &[o2, o3]);
+    ctx2.mark_output(o1);
+
+    vec![ctx1, ctx2]
+}
+
+/// Generate a family of `n_contexts` DFGs over `n_inputs` shared inputs with
+/// `n_ops` ops each, where roughly `share_fraction` of each later context's
+/// ops are copied from context 0 (shared) and the rest are unique.
+pub fn generated_family(
+    n_contexts: usize,
+    n_inputs: usize,
+    n_ops: usize,
+    share_fraction: f64,
+    seed: u64,
+) -> Vec<Dfg> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut contexts = Vec::with_capacity(n_contexts);
+    // Context 0: chain/tree of ops.
+    for c in 0..n_contexts {
+        let mut dfg = Dfg::new(format!("gen_ctx{c}"));
+        let inputs: Vec<DfgNodeId> = (0..n_inputs)
+            .map(|i| dfg.input(format!("x{i}")))
+            .collect();
+        let mut pool = inputs;
+        for k in 0..n_ops {
+            let a = pool[rng.gen_range(0..pool.len())];
+            let b = pool[rng.gen_range(0..pool.len())];
+            // Shared ops use a context-independent name derived only from k;
+            // with the same argument choice pattern they hash equal across
+            // contexts. To force that, shared ops always use the first two
+            // inputs of the pool prefix.
+            let shared = c > 0 && rng.gen_bool(share_fraction);
+            let id = if shared || c == 0 {
+                let a0 = DfgNodeId((k % n_inputs) as u32);
+                let b0 = DfgNodeId(((k + 1) % n_inputs) as u32);
+                dfg.op(format!("f{k}"), &[a0, b0])
+            } else {
+                dfg.op(format!("g{c}_{k}"), &[a, b])
+            };
+            pool.push(id);
+        }
+        let last = *pool.last().expect("non-empty");
+        dfg.mark_output(last);
+        contexts.push(dfg);
+    }
+    contexts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_shares_o2_o3() {
+        let ctxs = paper_example();
+        let merged = MergedDfg::merge(&ctxs);
+        // Unique: O2, O3, O4, O1 -> 4; instances: 3 + 3 = 6; shared: 2.
+        assert_eq!(merged.unique_nodes(), 4);
+        assert_eq!(merged.total_instances(), 6);
+        assert_eq!(merged.shared_nodes(), 2);
+    }
+
+    #[test]
+    fn structural_keys_identify_identical_trees() {
+        let mut a = Dfg::new("a");
+        let x = a.input("x");
+        let y = a.input("y");
+        let f = a.op("add", &[x, y]);
+        let g = a.op("add", &[x, y]);
+        let keys = a.structural_keys();
+        assert_eq!(keys[f.index()], keys[g.index()]);
+
+        let mut b = Dfg::new("b");
+        let x = b.input("x");
+        let y = b.input("y");
+        let h = b.op("add", &[y, x]); // different arg order => different key
+        let kb = b.structural_keys();
+        assert_ne!(keys[f.index()], kb[h.index()]);
+    }
+
+    #[test]
+    fn merge_counts_duplicates_once() {
+        let mut c0 = Dfg::new("c0");
+        let x = c0.input("x");
+        let n0 = c0.op("inc", &[x]);
+        c0.mark_output(n0);
+        let c1 = c0.clone();
+        let merged = MergedDfg::merge(&[c0, c1]);
+        assert_eq!(merged.unique_nodes(), 1);
+        assert_eq!(merged.total_instances(), 2);
+        assert_eq!(merged.nodes[0].context_mask, 0b11);
+    }
+
+    #[test]
+    fn generated_family_sharing_scales() {
+        let none = MergedDfg::merge(&generated_family(4, 4, 20, 0.0, 42));
+        let all = MergedDfg::merge(&generated_family(4, 4, 20, 1.0, 42));
+        assert!(all.unique_nodes() < none.unique_nodes());
+        assert_eq!(all.unique_nodes(), 20, "full sharing collapses to one context");
+        assert_eq!(none.total_instances(), 80);
+    }
+
+    #[test]
+    fn full_share_means_all_nodes_in_every_context() {
+        let fam = generated_family(3, 4, 10, 1.0, 7);
+        let merged = MergedDfg::merge(&fam);
+        for n in &merged.nodes {
+            assert_eq!(n.context_mask, 0b111, "node {} not fully shared", n.key);
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Extended circuit library: control/encode/ECC circuits complementing the
+//! datapath set in [`crate::library`].
+
+use crate::ir::{Netlist, NodeId};
+use crate::words::*;
+
+/// Priority encoder: index of the highest set input bit, plus `valid`.
+pub fn priority_encoder(width: usize) -> Netlist {
+    assert!(width >= 2);
+    let out_bits = usize::BITS as usize - (width - 1).leading_zeros() as usize;
+    let mut n = Netlist::new(format!("prienc{width}"));
+    let a = input_bus(&mut n, "a", width);
+    // Scan from LSB: keep the index of the last set bit seen.
+    let mut idx = const_bus(&mut n, 0, out_bits);
+    let mut valid = n.constant(false);
+    for (i, &bit) in a.iter().enumerate() {
+        let here = const_bus(&mut n, i as u64, out_bits);
+        idx = bus_mux(&mut n, bit, &idx, &here);
+        valid = n.or(valid, bit);
+    }
+    output_bus(&mut n, "idx", &idx);
+    n.output("valid", valid);
+    n
+}
+
+/// One-hot decoder: `2^sel_bits` outputs, exactly one high.
+pub fn one_hot_decoder(sel_bits: usize) -> Netlist {
+    let mut n = Netlist::new(format!("onehot{sel_bits}"));
+    let sel = input_bus(&mut n, "sel", sel_bits);
+    let nsel: Vec<NodeId> = sel.iter().map(|&s| n.not(s)).collect();
+    let mut outs = Vec::with_capacity(1 << sel_bits);
+    for v in 0..(1usize << sel_bits) {
+        let terms: Vec<NodeId> = (0..sel_bits)
+            .map(|b| if (v >> b) & 1 == 1 { sel[b] } else { nsel[b] })
+            .collect();
+        outs.push(reduce_and(&mut n, &terms));
+    }
+    output_bus(&mut n, "y", &outs);
+    n
+}
+
+/// Hamming(7,4) encoder: 4 data bits -> 7-bit codeword (p1 p2 d1 p4 d2 d3 d4).
+pub fn hamming74_encoder() -> Netlist {
+    let mut n = Netlist::new("ham74enc");
+    let d = input_bus(&mut n, "d", 4);
+    let p1 = {
+        let t = n.xor(d[0], d[1]);
+        n.xor(t, d[3])
+    };
+    let p2 = {
+        let t = n.xor(d[0], d[2]);
+        n.xor(t, d[3])
+    };
+    let p4 = {
+        let t = n.xor(d[1], d[2]);
+        n.xor(t, d[3])
+    };
+    // Codeword positions 1..7: p1 p2 d1 p4 d2 d3 d4.
+    let code = [p1, p2, d[0], p4, d[1], d[2], d[3]];
+    output_bus(&mut n, "c", &code);
+    n
+}
+
+/// Hamming(7,4) decoder with single-error correction: 7-bit word -> 4 data
+/// bits plus the 3-bit syndrome.
+pub fn hamming74_decoder() -> Netlist {
+    let mut n = Netlist::new("ham74dec");
+    let c = input_bus(&mut n, "c", 7); // positions 1..7 at indices 0..6
+    let s1 = {
+        // Parity over positions 1,3,5,7.
+        let t = n.xor(c[0], c[2]);
+        let t = n.xor(t, c[4]);
+        n.xor(t, c[6])
+    };
+    let s2 = {
+        // positions 2,3,6,7
+        let t = n.xor(c[1], c[2]);
+        let t = n.xor(t, c[5]);
+        n.xor(t, c[6])
+    };
+    let s4 = {
+        // positions 4,5,6,7
+        let t = n.xor(c[3], c[4]);
+        let t = n.xor(t, c[5]);
+        n.xor(t, c[6])
+    };
+    // Correct position s (1-based) if syndrome non-zero.
+    let syndrome = [s1, s2, s4];
+    let corrected: Vec<NodeId> = (0..7)
+        .map(|pos| {
+            let want = pos + 1;
+            let terms: Vec<NodeId> = (0..3)
+                .map(|b| {
+                    if (want >> b) & 1 == 1 {
+                        syndrome[b]
+                    } else {
+                        n.not(syndrome[b])
+                    }
+                })
+                .collect();
+            let here = reduce_and(&mut n, &terms);
+            n.xor(c[pos], here)
+        })
+        .collect();
+    // Data bits at positions 3,5,6,7 (indices 2,4,5,6).
+    let data = [corrected[2], corrected[4], corrected[5], corrected[6]];
+    output_bus(&mut n, "d", &data);
+    output_bus(&mut n, "s", &syndrome);
+    n
+}
+
+/// Seven-segment decoder for a hex digit (segments a..g, active high).
+pub fn seven_segment() -> Netlist {
+    let mut n = Netlist::new("sevenseg");
+    let d = input_bus(&mut n, "d", 4);
+    // Segment truth tables for digits 0..15 (a..g).
+    const SEGS: [u8; 16] = [
+        0b0111111, 0b0000110, 0b1011011, 0b1001111, 0b1100110, 0b1101101, 0b1111101, 0b0000111,
+        0b1111111, 0b1101111, 0b1110111, 0b1111100, 0b0111001, 0b1011110, 0b1111001, 0b1110001,
+    ];
+    let nsel: Vec<NodeId> = d.iter().map(|&s| n.not(s)).collect();
+    let minterms: Vec<NodeId> = (0..16)
+        .map(|v| {
+            let terms: Vec<NodeId> = (0..4)
+                .map(|b| if (v >> b) & 1 == 1 { d[b] } else { nsel[b] })
+                .collect();
+            reduce_and(&mut n, &terms)
+        })
+        .collect();
+    let mut segs = Vec::with_capacity(7);
+    for seg in 0..7 {
+        let on: Vec<NodeId> = (0..16)
+            .filter(|&v| (SEGS[v] >> seg) & 1 == 1)
+            .map(|v| minterms[v])
+            .collect();
+        segs.push(reduce_or(&mut n, &on));
+    }
+    output_bus(&mut n, "seg", &segs);
+    n
+}
+
+/// Saturating unsigned add: clamps at `2^width - 1`.
+pub fn saturating_adder(width: usize) -> Netlist {
+    let mut n = Netlist::new(format!("satadd{width}"));
+    let a = input_bus(&mut n, "a", width);
+    let b = input_bus(&mut n, "b", width);
+    let zero = n.constant(false);
+    let (sum, carry) = ripple_add(&mut n, &a, &b, zero);
+    let ones = const_bus(&mut n, (1u64 << width) - 1, width);
+    let out = bus_mux(&mut n, carry, &sum, &ones);
+    output_bus(&mut n, "y", &out);
+    n
+}
+
+/// Compare-exchange stage of a sorting network: outputs `(min, max)`.
+pub fn compare_exchange(width: usize) -> Netlist {
+    let mut n = Netlist::new(format!("cmpex{width}"));
+    let a = input_bus(&mut n, "a", width);
+    let b = input_bus(&mut n, "b", width);
+    let a_lt_b = bus_lt(&mut n, &a, &b);
+    let min = bus_mux(&mut n, a_lt_b, &b, &a);
+    let max = bus_mux(&mut n, a_lt_b, &a, &b);
+    output_bus(&mut n, "min", &min);
+    output_bus(&mut n, "max", &max);
+    n
+}
+
+/// Sequential multiply-accumulate: `acc += a * b` every enabled cycle.
+pub fn mac(width: usize, acc_width: usize) -> Netlist {
+    assert!(acc_width >= 2 * width);
+    let mut n = Netlist::new(format!("mac{width}"));
+    let a = input_bus(&mut n, "a", width);
+    let b = input_bus(&mut n, "b", width);
+    let en = n.input("en");
+    let acc: Vec<NodeId> = (0..acc_width).map(|_| n.dff_feedback(false)).collect();
+    // Product (combinational array multiplier).
+    let zero = n.constant(false);
+    let mut prod: Vec<NodeId> = vec![zero; 2 * width];
+    for (i, &bi) in b.iter().enumerate() {
+        let row: Vec<NodeId> = a.iter().map(|&aj| n.and(aj, bi)).collect();
+        let mut carry = zero;
+        for (j, &r) in row.iter().enumerate() {
+            let (s, c) = full_adder(&mut n, prod[i + j], r, carry);
+            prod[i + j] = s;
+            carry = c;
+        }
+        let mut k = i + width;
+        while k < 2 * width {
+            let (s, c) = full_adder(&mut n, prod[k], carry, zero);
+            prod[k] = s;
+            carry = c;
+            k += 1;
+        }
+    }
+    // Widen and add to the accumulator.
+    let mut wide = prod;
+    while wide.len() < acc_width {
+        wide.push(zero);
+    }
+    let (next, _) = ripple_add(&mut n, &acc, &wide, zero);
+    let held = bus_mux(&mut n, en, &acc, &next);
+    for (ff, &d) in acc.iter().zip(&held) {
+        n.connect_dff(*ff, d);
+    }
+    output_bus(&mut n, "acc", &acc);
+    n
+}
+
+/// Extended suite: the extra circuits at mappable sizes.
+pub fn extended_suite() -> Vec<Netlist> {
+    vec![
+        priority_encoder(6),
+        one_hot_decoder(3),
+        hamming74_encoder(),
+        hamming74_decoder(),
+        seven_segment(),
+        saturating_adder(4),
+        compare_exchange(3),
+        mac(3, 8),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::words::{bits_to_u64, u64_to_bits};
+
+    #[test]
+    fn everything_validates() {
+        for c in extended_suite() {
+            c.validate().unwrap_or_else(|e| panic!("{}: {e}", c.name()));
+        }
+    }
+
+    #[test]
+    fn priority_encoder_matches() {
+        let p = priority_encoder(6);
+        for v in 0..64u64 {
+            let out = p.eval_comb(&u64_to_bits(v, 6)).unwrap();
+            let idx = bits_to_u64(&out[..3]);
+            let valid = out[3];
+            if v == 0 {
+                assert!(!valid);
+            } else {
+                assert!(valid);
+                assert_eq!(idx, 63 - v.leading_zeros() as u64, "v={v:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_hot_decoder_matches() {
+        let d = one_hot_decoder(3);
+        for v in 0..8u64 {
+            let out = d.eval_comb(&u64_to_bits(v, 3)).unwrap();
+            assert_eq!(bits_to_u64(&out), 1 << v);
+        }
+    }
+
+    #[test]
+    fn hamming_roundtrip_and_corrects_single_errors() {
+        let enc = hamming74_encoder();
+        let dec = hamming74_decoder();
+        for v in 0..16u64 {
+            let code = enc.eval_comb(&u64_to_bits(v, 4)).unwrap();
+            // Clean word decodes to itself with zero syndrome.
+            let out = dec.eval_comb(&code).unwrap();
+            assert_eq!(bits_to_u64(&out[..4]), v, "clean decode of {v}");
+            assert_eq!(bits_to_u64(&out[4..7]), 0, "zero syndrome");
+            // Every single-bit error is corrected.
+            for e in 0..7 {
+                let mut bad = code.clone();
+                bad[e] = !bad[e];
+                let out = dec.eval_comb(&bad).unwrap();
+                assert_eq!(bits_to_u64(&out[..4]), v, "flip {e} of {v}");
+                assert_eq!(bits_to_u64(&out[4..7]), (e + 1) as u64, "syndrome");
+            }
+        }
+    }
+
+    #[test]
+    fn seven_segment_digits() {
+        let s = seven_segment();
+        // 8 lights every segment; 1 lights exactly b and c.
+        let out8 = s.eval_comb(&u64_to_bits(8, 4)).unwrap();
+        assert!(out8.iter().all(|&b| b));
+        let out1 = s.eval_comb(&u64_to_bits(1, 4)).unwrap();
+        assert_eq!(bits_to_u64(&out1), 0b0000110);
+    }
+
+    #[test]
+    fn saturating_adder_clamps() {
+        let s = saturating_adder(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let mut inp = u64_to_bits(a, 4);
+                inp.extend(u64_to_bits(b, 4));
+                let out = s.eval_comb(&inp).unwrap();
+                assert_eq!(bits_to_u64(&out), (a + b).min(15), "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn compare_exchange_sorts_pairs() {
+        let c = compare_exchange(3);
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                let mut inp = u64_to_bits(a, 3);
+                inp.extend(u64_to_bits(b, 3));
+                let out = c.eval_comb(&inp).unwrap();
+                assert_eq!(bits_to_u64(&out[..3]), a.min(b));
+                assert_eq!(bits_to_u64(&out[3..]), a.max(b));
+            }
+        }
+    }
+
+    #[test]
+    fn mac_accumulates() {
+        let m = mac(3, 8);
+        let mut st = m.initial_state();
+        let pairs = [(3u64, 5u64), (7, 7), (2, 0), (6, 4)];
+        let mut expect = 0u64;
+        for (a, b) in pairs {
+            let mut inp = u64_to_bits(a, 3);
+            inp.extend(u64_to_bits(b, 3));
+            inp.push(true);
+            let out = m.step(&inp, &mut st).unwrap();
+            assert_eq!(bits_to_u64(&out), expect, "pre-edge accumulator");
+            expect = (expect + a * b) & 0xFF;
+        }
+        // Disabled cycle holds.
+        let mut inp = u64_to_bits(7, 3);
+        inp.extend(u64_to_bits(7, 3));
+        inp.push(false);
+        let out = m.step(&inp, &mut st).unwrap();
+        assert_eq!(bits_to_u64(&out), expect);
+        let out2 = m.step(&inp, &mut st).unwrap();
+        assert_eq!(bits_to_u64(&out2), expect, "hold while disabled");
+    }
+}

@@ -1,0 +1,108 @@
+//! Adder-architecture variants: the same function implemented three ways,
+//! used to study how circuit *structure* (depth vs gate count) interacts
+//! with LUT mapping and routing on the MC-FPGA.
+
+use crate::ir::{Netlist, NodeId};
+use crate::words::*;
+
+/// Carry-lookahead adder (one-level lookahead over the full width).
+pub fn carry_lookahead_adder(width: usize) -> Netlist {
+    let mut n = Netlist::new(format!("cla{width}"));
+    let a = input_bus(&mut n, "a", width);
+    let b = input_bus(&mut n, "b", width);
+    let cin = n.input("cin");
+    // Generate/propagate per bit.
+    let g: Vec<NodeId> = a.iter().zip(&b).map(|(&x, &y)| n.and(x, y)).collect();
+    let p: Vec<NodeId> = a.iter().zip(&b).map(|(&x, &y)| n.xor(x, y)).collect();
+    // c[i+1] = g[i] | p[i] & c[i], expanded as a lookahead chain of
+    // two-input gates (depth grows linearly but through fast AND/OR).
+    let mut carries = vec![cin];
+    for i in 0..width {
+        let pc = n.and(p[i], carries[i]);
+        let c_next = n.or(g[i], pc);
+        carries.push(c_next);
+    }
+    let sum: Vec<NodeId> = (0..width).map(|i| n.xor(p[i], carries[i])).collect();
+    output_bus(&mut n, "sum", &sum);
+    n.output("cout", carries[width]);
+    n
+}
+
+/// Carry-select adder: halves computed for both carry values, the real
+/// carry picks. Shallower than ripple at the cost of duplicated logic.
+pub fn carry_select_adder(width: usize) -> Netlist {
+    assert!(width >= 2 && width.is_multiple_of(2), "even width >= 2");
+    let half = width / 2;
+    let mut n = Netlist::new(format!("csel{width}"));
+    let a = input_bus(&mut n, "a", width);
+    let b = input_bus(&mut n, "b", width);
+    let cin = n.input("cin");
+    // Low half: ordinary ripple.
+    let (low_sum, low_carry) = ripple_add(&mut n, &a[..half], &b[..half], cin);
+    // High half twice: assuming carry 0 and carry 1.
+    let zero = n.constant(false);
+    let one = n.constant(true);
+    let (hi0, c0) = ripple_add(&mut n, &a[half..], &b[half..], zero);
+    let (hi1, c1) = ripple_add(&mut n, &a[half..], &b[half..], one);
+    let hi = bus_mux(&mut n, low_carry, &hi0, &hi1);
+    let cout = n.mux(low_carry, c0, c1);
+    let mut sum = low_sum;
+    sum.extend(hi);
+    output_bus(&mut n, "sum", &sum);
+    n.output("cout", cout);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::adder;
+    use crate::words::{bits_to_u64, u64_to_bits};
+
+    fn check_adder(n: &Netlist, width: usize) {
+        for a in 0..(1u64 << width.min(5)) {
+            for b in 0..(1u64 << width.min(5)) {
+                for cin in [false, true] {
+                    let mut inp = u64_to_bits(a, width);
+                    inp.extend(u64_to_bits(b, width));
+                    inp.push(cin);
+                    let out = n.eval_comb(&inp).unwrap();
+                    let got = bits_to_u64(&out[..width]) + ((out[width] as u64) << width);
+                    assert_eq!(got, a + b + cin as u64, "{}: {a}+{b}+{cin}", n.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_three_adders_agree_with_arithmetic() {
+        check_adder(&adder(4), 4);
+        check_adder(&carry_lookahead_adder(4), 4);
+        check_adder(&carry_select_adder(4), 4);
+    }
+
+    #[test]
+    fn wider_variants_also_work() {
+        check_adder(&carry_lookahead_adder(8), 8);
+        check_adder(&carry_select_adder(8), 8);
+    }
+
+    #[test]
+    fn select_adder_is_shallower_than_ripple() {
+        let ripple = adder(8);
+        let select = carry_select_adder(8);
+        assert!(
+            select.depth() < ripple.depth(),
+            "select {} vs ripple {}",
+            select.depth(),
+            ripple.depth()
+        );
+    }
+
+    #[test]
+    fn select_adder_pays_in_gates() {
+        let ripple = adder(8);
+        let select = carry_select_adder(8);
+        assert!(select.n_logic_gates() > ripple.n_logic_gates());
+    }
+}

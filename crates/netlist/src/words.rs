@@ -1,0 +1,236 @@
+//! Word-level construction helpers: multi-bit buses over the bit-level IR.
+//!
+//! These are building blocks for the circuit library; they always emit plain
+//! two-input gates so the mapper sees realistic gate-level structure.
+
+use crate::ir::{Netlist, NodeId};
+
+/// Create a named input bus of `width` bits, LSB first (`name[0]`, ...).
+pub fn input_bus(n: &mut Netlist, name: &str, width: usize) -> Vec<NodeId> {
+    (0..width).map(|i| n.input(format!("{name}[{i}]"))).collect()
+}
+
+/// Expose a bus as named outputs, LSB first.
+pub fn output_bus(n: &mut Netlist, name: &str, bits: &[NodeId]) {
+    for (i, b) in bits.iter().enumerate() {
+        n.output(format!("{name}[{i}]"), *b);
+    }
+}
+
+/// Full adder: returns `(sum, carry)`.
+pub fn full_adder(n: &mut Netlist, a: NodeId, b: NodeId, cin: NodeId) -> (NodeId, NodeId) {
+    let axb = n.xor(a, b);
+    let sum = n.xor(axb, cin);
+    let ab = n.and(a, b);
+    let cx = n.and(axb, cin);
+    let cout = n.or(ab, cx);
+    (sum, cout)
+}
+
+/// Ripple-carry addition of two equal-width buses. Returns `(sum, carry_out)`.
+pub fn ripple_add(
+    n: &mut Netlist,
+    a: &[NodeId],
+    b: &[NodeId],
+    cin: NodeId,
+) -> (Vec<NodeId>, NodeId) {
+    assert_eq!(a.len(), b.len(), "ripple_add width mismatch");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.len());
+    for (&ai, &bi) in a.iter().zip(b) {
+        let (s, c) = full_adder(n, ai, bi, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Two's-complement subtraction `a - b`. Returns `(difference, borrow-free flag)`.
+pub fn ripple_sub(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> (Vec<NodeId>, NodeId) {
+    let nb: Vec<NodeId> = b.iter().map(|&x| n.not(x)).collect();
+    let one = n.constant(true);
+    ripple_add(n, a, &nb, one)
+}
+
+/// Bitwise op over two buses.
+pub fn bus_map2(
+    n: &mut Netlist,
+    a: &[NodeId],
+    b: &[NodeId],
+    mut f: impl FnMut(&mut Netlist, NodeId, NodeId) -> NodeId,
+) -> Vec<NodeId> {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| f(n, x, y)).collect()
+}
+
+/// Wide AND reduction.
+pub fn reduce_and(n: &mut Netlist, bits: &[NodeId]) -> NodeId {
+    reduce(n, bits, Netlist::and)
+}
+
+/// Wide OR reduction.
+pub fn reduce_or(n: &mut Netlist, bits: &[NodeId]) -> NodeId {
+    reduce(n, bits, Netlist::or)
+}
+
+/// Wide XOR reduction (parity).
+pub fn reduce_xor(n: &mut Netlist, bits: &[NodeId]) -> NodeId {
+    reduce(n, bits, Netlist::xor)
+}
+
+fn reduce(
+    n: &mut Netlist,
+    bits: &[NodeId],
+    mut f: impl FnMut(&mut Netlist, NodeId, NodeId) -> NodeId,
+) -> NodeId {
+    assert!(!bits.is_empty(), "reduction over empty bus");
+    // Balanced tree keeps depth logarithmic.
+    let mut level: Vec<NodeId> = bits.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.chunks(2);
+        for pair in &mut it {
+            if pair.len() == 2 {
+                next.push(f(n, pair[0], pair[1]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// Equality comparator over two buses.
+pub fn bus_eq(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> NodeId {
+    let eqs = bus_map2(n, a, b, Netlist::xnor);
+    reduce_and(n, &eqs)
+}
+
+/// Unsigned `a < b` comparator (ripple borrow).
+pub fn bus_lt(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> NodeId {
+    assert_eq!(a.len(), b.len());
+    // lt_i = (!a_i & b_i) | (a_i == b_i) & lt_{i-1}, scanning from LSB.
+    let mut lt = n.constant(false);
+    for (&ai, &bi) in a.iter().zip(b) {
+        let na = n.not(ai);
+        let strict = n.and(na, bi);
+        let eq = n.xnor(ai, bi);
+        let carry = n.and(eq, lt);
+        lt = n.or(strict, carry);
+    }
+    lt
+}
+
+/// Word-level 2:1 mux.
+pub fn bus_mux(n: &mut Netlist, sel: NodeId, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| n.mux(sel, x, y)).collect()
+}
+
+/// Constant bus for an integer value, LSB first.
+pub fn const_bus(n: &mut Netlist, value: u64, width: usize) -> Vec<NodeId> {
+    (0..width)
+        .map(|i| n.constant((value >> i) & 1 == 1))
+        .collect()
+}
+
+/// Interpret an output slice as an unsigned integer (test helper).
+pub fn bits_to_u64(bits: &[bool]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+}
+
+/// Expand an unsigned integer into `width` bits, LSB first (test helper).
+pub fn u64_to_bits(value: u64, width: usize) -> Vec<bool> {
+    (0..width).map(|i| (value >> i) & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ripple_add_matches_integers() {
+        let mut n = Netlist::new("add4");
+        let a = input_bus(&mut n, "a", 4);
+        let b = input_bus(&mut n, "b", 4);
+        let zero = n.constant(false);
+        let (sum, cout) = ripple_add(&mut n, &a, &b, zero);
+        output_bus(&mut n, "s", &sum);
+        n.output("cout", cout);
+        n.validate().unwrap();
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut inp = u64_to_bits(x, 4);
+                inp.extend(u64_to_bits(y, 4));
+                let out = n.eval_comb(&inp).unwrap();
+                let got = bits_to_u64(&out[..4]) | (u64::from(out[4]) << 4);
+                assert_eq!(got, x + y, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtraction_matches_wrapping() {
+        let mut n = Netlist::new("sub4");
+        let a = input_bus(&mut n, "a", 4);
+        let b = input_bus(&mut n, "b", 4);
+        let (diff, _no_borrow) = ripple_sub(&mut n, &a, &b);
+        output_bus(&mut n, "d", &diff);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut inp = u64_to_bits(x, 4);
+                inp.extend(u64_to_bits(y, 4));
+                let out = n.eval_comb(&inp).unwrap();
+                assert_eq!(bits_to_u64(&out[..4]), (x.wrapping_sub(y)) & 0xF);
+            }
+        }
+    }
+
+    #[test]
+    fn comparators_match() {
+        let mut n = Netlist::new("cmp");
+        let a = input_bus(&mut n, "a", 3);
+        let b = input_bus(&mut n, "b", 3);
+        let eq = bus_eq(&mut n, &a, &b);
+        let lt = bus_lt(&mut n, &a, &b);
+        n.output("eq", eq);
+        n.output("lt", lt);
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                let mut inp = u64_to_bits(x, 3);
+                inp.extend(u64_to_bits(y, 3));
+                let out = n.eval_comb(&inp).unwrap();
+                assert_eq!(out[0], x == y, "{x} == {y}");
+                assert_eq!(out[1], x < y, "{x} < {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_match() {
+        let mut n = Netlist::new("red");
+        let a = input_bus(&mut n, "a", 5);
+        let and = reduce_and(&mut n, &a);
+        let or = reduce_or(&mut n, &a);
+        let xor = reduce_xor(&mut n, &a);
+        n.output("and", and);
+        n.output("or", or);
+        n.output("xor", xor);
+        for v in 0..32u64 {
+            let out = n.eval_comb(&u64_to_bits(v, 5)).unwrap();
+            assert_eq!(out[0], v == 31);
+            assert_eq!(out[1], v != 0);
+            assert_eq!(out[2], (v.count_ones() & 1) == 1);
+        }
+    }
+
+    #[test]
+    fn bit_conversion_roundtrip() {
+        for v in [0u64, 1, 5, 255, 256, 1 << 40] {
+            assert_eq!(bits_to_u64(&u64_to_bits(v, 48)), v);
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! The simulated-annealing engine (VPR-style adaptive schedule).
+
+use mcfpga_arch::Coord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::problem::{BlockKind, PlacementProblem};
+
+/// Annealer knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnealOptions {
+    pub seed: u64,
+    /// Moves per temperature step, per block.
+    pub moves_per_block: usize,
+    /// Stop when temperature falls below `t_min * cost/nets`.
+    pub t_min_factor: f64,
+}
+
+impl Default for AnnealOptions {
+    fn default() -> Self {
+        AnnealOptions {
+            seed: 0xF1A9,
+            moves_per_block: 12,
+            t_min_factor: 0.005,
+        }
+    }
+}
+
+/// A finished placement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Full-grid coordinate of every block.
+    pub position: Vec<Coord>,
+    /// Final HPWL cost.
+    pub cost: u64,
+}
+
+impl Placement {
+    /// Verify legality against a problem: logic on logic sites, I/O on ring
+    /// sites, no two blocks sharing a site.
+    pub fn validate(&self, problem: &PlacementProblem) -> Result<(), String> {
+        if self.position.len() != problem.n_blocks() {
+            return Err("position count mismatch".into());
+        }
+        let mut used = std::collections::HashSet::new();
+        for (b, &pos) in self.position.iter().enumerate() {
+            match problem.kinds[b] {
+                BlockKind::Logic if !problem.grid.is_logic(pos) => {
+                    return Err(format!("logic block {b} on non-logic site {pos}"));
+                }
+                BlockKind::Io if !problem.grid.is_io(pos) => {
+                    return Err(format!("I/O block {b} off the ring at {pos}"));
+                }
+                _ => {}
+            }
+            if !used.insert(pos) {
+                return Err(format!("two blocks share site {pos}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn net_hpwl(net: &[usize], position: &[Coord]) -> u64 {
+    let mut min_x = u16::MAX;
+    let mut max_x = 0u16;
+    let mut min_y = u16::MAX;
+    let mut max_y = 0u16;
+    for &b in net {
+        let p = position[b];
+        min_x = min_x.min(p.x);
+        max_x = max_x.max(p.x);
+        min_y = min_y.min(p.y);
+        max_y = max_y.max(p.y);
+    }
+    (max_x - min_x) as u64 + (max_y - min_y) as u64
+}
+
+fn total_cost(problem: &PlacementProblem, position: &[Coord]) -> u64 {
+    problem.nets.iter().map(|n| net_hpwl(n, position)).sum()
+}
+
+/// Place a problem with simulated annealing. Deterministic in the seed.
+pub fn place(problem: &PlacementProblem, opts: &AnnealOptions) -> Placement {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let logic_sites = problem.grid.logic_sites();
+    let io_sites = problem.grid.io_sites();
+
+    // Initial placement: blocks in site order.
+    let mut position: Vec<Coord> = Vec::with_capacity(problem.n_blocks());
+    let mut logic_cursor = 0usize;
+    let mut io_cursor = 0usize;
+    for kind in &problem.kinds {
+        match kind {
+            BlockKind::Logic => {
+                position.push(logic_sites[logic_cursor]);
+                logic_cursor += 1;
+            }
+            BlockKind::Io => {
+                position.push(io_sites[io_cursor]);
+                io_cursor += 1;
+            }
+        }
+    }
+
+    // Per-site occupancy for swap moves.
+    use std::collections::HashMap;
+    let mut occupant: HashMap<Coord, usize> = position
+        .iter()
+        .enumerate()
+        .map(|(b, &p)| (p, b))
+        .collect();
+
+    // Nets touching each block, for incremental cost.
+    let mut nets_of: Vec<Vec<usize>> = vec![Vec::new(); problem.n_blocks()];
+    for (ni, net) in problem.nets.iter().enumerate() {
+        for &b in net {
+            nets_of[b].push(ni);
+        }
+    }
+
+    let mut cost = total_cost(problem, &position);
+    if problem.nets.is_empty() || problem.n_blocks() < 2 {
+        return Placement { position, cost };
+    }
+
+    // Initial temperature: spread of random-move deltas.
+    let mut t = (cost as f64 / problem.nets.len() as f64).max(1.0) * 2.0;
+    let t_min = opts.t_min_factor;
+    let moves_per_t = opts.moves_per_block * problem.n_blocks();
+
+    while t > t_min {
+        let mut accepted = 0usize;
+        for _ in 0..moves_per_t {
+            // Pick a block and a target site of the same kind.
+            let b = rng.gen_range(0..problem.n_blocks());
+            let target = match problem.kinds[b] {
+                BlockKind::Logic => logic_sites[rng.gen_range(0..logic_sites.len())],
+                BlockKind::Io => io_sites[rng.gen_range(0..io_sites.len())],
+            };
+            if target == position[b] {
+                continue;
+            }
+            let other = occupant.get(&target).copied();
+            // Cost of affected nets before the move.
+            let mut affected: Vec<usize> = nets_of[b].clone();
+            if let Some(o) = other {
+                affected.extend(&nets_of[o]);
+            }
+            affected.sort_unstable();
+            affected.dedup();
+            let before: u64 = affected
+                .iter()
+                .map(|&n| net_hpwl(&problem.nets[n], &position))
+                .sum();
+            // Apply.
+            let old = position[b];
+            position[b] = target;
+            if let Some(o) = other {
+                position[o] = old;
+            }
+            let after: u64 = affected
+                .iter()
+                .map(|&n| net_hpwl(&problem.nets[n], &position))
+                .sum();
+            let delta = after as i64 - before as i64;
+            let accept = delta <= 0 || rng.gen_bool((-(delta as f64) / t).exp().min(1.0));
+            if accept {
+                occupant.remove(&old);
+                if let Some(o) = other {
+                    occupant.insert(old, o);
+                }
+                occupant.insert(target, b);
+                cost = (cost as i64 + delta) as u64;
+                accepted += 1;
+            } else {
+                // Revert.
+                position[b] = old;
+                if let Some(o) = other {
+                    position[o] = target;
+                }
+            }
+        }
+        // Adaptive cooling: cool faster when the acceptance rate strays from
+        // the productive band (VPR's rule of thumb).
+        let rate = accepted as f64 / moves_per_t as f64;
+        let alpha = if rate > 0.96 {
+            0.5
+        } else if rate > 0.8 {
+            0.9
+        } else if rate > 0.15 {
+            0.95
+        } else {
+            0.8
+        };
+        t *= alpha;
+    }
+    debug_assert_eq!(cost, total_cost(problem, &position));
+    Placement { position, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::PlacementProblem;
+    use mcfpga_arch::ArchSpec;
+    use mcfpga_map::map_netlist;
+    use mcfpga_netlist::library;
+
+    fn placed(circuit: mcfpga_netlist::Netlist, seed: u64) -> (PlacementProblem, Placement) {
+        let arch = ArchSpec::paper_default();
+        let mapped = map_netlist(&circuit, 6).unwrap();
+        let problem = PlacementProblem::from_mapped(&mapped, &arch).unwrap();
+        let placement = place(
+            &problem,
+            &AnnealOptions {
+                seed,
+                ..Default::default()
+            },
+        );
+        (problem, placement)
+    }
+
+    #[test]
+    fn placements_are_legal() {
+        for circuit in [library::adder(4), library::alu(4), library::multiplier(3)] {
+            let (problem, placement) = placed(circuit, 1);
+            placement.validate(&problem).unwrap();
+        }
+    }
+
+    #[test]
+    fn annealing_beats_the_initial_placement() {
+        let arch = ArchSpec::paper_default();
+        let mapped = map_netlist(&library::multiplier(3), 6).unwrap();
+        let problem = PlacementProblem::from_mapped(&mapped, &arch).unwrap();
+        // Initial cost: blocks in site order.
+        let sites = problem.grid.logic_sites();
+        let ios = problem.grid.io_sites();
+        let mut pos = Vec::new();
+        let (mut lc, mut ic) = (0, 0);
+        for k in &problem.kinds {
+            match k {
+                crate::problem::BlockKind::Logic => {
+                    pos.push(sites[lc]);
+                    lc += 1;
+                }
+                crate::problem::BlockKind::Io => {
+                    pos.push(ios[ic]);
+                    ic += 1;
+                }
+            }
+        }
+        let initial = super::total_cost(&problem, &pos);
+        let placement = place(&problem, &AnnealOptions::default());
+        assert!(
+            placement.cost <= initial,
+            "annealed {} vs initial {initial}",
+            placement.cost
+        );
+    }
+
+    #[test]
+    fn placement_is_deterministic_in_seed() {
+        let (_, a) = placed(library::alu(4), 7);
+        let (_, b) = placed(library::alu(4), 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reported_cost_matches_recomputation() {
+        let (problem, placement) = placed(library::adder(6), 3);
+        assert_eq!(placement.cost, super::total_cost(&problem, &placement.position));
+    }
+
+    #[test]
+    fn trivial_problem_places() {
+        let arch = ArchSpec::paper_default();
+        let mapped = map_netlist(&library::parity(4), 6).unwrap();
+        let problem = PlacementProblem::from_mapped(&mapped, &arch).unwrap();
+        let placement = place(&problem, &AnnealOptions::default());
+        placement.validate(&problem).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::problem::PlacementProblem;
+    use mcfpga_arch::ArchSpec;
+    use mcfpga_map::map_netlist;
+    use mcfpga_netlist::{random_netlist, RandomNetlistParams};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// Every random circuit places legally at every seed, and the
+        /// reported cost matches recomputation.
+        #[test]
+        fn random_placements_are_legal(seed in 0u64..1000, anneal_seed in 0u64..1000) {
+            let arch = ArchSpec::paper_default();
+            let params = RandomNetlistParams {
+                n_inputs: 6,
+                n_gates: 50,
+                n_outputs: 6,
+                dff_fraction: 0.1,
+            };
+            let netlist = random_netlist(params, seed);
+            let mapped = map_netlist(&netlist, 6).unwrap();
+            let problem = PlacementProblem::from_mapped(&mapped, &arch).unwrap();
+            let placement = place(
+                &problem,
+                &AnnealOptions {
+                    seed: anneal_seed,
+                    moves_per_block: 4, // keep the property run fast
+                    ..Default::default()
+                },
+            );
+            placement.validate(&problem).unwrap();
+            prop_assert_eq!(placement.cost, super::total_cost(&problem, &placement.position));
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Simulated-annealing placement for the MC-FPGA.
+//!
+//! The fabric is modelled as the logic-block grid of Fig. 1 surrounded by a
+//! ring of I/O sites: a `W x H` architecture becomes a `(W+2) x (H+2)`
+//! placement grid whose interior cells are logic-block sites and whose ring
+//! cells hold primary inputs/outputs. Placement minimises total net
+//! half-perimeter wirelength (HPWL) with the classic VPR-style adaptive
+//! annealing schedule.
+//!
+//! Placement is per-fabric, not per-context: a multi-context workload shares
+//! one placement (the whole point of an MC-FPGA is that contexts share the
+//! physical array), so the placement problem aggregates the nets of every
+//! context.
+
+pub mod anneal;
+pub mod problem;
+
+pub use anneal::{place, AnnealOptions, Placement};
+pub use problem::{lb_of_lut, PlaceError, PlacementGrid, PlacementProblem};

@@ -1,0 +1,257 @@
+//! Placement problem construction from mapped netlists.
+
+use mcfpga_arch::{ArchSpec, Coord, GridDim};
+use mcfpga_map::{MappedNetlist, MappedSource};
+use serde::{Deserialize, Serialize};
+
+/// The placement grid: architecture grid plus an I/O ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementGrid {
+    /// Full grid including the ring; logic sites are `1..=W`, `1..=H`.
+    pub full: GridDim,
+}
+
+impl PlacementGrid {
+    pub fn of(arch: &ArchSpec) -> Self {
+        PlacementGrid {
+            full: GridDim::new(arch.grid.width + 2, arch.grid.height + 2),
+        }
+    }
+
+    /// Whether a full-grid coordinate is a logic-block site.
+    pub fn is_logic(&self, c: Coord) -> bool {
+        c.x >= 1 && c.y >= 1 && c.x < self.full.width - 1 && c.y < self.full.height - 1
+    }
+
+    /// Whether a full-grid coordinate is an I/O ring site (excludes the
+    /// four corners, which have no adjacent channel).
+    pub fn is_io(&self, c: Coord) -> bool {
+        if self.is_logic(c) || !self.full.contains(c) {
+            return false;
+        }
+        let corner = (c.x == 0 || c.x == self.full.width - 1)
+            && (c.y == 0 || c.y == self.full.height - 1);
+        !corner
+    }
+
+    /// All logic sites.
+    pub fn logic_sites(&self) -> Vec<Coord> {
+        self.full.coords().filter(|&c| self.is_logic(c)).collect()
+    }
+
+    /// All I/O sites, in a deterministic clockwise-ish order.
+    pub fn io_sites(&self) -> Vec<Coord> {
+        self.full.coords().filter(|&c| self.is_io(c)).collect()
+    }
+}
+
+/// A block to place: a logic block (movable) or an I/O (fixed by
+/// construction to a ring site, but still swappable along the ring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockKind {
+    Logic,
+    Io,
+}
+
+/// Placement problem: blocks and the nets connecting them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementProblem {
+    pub grid: PlacementGrid,
+    pub kinds: Vec<BlockKind>,
+    /// Nets as block-id lists (source first). Single-block nets are dropped.
+    pub nets: Vec<Vec<usize>>,
+    /// Number of logic blocks (ids `0..n_logic`); I/O ids follow.
+    pub n_logic: usize,
+}
+
+/// Errors constructing a placement problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// More logic blocks than sites.
+    TooManyBlocks { blocks: usize, sites: usize },
+    /// More I/Os than ring sites.
+    TooManyIos { ios: usize, sites: usize },
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaceError::TooManyBlocks { blocks, sites } => {
+                write!(f, "{blocks} logic blocks exceed {sites} sites")
+            }
+            PlaceError::TooManyIos { ios, sites } => {
+                write!(f, "{ios} I/Os exceed {sites} ring sites")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// Which logic block hosts LUT position `i`: consecutive positions pack into
+/// the same block, `outputs` per block.
+pub fn lb_of_lut(lut_index: usize, outputs_per_lb: usize) -> usize {
+    lut_index / outputs_per_lb
+}
+
+impl PlacementProblem {
+    /// Build the problem for a mapped netlist on an architecture. LUT
+    /// positions pack `arch.lut.outputs` per logic block; every primary
+    /// input and output becomes an I/O block; registers live in the logic
+    /// block of their driving LUT.
+    pub fn from_mapped(mapped: &MappedNetlist, arch: &ArchSpec) -> Result<Self, PlaceError> {
+        let grid = PlacementGrid::of(arch);
+        let outs = arch.lut.outputs;
+        let n_logic = mapped.luts.len().div_ceil(outs).max(1);
+        let logic_sites = grid.logic_sites().len();
+        if n_logic > logic_sites {
+            return Err(PlaceError::TooManyBlocks {
+                blocks: n_logic,
+                sites: logic_sites,
+            });
+        }
+        let n_io = mapped.n_inputs + mapped.outputs.len();
+        let io_sites = grid.io_sites().len();
+        if n_io > io_sites {
+            return Err(PlaceError::TooManyIos {
+                ios: n_io,
+                sites: io_sites,
+            });
+        }
+
+        // Block ids: logic 0..n_logic, then input I/Os, then output I/Os.
+        let input_io = |i: usize| n_logic + i;
+        let output_io = |o: usize| n_logic + mapped.n_inputs + o;
+
+        // A register's value appears at the block of the LUT feeding it (the
+        // FF sits in that block); registers fed by inputs/constants act as
+        // the input itself.
+        let source_block = |src: &MappedSource| -> Option<usize> {
+            match src {
+                MappedSource::Input(i) => Some(input_io(*i)),
+                MappedSource::Lut(l) => Some(lb_of_lut(*l, outs)),
+                MappedSource::Register(r) => match &mapped.dffs[*r].d {
+                    MappedSource::Lut(l) => Some(lb_of_lut(*l, outs)),
+                    MappedSource::Input(i) => Some(input_io(*i)),
+                    MappedSource::Register(_) | MappedSource::Const(_) => None,
+                },
+                MappedSource::Const(_) => None,
+            }
+        };
+
+        // Nets: one per driving block, gathering all sink blocks.
+        use std::collections::{BTreeMap, BTreeSet};
+        let mut nets_by_source: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        for (i, lut) in mapped.luts.iter().enumerate() {
+            let sink = lb_of_lut(i, outs);
+            for inp in &lut.inputs {
+                if let Some(src) = source_block(inp) {
+                    if src != sink {
+                        nets_by_source.entry(src).or_default().insert(sink);
+                    }
+                }
+            }
+        }
+        for (o, (_, src)) in mapped.outputs.iter().enumerate() {
+            if let Some(s) = source_block(src) {
+                nets_by_source.entry(s).or_default().insert(output_io(o));
+            }
+        }
+        let nets: Vec<Vec<usize>> = nets_by_source
+            .into_iter()
+            .map(|(src, sinks)| {
+                let mut v = vec![src];
+                v.extend(sinks);
+                v
+            })
+            .filter(|n| n.len() > 1)
+            .collect();
+
+        let mut kinds = vec![BlockKind::Logic; n_logic];
+        kinds.extend(vec![BlockKind::Io; n_io]);
+        Ok(PlacementProblem {
+            grid,
+            kinds,
+            nets,
+            n_logic,
+        })
+    }
+
+    pub fn n_blocks(&self) -> usize {
+        self.kinds.len()
+    }
+
+    pub fn n_ios(&self) -> usize {
+        self.kinds.len() - self.n_logic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfpga_map::map_netlist;
+    use mcfpga_netlist::library;
+
+    fn arch() -> ArchSpec {
+        ArchSpec::paper_default()
+    }
+
+    #[test]
+    fn grid_partitions_into_logic_and_io() {
+        let grid = PlacementGrid::of(&arch());
+        assert_eq!(grid.full.width, 10);
+        let logic = grid.logic_sites();
+        let io = grid.io_sites();
+        assert_eq!(logic.len(), 64);
+        assert_eq!(io.len(), 4 * 8, "ring minus corners");
+        for c in &logic {
+            assert!(!grid.is_io(*c));
+        }
+        for c in &io {
+            assert!(!grid.is_logic(*c));
+        }
+        // Corners belong to neither.
+        assert!(!grid.is_logic(Coord::new(0, 0)));
+        assert!(!grid.is_io(Coord::new(0, 0)));
+    }
+
+    #[test]
+    fn problem_from_adder() {
+        let mapped = map_netlist(&library::adder(4), 6).unwrap();
+        let p = PlacementProblem::from_mapped(&mapped, &arch()).unwrap();
+        assert!(p.n_logic >= mapped.luts.len() / 2);
+        assert_eq!(p.n_ios(), 9 + 5); // 2x4+cin inputs, 4+cout outputs
+        assert!(!p.nets.is_empty());
+        // Every net references valid blocks.
+        for net in &p.nets {
+            assert!(net.len() >= 2);
+            for &b in net {
+                assert!(b < p.n_blocks());
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_circuits_place_registers_with_their_luts() {
+        let mapped = map_netlist(&library::counter(4), 4).unwrap();
+        let p = PlacementProblem::from_mapped(&mapped, &arch()).unwrap();
+        // One input (en) + 4 outputs.
+        assert_eq!(p.n_ios(), 5);
+    }
+
+    #[test]
+    fn oversize_designs_are_rejected() {
+        let tiny = arch().with_grid(1, 1);
+        let mapped = map_netlist(&library::multiplier(3), 4).unwrap();
+        let err = PlacementProblem::from_mapped(&mapped, &tiny).unwrap_err();
+        assert!(matches!(err, PlaceError::TooManyBlocks { .. }));
+    }
+
+    #[test]
+    fn lut_packing_is_consecutive() {
+        assert_eq!(lb_of_lut(0, 2), 0);
+        assert_eq!(lb_of_lut(1, 2), 0);
+        assert_eq!(lb_of_lut(2, 2), 1);
+        assert_eq!(lb_of_lut(5, 2), 2);
+    }
+}

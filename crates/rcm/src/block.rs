@@ -1,0 +1,224 @@
+//! The RCM block (Fig. 7): a bounded pool of switch elements, programmable
+//! cross-point switches and input controllers attached to one cell.
+//!
+//! A block is asked to realise a set of configuration columns — the
+//! decoders for every routing switch of its switch block plus any local
+//! size-controller bits of the adjacent logic block. Allocation synthesises
+//! each column (sharing identical columns, the Table 1 `G2 = G4`
+//! redundancy) and accounts SEs, pass stages and inverters against the
+//! block's capacity.
+
+use mcfpga_arch::ContextId;
+use mcfpga_config::ConfigColumn;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::decoder::{synthesize, DecoderProgram};
+
+/// Capacity of one RCM block, in fine-grained resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RcmBlock {
+    /// Switch-element grid rows x cols (Fig. 7(a)).
+    pub rows: usize,
+    pub cols: usize,
+}
+
+impl RcmBlock {
+    pub fn new(rows: usize, cols: usize) -> Self {
+        RcmBlock { rows, cols }
+    }
+
+    /// Total switch elements available.
+    pub fn capacity(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Synthesise decoders for a set of columns against this block's
+    /// capacity. Identical columns share one decoder (the inter-switch
+    /// redundancy of Table 1): the shared decoder's output fans out over the
+    /// block's tracks.
+    pub fn allocate(
+        &self,
+        columns: &[ConfigColumn],
+        ctx: ContextId,
+    ) -> Result<RcmProgram, RcmCapacityError> {
+        let mut unique: HashMap<u32, usize> = HashMap::new();
+        let mut decoders: Vec<DecoderProgram> = Vec::new();
+        let mut assignment = Vec::with_capacity(columns.len());
+        for col in columns {
+            let slot = *unique.entry(col.mask()).or_insert_with(|| {
+                decoders.push(synthesize(*col, ctx));
+                decoders.len() - 1
+            });
+            assignment.push(slot);
+        }
+        let se_used: usize = decoders.iter().map(|d| d.netlist.n_ses()).sum();
+        if se_used > self.capacity() {
+            return Err(RcmCapacityError {
+                requested: se_used,
+                capacity: self.capacity(),
+            });
+        }
+        Ok(RcmProgram {
+            decoders,
+            assignment,
+            ctx,
+        })
+    }
+
+    /// The smallest square block that fits `columns` (used to size the
+    /// fabric in the area model).
+    pub fn fitting(columns: &[ConfigColumn], ctx: ContextId) -> RcmBlock {
+        let mut side = 1usize;
+        loop {
+            let block = RcmBlock::new(side, side);
+            if block.allocate(columns, ctx).is_ok() {
+                return block;
+            }
+            side += 1;
+        }
+    }
+}
+
+/// Allocation failed: the column set needs more SEs than the block has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RcmCapacityError {
+    pub requested: usize,
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for RcmCapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RCM block capacity exceeded: need {} SEs, have {}",
+            self.requested, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for RcmCapacityError {}
+
+/// A programmed RCM block: one decoder per *distinct* column, plus the
+/// mapping from requested column index to decoder slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RcmProgram {
+    pub decoders: Vec<DecoderProgram>,
+    /// `assignment[i]` = decoder slot realising requested column `i`.
+    pub assignment: Vec<usize>,
+    ctx: ContextId,
+}
+
+impl RcmProgram {
+    /// Generated configuration bit for requested column `i` in `context`.
+    pub fn config_bit(&self, i: usize, context: usize) -> bool {
+        self.decoders[self.assignment[i]].eval(self.ctx, context)
+    }
+
+    /// Total switch elements consumed.
+    pub fn n_ses(&self) -> usize {
+        self.decoders.iter().map(|d| d.netlist.n_ses()).sum()
+    }
+
+    /// Total inverting input controllers consumed.
+    pub fn n_inverters(&self) -> usize {
+        self.decoders.iter().map(|d| d.netlist.n_inverters()).sum()
+    }
+
+    /// Total pass stages (programmable-switch usage).
+    pub fn n_pass_stages(&self) -> usize {
+        self.decoders.iter().map(|d| d.netlist.n_pass_stages()).sum()
+    }
+
+    /// Decoders actually synthesised (after sharing).
+    pub fn n_unique_decoders(&self) -> usize {
+        self.decoders.len()
+    }
+
+    /// Worst mux-tree depth across decoders (context-switch decode latency).
+    pub fn max_depth(&self) -> usize {
+        self.decoders.iter().map(|d| d.tree.depth()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx4() -> ContextId {
+        ContextId::new(4).unwrap()
+    }
+
+    #[test]
+    fn allocation_shares_identical_columns() {
+        // Table 1: G2 and G4 are identical -> one decoder serves both.
+        let ctx = ctx4();
+        let cols = vec![
+            ConfigColumn::id_bit(ctx, 0, true),  // G2
+            ConfigColumn::constant(false, 4),    // G3
+            ConfigColumn::id_bit(ctx, 0, true),  // G4 = G2
+            ConfigColumn::constant(true, 4),     // G9
+        ];
+        let block = RcmBlock::new(4, 4);
+        let prog = block.allocate(&cols, ctx).unwrap();
+        assert_eq!(prog.n_unique_decoders(), 3);
+        assert_eq!(prog.assignment[0], prog.assignment[2]);
+        assert_eq!(prog.n_ses(), 3, "three 1-SE decoders");
+        // Generated bits match the requested columns.
+        for (i, col) in cols.iter().enumerate() {
+            for c in 0..4 {
+                assert_eq!(prog.config_bit(i, c), col.value_in(c), "col {i} ctx {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let ctx = ctx4();
+        // 5 distinct general patterns at 4 SEs each = 20 SEs > 4x4 block.
+        let cols: Vec<ConfigColumn> = [0b1000u32, 0b0100, 0b0010, 0b1110, 0b1011]
+            .iter()
+            .map(|&m| ConfigColumn::from_mask(m, 4))
+            .collect();
+        let block = RcmBlock::new(4, 4);
+        let err = block.allocate(&cols, ctx).unwrap_err();
+        assert_eq!(err.requested, 20);
+        assert_eq!(err.capacity, 16);
+        assert!(err.to_string().contains("capacity exceeded"));
+    }
+
+    #[test]
+    fn fitting_block_is_minimal() {
+        let ctx = ctx4();
+        let cols: Vec<ConfigColumn> = (0..6)
+            .map(|i| ConfigColumn::constant(i % 2 == 0, 4))
+            .collect();
+        // Two unique constants -> 2 SEs -> a 2x2 block suffices but 1x1
+        // does not.
+        let block = RcmBlock::fitting(&cols, ctx);
+        assert_eq!((block.rows, block.cols), (2, 2));
+    }
+
+    #[test]
+    fn empty_allocation_is_free() {
+        let ctx = ctx4();
+        let block = RcmBlock::new(1, 1);
+        let prog = block.allocate(&[], ctx).unwrap();
+        assert_eq!(prog.n_ses(), 0);
+        assert_eq!(prog.max_depth(), 0);
+    }
+
+    #[test]
+    fn program_accounts_inverters_and_stages() {
+        let ctx = ctx4();
+        let cols = vec![
+            ConfigColumn::id_bit(ctx, 1, true),   // 1 SE + 1 inverter
+            ConfigColumn::from_mask(0b1000, 4),   // 4 SEs, 2 pass stages
+        ];
+        let prog = RcmBlock::new(8, 8).allocate(&cols, ctx).unwrap();
+        assert_eq!(prog.n_ses(), 5);
+        assert!(prog.n_inverters() >= 2, "!S1 leaf plus the mux's !S1 control");
+        assert_eq!(prog.n_pass_stages(), 2);
+        assert_eq!(prog.max_depth(), 1);
+    }
+}

@@ -1,0 +1,263 @@
+//! The diamond switch of the double-length-line fabric (Figs. 10–11).
+//!
+//! Double-length lines bypass alternate diamond switches so critical nets
+//! cross two cells per switch instead of threading every RCM. A diamond
+//! switch is itself built from seven SEs (Fig. 11) and connects a line
+//! arriving from one direction to the three lines leaving in the other
+//! directions, through ports U1–U6.
+//!
+//! Functionally a diamond switch is a small crossbar with multi-context
+//! configuration: each of its internal SEs holds per-context on/off state
+//! (decoded by the same RCM machinery). This module models the port-level
+//! connectivity and the SE budget; electrical detail stays in the area and
+//! delay models.
+
+use mcfpga_arch::ContextId;
+use mcfpga_config::ConfigColumn;
+use serde::{Deserialize, Serialize};
+
+/// The six ports of a diamond switch (Fig. 11's U1–U6): one pair per axis
+/// plus the two logic-block taps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiamondPort {
+    U1,
+    U2,
+    U3,
+    U4,
+    U5,
+    U6,
+}
+
+impl DiamondPort {
+    pub const ALL: [DiamondPort; 6] = [
+        DiamondPort::U1,
+        DiamondPort::U2,
+        DiamondPort::U3,
+        DiamondPort::U4,
+        DiamondPort::U5,
+        DiamondPort::U6,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            DiamondPort::U1 => 0,
+            DiamondPort::U2 => 1,
+            DiamondPort::U3 => 2,
+            DiamondPort::U4 => 3,
+            DiamondPort::U5 => 4,
+            DiamondPort::U6 => 5,
+        }
+    }
+}
+
+/// Number of SEs a diamond switch consumes (Fig. 11).
+pub const DIAMOND_SES: usize = 7;
+
+/// A diamond switch: per-context pairwise connectivity between its ports.
+///
+/// Each undirected port pair has a configuration column saying in which
+/// contexts the pair is connected. The seven physical SEs constrain how
+/// many *simultaneous* connections one context may hold: each SE is a pass
+/// gate on one internal edge, and a port pair routes through at most two
+/// SEs, so we conservatively cap the per-context connected pair count at 3
+/// (three disjoint pairs saturate six ports).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiamondSwitch {
+    n_contexts: usize,
+    /// Upper-triangular pair -> column; `None` = never connected.
+    pairs: Vec<Option<ConfigColumn>>,
+}
+
+/// Error: a context asks for more simultaneous connections than the seven
+/// SEs can realise, or a port is used by two connections at once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiamondError {
+    TooManyConnections { context: usize, got: usize },
+    PortConflict { context: usize, port: DiamondPort },
+}
+
+impl std::fmt::Display for DiamondError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiamondError::TooManyConnections { context, got } => {
+                write!(f, "context {context} wants {got} connections (max 3)")
+            }
+            DiamondError::PortConflict { context, port } => {
+                write!(f, "context {context} drives port {port:?} twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiamondError {}
+
+fn pair_slot(a: DiamondPort, b: DiamondPort) -> usize {
+    let (i, j) = {
+        let (x, y) = (a.index(), b.index());
+        if x < y {
+            (x, y)
+        } else {
+            (y, x)
+        }
+    };
+    // Upper triangular packing over 6 ports.
+    i * 6 + j - (i + 1) * (i + 2) / 2
+}
+
+impl DiamondSwitch {
+    pub fn new(n_contexts: usize) -> Self {
+        DiamondSwitch {
+            n_contexts,
+            pairs: vec![None; 15],
+        }
+    }
+
+    /// Program a port pair with a per-context connectivity column.
+    pub fn connect(&mut self, a: DiamondPort, b: DiamondPort, column: ConfigColumn) {
+        assert_ne!(a, b, "cannot connect a port to itself");
+        assert_eq!(column.n_contexts(), self.n_contexts);
+        self.pairs[pair_slot(a, b)] = Some(column);
+    }
+
+    /// Whether `a` and `b` are connected in `context`.
+    pub fn connected(&self, a: DiamondPort, b: DiamondPort, context: usize) -> bool {
+        if a == b {
+            return true;
+        }
+        self.pairs[pair_slot(a, b)]
+            .map(|c| c.value_in(context))
+            .unwrap_or(false)
+    }
+
+    /// Validate per-context resource limits.
+    pub fn validate(&self, ctx: ContextId) -> Result<(), DiamondError> {
+        for context in 0..ctx.n_contexts() {
+            let mut port_use = [0usize; 6];
+            let mut live = 0usize;
+            for (slot, col) in self.pairs.iter().enumerate() {
+                let Some(col) = col else { continue };
+                if !col.value_in(context) {
+                    continue;
+                }
+                live += 1;
+                // Recover the pair from the slot index.
+                let (a, b) = Self::slot_pair(slot);
+                port_use[a] += 1;
+                port_use[b] += 1;
+            }
+            if live > 3 {
+                return Err(DiamondError::TooManyConnections { context, got: live });
+            }
+            for (p, &uses) in port_use.iter().enumerate() {
+                if uses > 1 {
+                    return Err(DiamondError::PortConflict {
+                        context,
+                        port: DiamondPort::ALL[p],
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn slot_pair(slot: usize) -> (usize, usize) {
+        let mut s = slot;
+        for i in 0..6 {
+            let row = 5 - i;
+            if s < row {
+                return (i, i + 1 + s);
+            }
+            s -= row;
+        }
+        unreachable!("slot out of range")
+    }
+
+    /// All configuration columns this switch contributes to the bitstream.
+    pub fn columns(&self) -> Vec<ConfigColumn> {
+        self.pairs.iter().flatten().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx4() -> ContextId {
+        ContextId::new(4).unwrap()
+    }
+
+    #[test]
+    fn pair_slots_are_bijective() {
+        let mut seen = [false; 15];
+        for (i, &a) in DiamondPort::ALL.iter().enumerate() {
+            for &b in &DiamondPort::ALL[i + 1..] {
+                let slot = pair_slot(a, b);
+                assert!(!seen[slot], "slot {slot} reused for {a:?}-{b:?}");
+                seen[slot] = true;
+                assert_eq!(DiamondSwitch::slot_pair(slot), (a.index(), b.index()));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn connectivity_is_symmetric_and_per_context() {
+        let mut d = DiamondSwitch::new(4);
+        // Connect U1-U3 in contexts 1 and 3 only (= S0 pattern).
+        d.connect(
+            DiamondPort::U1,
+            DiamondPort::U3,
+            ConfigColumn::id_bit(ctx4(), 0, false),
+        );
+        assert!(d.connected(DiamondPort::U1, DiamondPort::U3, 1));
+        assert!(d.connected(DiamondPort::U3, DiamondPort::U1, 1));
+        assert!(!d.connected(DiamondPort::U1, DiamondPort::U3, 0));
+        assert!(!d.connected(DiamondPort::U1, DiamondPort::U4, 1));
+        d.validate(ctx4()).unwrap();
+    }
+
+    #[test]
+    fn port_conflicts_are_rejected() {
+        let mut d = DiamondSwitch::new(4);
+        let always = ConfigColumn::constant(true, 4);
+        d.connect(DiamondPort::U1, DiamondPort::U2, always);
+        d.connect(DiamondPort::U1, DiamondPort::U3, always);
+        assert!(matches!(
+            d.validate(ctx4()),
+            Err(DiamondError::PortConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn context_isolated_connections_coexist() {
+        // The same port can serve different partners in different contexts —
+        // the whole point of multi-context routing.
+        let ctx = ctx4();
+        let mut d = DiamondSwitch::new(4);
+        d.connect(
+            DiamondPort::U1,
+            DiamondPort::U2,
+            ConfigColumn::id_bit(ctx, 0, false), // contexts 1, 3
+        );
+        d.connect(
+            DiamondPort::U1,
+            DiamondPort::U3,
+            ConfigColumn::id_bit(ctx, 0, true), // contexts 0, 2
+        );
+        d.validate(ctx).unwrap();
+        assert!(d.connected(DiamondPort::U1, DiamondPort::U3, 0));
+        assert!(d.connected(DiamondPort::U1, DiamondPort::U2, 1));
+    }
+
+    #[test]
+    fn three_disjoint_pairs_saturate() {
+        let ctx = ctx4();
+        let always = ConfigColumn::constant(true, 4);
+        let mut d = DiamondSwitch::new(4);
+        d.connect(DiamondPort::U1, DiamondPort::U2, always);
+        d.connect(DiamondPort::U3, DiamondPort::U4, always);
+        d.connect(DiamondPort::U5, DiamondPort::U6, always);
+        d.validate(ctx).unwrap();
+        assert_eq!(d.columns().len(), 3);
+    }
+}

@@ -1,0 +1,243 @@
+//! Physical layout of decoders onto the RCM's switch-element grid
+//! (Fig. 7(a)): SEs arranged in rows and columns, vertical/horizontal
+//! tracks between them, programmable cross-points (P) joining tracks, and
+//! input controllers (C) on the block boundary.
+//!
+//! The functional model ([`crate::block`]) answers *whether* a column set
+//! fits a block's SE budget; this module answers *where*: each decoder's
+//! SEs occupy consecutive cells of one grid column (their interconnection
+//! rides that column's vertical track), and each decoder output leaves on a
+//! horizontal track through one cross-point. The layout exposes physical
+//! quantities the area model's overhead terms stand for: cross-point count,
+//! vertical track occupancy, horizontal output tracks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::decoder::DecoderProgram;
+
+/// A physical SE grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RcmGrid {
+    pub rows: usize,
+    pub cols: usize,
+}
+
+/// Placement of one decoder.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SePlacement {
+    /// Index into the laid-out decoder list.
+    pub decoder: usize,
+    /// Grid column hosting the decoder.
+    pub col: usize,
+    /// First row of the consecutive SE run.
+    pub row: usize,
+    /// Number of SEs.
+    pub len: usize,
+    /// Horizontal track carrying the decoder output.
+    pub out_track: usize,
+}
+
+/// A complete layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridLayout {
+    pub grid: RcmGrid,
+    pub placements: Vec<SePlacement>,
+    /// Programmable cross-points consumed (internal joins + output taps).
+    pub n_cross_points: usize,
+    /// Horizontal tracks used (one per decoder output).
+    pub n_out_tracks: usize,
+}
+
+impl GridLayout {
+    /// SEs consumed.
+    pub fn ses_used(&self) -> usize {
+        self.placements.iter().map(|p| p.len).sum()
+    }
+
+    /// Occupancy fraction of the SE grid.
+    pub fn utilisation(&self) -> f64 {
+        self.ses_used() as f64 / (self.grid.rows * self.grid.cols) as f64
+    }
+
+    /// Check that no two placements overlap and everything is in bounds.
+    pub fn validate(&self) -> Result<(), LayoutError> {
+        let mut occupied = vec![false; self.grid.rows * self.grid.cols];
+        for p in &self.placements {
+            if p.col >= self.grid.cols || p.row + p.len > self.grid.rows {
+                return Err(LayoutError::OutOfBounds { decoder: p.decoder });
+            }
+            for r in p.row..p.row + p.len {
+                let cell = r * self.grid.cols + p.col;
+                if occupied[cell] {
+                    return Err(LayoutError::Overlap { decoder: p.decoder });
+                }
+                occupied[cell] = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Layout failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutError {
+    /// A decoder needs more SEs than one column holds.
+    DecoderTooTall { decoder: usize, len: usize, rows: usize },
+    /// The grid ran out of space.
+    GridFull { placed: usize, total: usize },
+    /// (validation) a placement leaves the grid.
+    OutOfBounds { decoder: usize },
+    /// (validation) two placements overlap.
+    Overlap { decoder: usize },
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::DecoderTooTall { decoder, len, rows } => {
+                write!(f, "decoder {decoder} needs {len} SEs but columns have {rows}")
+            }
+            LayoutError::GridFull { placed, total } => {
+                write!(f, "grid full after {placed} of {total} decoders")
+            }
+            LayoutError::OutOfBounds { decoder } => {
+                write!(f, "decoder {decoder} placed out of bounds")
+            }
+            LayoutError::Overlap { decoder } => write!(f, "decoder {decoder} overlaps"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+impl RcmGrid {
+    pub fn new(rows: usize, cols: usize) -> Self {
+        RcmGrid { rows, cols }
+    }
+
+    /// Lay out decoders column-major, first-fit. Each decoder's SEs sit in
+    /// one column; internal joins cost one cross-point per SE beyond the
+    /// first, the output tap one more.
+    pub fn layout(&self, programs: &[DecoderProgram]) -> Result<GridLayout, LayoutError> {
+        // Sort big decoders first so fragmentation stays low, keeping the
+        // original index for reporting.
+        let mut order: Vec<usize> = (0..programs.len()).collect();
+        order.sort_by_key(|&i| usize::MAX - programs[i].netlist.n_ses());
+
+        let mut col_fill = vec![0usize; self.cols];
+        let mut placements = Vec::with_capacity(programs.len());
+        let mut n_cross_points = 0usize;
+        for (placed, &i) in order.iter().enumerate() {
+            let len = programs[i].netlist.n_ses().max(1);
+            if len > self.rows {
+                return Err(LayoutError::DecoderTooTall {
+                    decoder: i,
+                    len,
+                    rows: self.rows,
+                });
+            }
+            let slot = (0..self.cols).find(|&c| col_fill[c] + len <= self.rows);
+            let Some(col) = slot else {
+                return Err(LayoutError::GridFull {
+                    placed,
+                    total: programs.len(),
+                });
+            };
+            let row = col_fill[col];
+            col_fill[col] += len;
+            n_cross_points += (len - 1) + 1; // internal joins + output tap
+            placements.push(SePlacement {
+                decoder: i,
+                col,
+                row,
+                len,
+                out_track: placed % self.rows,
+            });
+        }
+        let layout = GridLayout {
+            grid: *self,
+            placements,
+            n_cross_points,
+            n_out_tracks: programs.len(),
+        };
+        debug_assert!(layout.validate().is_ok());
+        Ok(layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::synthesize;
+    use mcfpga_arch::ContextId;
+    use mcfpga_config::ConfigColumn;
+
+    fn ctx4() -> ContextId {
+        ContextId::new(4).unwrap()
+    }
+
+    fn programs(masks: &[u32]) -> Vec<DecoderProgram> {
+        masks
+            .iter()
+            .map(|&m| synthesize(ConfigColumn::from_mask(m, 4), ctx4()))
+            .collect()
+    }
+
+    #[test]
+    fn all_16_patterns_fit_an_8x8_grid() {
+        let progs = programs(&(0..16u32).collect::<Vec<_>>());
+        let layout = RcmGrid::new(8, 8).layout(&progs).unwrap();
+        layout.validate().unwrap();
+        // 6 cheap (1 SE) + 10 general (4 SEs) = 46 SEs.
+        assert_eq!(layout.ses_used(), 46);
+        assert!(layout.utilisation() <= 1.0);
+        assert_eq!(layout.placements.len(), 16);
+        // Cross-points: per decoder len-1 joins + 1 tap.
+        assert_eq!(layout.n_cross_points, 46 - 16 + 16);
+    }
+
+    #[test]
+    fn grid_overflow_is_reported() {
+        let progs = programs(&[0b1000, 0b0100, 0b0010, 0b1110, 0b1011]);
+        // 5 general decoders x 4 SEs = 20 SEs > 4x4 grid.
+        let err = RcmGrid::new(4, 4).layout(&progs).unwrap_err();
+        assert!(matches!(err, LayoutError::GridFull { .. }));
+    }
+
+    #[test]
+    fn too_tall_decoder_is_reported() {
+        let progs = programs(&[0b1000]);
+        let err = RcmGrid::new(2, 8).layout(&progs).unwrap_err();
+        assert!(matches!(
+            err,
+            LayoutError::DecoderTooTall { len: 4, rows: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn columns_pack_multiple_small_decoders() {
+        // Eight 1-SE constants in one 8-row column.
+        let progs = programs(&[0, 0xF, 0, 0xF, 0, 0xF, 0, 0xF]);
+        let layout = RcmGrid::new(8, 1).layout(&progs).unwrap();
+        layout.validate().unwrap();
+        assert!(layout.placements.iter().all(|p| p.col == 0));
+        assert_eq!(layout.ses_used(), 8);
+    }
+
+    #[test]
+    fn validation_catches_corruption() {
+        let progs = programs(&[0, 0xF]);
+        let mut layout = RcmGrid::new(4, 2).layout(&progs).unwrap();
+        layout.placements[1].col = layout.placements[0].col;
+        layout.placements[1].row = layout.placements[0].row;
+        assert!(matches!(
+            layout.validate(),
+            Err(LayoutError::Overlap { .. })
+        ));
+        layout.placements[1].col = 99;
+        assert!(matches!(
+            layout.validate(),
+            Err(LayoutError::OutOfBounds { .. })
+        ));
+    }
+}

@@ -1,0 +1,29 @@
+//! Reconfigurable context memory (RCM): the paper's core contribution.
+//!
+//! The RCM (Fig. 7) is a fine-grained fabric of *switch elements* (SEs,
+//! Fig. 8), programmable cross-point switches, and invertible input
+//! controllers. The same SEs serve two roles:
+//!
+//! * programmable interconnect between logic blocks (ordinary FPGA routing
+//!   switches), and
+//! * *reconfigurable decoders* that generate configuration bits from the
+//!   context-ID bits, exploiting the redundancy and regularity of
+//!   configuration data (Figs. 3–5): constants and single-ID-bit patterns
+//!   cost one SE, general patterns are built as pass-gate mux trees
+//!   (Fig. 9 — four SEs for the pattern `1000`).
+//!
+//! This crate provides the SE functional model, decoder synthesis and
+//! lowering to SE netlists, RCM block capacity accounting, and the diamond
+//! switch of the double-length-line fabric (Figs. 10–11).
+
+pub mod block;
+pub mod decoder;
+pub mod diamond;
+pub mod grid;
+pub mod se;
+
+pub use block::{RcmBlock, RcmCapacityError, RcmProgram};
+pub use decoder::{synthesize, DecoderCost, DecoderNode, DecoderProgram};
+pub use diamond::{DiamondPort, DiamondSwitch};
+pub use grid::{GridLayout, LayoutError, RcmGrid, SePlacement};
+pub use se::{InputController, ProgrammableSwitch, SeInput, SeInstance, SeNetlist};

@@ -1,0 +1,366 @@
+//! The switch element (SE) of Fig. 8 and its companions: the invertible
+//! input controller and the programmable cross-point switch of Fig. 7.
+//!
+//! An SE holds two memory bits `(D1, D0)` and a 2:1 multiplexer feeding a
+//! pass gate. Its truth table (Fig. 8):
+//!
+//! | D1 | D0 | G              |
+//! |----|----|----------------|
+//! | 0  | 0  | 0 (constant)   |
+//! | 0  | 1  | 1 (constant)   |
+//! | 1  | –  | U (variable)   |
+//!
+//! `G = constant` implements Fig. 3's patterns with one SE; `G = U` wired to
+//! a context-ID bit implements Fig. 4's; several SEs combine into the
+//! pass-gate multiplexers of Fig. 9 for the rest.
+
+use mcfpga_arch::ContextId;
+use serde::{Deserialize, Serialize};
+
+/// Where an SE's variable input `U` comes from inside an SE netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SeInput {
+    /// Context-ID bit `S_bit`, optionally routed through an inverting input
+    /// controller (Fig. 7(c)).
+    IdBit { bit: usize, inverted: bool },
+    /// The output of switch element `i` in the same netlist.
+    Se(usize),
+    /// The joined output of a pass-stage wire in the SE fabric.
+    Wire(usize),
+    /// Unconnected (legal only when `d1 = 0`, i.e. constant mode).
+    Open,
+}
+
+/// One programmed switch element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SeInstance {
+    pub d1: bool,
+    pub d0: bool,
+    pub u: SeInput,
+}
+
+impl SeInstance {
+    /// Constant-output SE (`D1 = 0`).
+    pub fn constant(value: bool) -> Self {
+        SeInstance {
+            d1: false,
+            d0: value,
+            u: SeInput::Open,
+        }
+    }
+
+    /// Variable-output SE following `u` (`D1 = 1`).
+    pub fn follow(u: SeInput) -> Self {
+        SeInstance {
+            d1: true,
+            d0: false,
+            u,
+        }
+    }
+
+    /// The Fig. 8 truth table, given the resolved value of `U`.
+    #[inline]
+    pub fn output(&self, u_value: bool) -> bool {
+        if self.d1 {
+            u_value
+        } else {
+            self.d0
+        }
+    }
+
+    /// Whether this SE consumes an inverted ID bit, i.e. needs an input
+    /// controller programmed to invert (Fig. 7(c)).
+    pub fn uses_inverter(&self) -> bool {
+        matches!(self.u, SeInput::IdBit { inverted: true, .. })
+    }
+}
+
+/// An inverting input controller (Fig. 7(c)): a memory bit selecting whether
+/// the block input is passed straight or inverted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct InputController {
+    pub invert: bool,
+}
+
+impl InputController {
+    pub fn apply(&self, input: bool) -> bool {
+        input ^ self.invert
+    }
+}
+
+/// A programmable cross-point switch (Fig. 7(b)): a memory bit controlling a
+/// pass gate between a vertical and a horizontal track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ProgrammableSwitch {
+    pub on: bool,
+}
+
+/// A wire joining several pass stages: each stage passes `input` onto the
+/// wire when its controlling SE outputs 1. Exactly one stage must drive the
+/// wire in every context — [`SeNetlist::eval`] enforces this, mirroring the
+/// electrical requirement that pass-gate multiplexers never fight or float.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinWire {
+    pub stages: Vec<PassStage>,
+}
+
+/// One pass-gate stage of a [`JoinWire`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PassStage {
+    /// Index of the SE whose output drives the pass-gate's gate.
+    pub control_se: usize,
+    /// Signal passed onto the wire when the gate is on.
+    pub input: SeInput,
+}
+
+/// A small netlist of SEs and join wires — the lowered form of one
+/// reconfigurable decoder (Fig. 9 shows the netlist for pattern `1000`).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SeNetlist {
+    pub ses: Vec<SeInstance>,
+    pub wires: Vec<JoinWire>,
+    /// The decoder's output: either a single SE or a join wire.
+    pub output: Option<SeInput>,
+}
+
+/// Evaluation error: a join wire floated or was driven by several stages at
+/// once (an illegally-programmed pass-gate mux).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeEvalError {
+    FloatingWire { wire: usize, context: usize },
+    Contention { wire: usize, context: usize },
+}
+
+impl std::fmt::Display for SeEvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SeEvalError::FloatingWire { wire, context } => {
+                write!(f, "join wire {wire} floats in context {context}")
+            }
+            SeEvalError::Contention { wire, context } => {
+                write!(f, "join wire {wire} has multiple drivers in context {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SeEvalError {}
+
+impl SeNetlist {
+    /// Number of switch elements (the paper's area currency).
+    pub fn n_ses(&self) -> usize {
+        self.ses.len()
+    }
+
+    /// Number of input controllers programmed to invert.
+    pub fn n_inverters(&self) -> usize {
+        self.ses.iter().filter(|se| se.uses_inverter()).count()
+            + self
+                .wires
+                .iter()
+                .flat_map(|w| &w.stages)
+                .filter(|s| matches!(s.input, SeInput::IdBit { inverted: true, .. }))
+                .count()
+    }
+
+    /// Number of pass stages, a proxy for programmable-switch usage.
+    pub fn n_pass_stages(&self) -> usize {
+        self.wires.iter().map(|w| w.stages.len()).sum()
+    }
+
+    /// Evaluate the netlist output for a given active context.
+    ///
+    /// SEs may reference wires and wires reference SEs; evaluation iterates
+    /// wires in index order, which the lowering guarantees is topological.
+    pub fn eval(&self, ctx: ContextId, context: usize) -> Result<bool, SeEvalError> {
+        fn resolve(
+            input: SeInput,
+            ctx: ContextId,
+            context: usize,
+            se_out: &[bool],
+            wire_val: &[Option<bool>],
+        ) -> bool {
+            match input {
+                SeInput::IdBit { bit, inverted } => ctx.id_bit(context, bit) ^ inverted,
+                SeInput::Se(i) => se_out[i],
+                SeInput::Wire(w) => wire_val[w].unwrap_or(false),
+                SeInput::Open => false,
+            }
+        }
+
+        // SEs may read earlier SEs or wires, and wires read SEs; lowering
+        // emits everything in dependency order, so a small fixpoint (wires
+        // + 1 rounds) converges and tolerates any emission order.
+        let mut se_out = vec![false; self.ses.len()];
+        let mut wire_val: Vec<Option<bool>> = vec![None; self.wires.len()];
+        let mut float_err = None;
+        let mut contention_err = None;
+        for _round in 0..=self.wires.len() {
+            for (i, se) in self.ses.iter().enumerate() {
+                let u = resolve(se.u, ctx, context, &se_out, &wire_val);
+                se_out[i] = se.output(u);
+            }
+            float_err = None;
+            contention_err = None;
+            for (wi, wire) in self.wires.iter().enumerate() {
+                let mut driver: Option<bool> = None;
+                let mut drivers = 0usize;
+                for stage in &wire.stages {
+                    if se_out[stage.control_se] {
+                        drivers += 1;
+                        driver = Some(resolve(stage.input, ctx, context, &se_out, &wire_val));
+                    }
+                }
+                match drivers {
+                    0 => float_err = Some(SeEvalError::FloatingWire { wire: wi, context }),
+                    1 => wire_val[wi] = driver,
+                    _ => {
+                        contention_err =
+                            Some(SeEvalError::Contention { wire: wi, context })
+                    }
+                }
+            }
+        }
+        if let Some(e) = contention_err {
+            return Err(e);
+        }
+        if let Some(e) = float_err {
+            return Err(e);
+        }
+        let out = self.output.expect("netlist has an output");
+        Ok(resolve(out, ctx, context, &se_out, &wire_val))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx4() -> ContextId {
+        ContextId::new(4).unwrap()
+    }
+
+    #[test]
+    fn se_truth_table_matches_fig8() {
+        // (D1, D0) = (0, 0) -> G = 0; (0, 1) -> G = 1; (1, x) -> G = U.
+        for u in [false, true] {
+            assert!(!SeInstance::constant(false).output(u));
+            assert!(SeInstance::constant(true).output(u));
+            assert_eq!(
+                SeInstance::follow(SeInput::IdBit {
+                    bit: 0,
+                    inverted: false
+                })
+                .output(u),
+                u
+            );
+        }
+    }
+
+    #[test]
+    fn input_controller_inverts() {
+        assert!(InputController { invert: true }.apply(false));
+        assert!(!InputController { invert: true }.apply(true));
+        assert!(InputController { invert: false }.apply(true));
+    }
+
+    #[test]
+    fn single_se_netlist_follows_id_bit() {
+        let ctx = ctx4();
+        let mut nl = SeNetlist::default();
+        nl.ses.push(SeInstance::follow(SeInput::IdBit {
+            bit: 1,
+            inverted: false,
+        }));
+        nl.output = Some(SeInput::IdBit {
+            bit: 1,
+            inverted: false,
+        });
+        for c in 0..4 {
+            assert_eq!(nl.eval(ctx, c).unwrap(), ctx.id_bit(c, 1));
+        }
+    }
+
+    #[test]
+    fn pass_gate_mux_netlist_selects_branch() {
+        // Fig. 9: output = S1 ? S0 : 0, i.e. pattern (C3,C2,C1,C0) = 1000.
+        let ctx = ctx4();
+        let mut nl = SeNetlist::default();
+        // SE0: branch value S0; SE1: branch value constant 0.
+        nl.ses.push(SeInstance::follow(SeInput::IdBit {
+            bit: 0,
+            inverted: false,
+        }));
+        nl.ses.push(SeInstance::constant(false));
+        // SE2: control = S1; SE3: control = !S1.
+        nl.ses.push(SeInstance::follow(SeInput::IdBit {
+            bit: 1,
+            inverted: false,
+        }));
+        nl.ses.push(SeInstance::follow(SeInput::IdBit {
+            bit: 1,
+            inverted: true,
+        }));
+        nl.wires.push(JoinWire {
+            stages: vec![
+                PassStage {
+                    control_se: 2,
+                    input: SeInput::IdBit {
+                        bit: 0,
+                        inverted: false,
+                    },
+                },
+                PassStage {
+                    control_se: 3,
+                    input: SeInput::Open, // constant 0 branch
+                },
+            ],
+        });
+        nl.output = Some(SeInput::Wire(0));
+        let expected = [false, false, false, true]; // contexts 0..3
+        for (c, &want) in expected.iter().enumerate() {
+            assert_eq!(nl.eval(ctx, c).unwrap(), want, "context {c}");
+        }
+        assert_eq!(nl.n_ses(), 4);
+        assert_eq!(nl.n_inverters(), 1);
+    }
+
+    #[test]
+    fn contention_and_float_are_detected() {
+        let ctx = ctx4();
+        let mut nl = SeNetlist::default();
+        nl.ses.push(SeInstance::constant(true));
+        nl.ses.push(SeInstance::constant(true));
+        nl.wires.push(JoinWire {
+            stages: vec![
+                PassStage {
+                    control_se: 0,
+                    input: SeInput::Open,
+                },
+                PassStage {
+                    control_se: 1,
+                    input: SeInput::Open,
+                },
+            ],
+        });
+        nl.output = Some(SeInput::Wire(0));
+        assert!(matches!(
+            nl.eval(ctx, 0),
+            Err(SeEvalError::Contention { .. })
+        ));
+
+        let mut nl = SeNetlist::default();
+        nl.ses.push(SeInstance::constant(false));
+        nl.wires.push(JoinWire {
+            stages: vec![PassStage {
+                control_se: 0,
+                input: SeInput::Open,
+            }],
+        });
+        nl.output = Some(SeInput::Wire(0));
+        assert!(matches!(
+            nl.eval(ctx, 2),
+            Err(SeEvalError::FloatingWire { .. })
+        ));
+    }
+}

@@ -1,0 +1,203 @@
+//! The routing graph: cells of the placement grid joined by channel hops.
+
+use mcfpga_arch::{ArchSpec, Coord, SegmentKind};
+use mcfpga_place::PlacementGrid;
+use serde::{Deserialize, Serialize};
+
+/// Index of an edge in the routing graph.
+pub type EdgeId = usize;
+
+/// One routing edge (undirected): a bundle of parallel tracks between two
+/// cells.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeInfo {
+    pub a: Coord,
+    pub b: Coord,
+    pub kind: SegmentKind,
+    /// Parallel tracks available.
+    pub capacity: usize,
+    /// Delay of traversing this hop (arbitrary units; single-length hops
+    /// thread an RCM switch element, double-length hops ride a buffered
+    /// line through a diamond switch).
+    pub delay: f64,
+}
+
+/// Delay of one single-length hop (through RCM switch elements).
+pub const SINGLE_HOP_DELAY: f64 = 2.0;
+/// Delay of one double-length hop (two cells through a diamond switch).
+pub const DOUBLE_HOP_DELAY: f64 = 2.4;
+
+/// The routing graph over a placement grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingGraph {
+    pub grid: PlacementGrid,
+    pub edges: Vec<EdgeInfo>,
+    /// Adjacency: node (full-grid index) -> incident edge ids.
+    adj: Vec<Vec<EdgeId>>,
+}
+
+impl RoutingGraph {
+    /// Build the graph for an architecture.
+    pub fn build(arch: &ArchSpec) -> Self {
+        let grid = PlacementGrid::of(arch);
+        let full = grid.full;
+        let mut edges = Vec::new();
+        let mut adj: Vec<Vec<EdgeId>> = vec![Vec::new(); full.n_cells()];
+        let single_cap = arch.routing.single_tracks();
+        let double_cap = arch.routing.double_length_tracks;
+        let push = |a: Coord, b: Coord, kind: SegmentKind, cap: usize, delay: f64,
+                        edges: &mut Vec<EdgeInfo>,
+                        adj: &mut Vec<Vec<EdgeId>>| {
+            if cap == 0 {
+                return;
+            }
+            let id = edges.len();
+            edges.push(EdgeInfo {
+                a,
+                b,
+                kind,
+                capacity: cap,
+                delay,
+            });
+            adj[full.index(a)].push(id);
+            adj[full.index(b)].push(id);
+        };
+        for c in full.coords() {
+            // Single-length hops to the east and north neighbours.
+            if c.x + 1 < full.width {
+                push(
+                    c,
+                    Coord::new(c.x + 1, c.y),
+                    SegmentKind::Single,
+                    single_cap,
+                    SINGLE_HOP_DELAY,
+                    &mut edges,
+                    &mut adj,
+                );
+            }
+            if c.y + 1 < full.height {
+                push(
+                    c,
+                    Coord::new(c.x, c.y + 1),
+                    SegmentKind::Single,
+                    single_cap,
+                    SINGLE_HOP_DELAY,
+                    &mut edges,
+                    &mut adj,
+                );
+            }
+            // Double-length hops skip one cell (Fig. 10's lines bypassing
+            // alternate diamond switches).
+            if c.x + 2 < full.width {
+                push(
+                    c,
+                    Coord::new(c.x + 2, c.y),
+                    SegmentKind::Double,
+                    double_cap,
+                    DOUBLE_HOP_DELAY,
+                    &mut edges,
+                    &mut adj,
+                );
+            }
+            if c.y + 2 < full.height {
+                push(
+                    c,
+                    Coord::new(c.x, c.y + 2),
+                    SegmentKind::Double,
+                    double_cap,
+                    DOUBLE_HOP_DELAY,
+                    &mut edges,
+                    &mut adj,
+                );
+            }
+        }
+        RoutingGraph { grid, edges, adj }
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.grid.full.n_cells()
+    }
+
+    pub fn node(&self, c: Coord) -> usize {
+        self.grid.full.index(c)
+    }
+
+    pub fn coord(&self, node: usize) -> Coord {
+        self.grid.full.coord(node)
+    }
+
+    /// Edges incident to a node.
+    pub fn incident(&self, node: usize) -> &[EdgeId] {
+        &self.adj[node]
+    }
+
+    /// The node on the far side of `edge` from `node`.
+    pub fn other_end(&self, edge: EdgeId, node: usize) -> usize {
+        let e = &self.edges[edge];
+        let a = self.node(e.a);
+        if a == node {
+            self.node(e.b)
+        } else {
+            debug_assert_eq!(self.node(e.b), node);
+            a
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfpga_arch::ArchSpec;
+
+    #[test]
+    fn graph_covers_the_grid() {
+        let arch = ArchSpec::paper_default();
+        let g = RoutingGraph::build(&arch);
+        assert_eq!(g.n_nodes(), 100);
+        // Every node has at least two incident edges.
+        for n in 0..g.n_nodes() {
+            assert!(g.incident(n).len() >= 2, "node {n} isolated");
+        }
+        // Both segment kinds present.
+        assert!(g.edges.iter().any(|e| e.kind == SegmentKind::Single));
+        assert!(g.edges.iter().any(|e| e.kind == SegmentKind::Double));
+    }
+
+    #[test]
+    fn capacities_follow_the_channel_split() {
+        let arch = ArchSpec::paper_default(); // 8 tracks, 2 double
+        let g = RoutingGraph::build(&arch);
+        for e in &g.edges {
+            match e.kind {
+                SegmentKind::Single => assert_eq!(e.capacity, 6),
+                SegmentKind::Double => assert_eq!(e.capacity, 2),
+            }
+        }
+    }
+
+    #[test]
+    fn no_double_edges_without_double_tracks() {
+        let mut arch = ArchSpec::paper_default();
+        arch.routing.double_length_tracks = 0;
+        let g = RoutingGraph::build(&arch);
+        assert!(g.edges.iter().all(|e| e.kind == SegmentKind::Single));
+    }
+
+    #[test]
+    fn other_end_is_an_involution() {
+        let g = RoutingGraph::build(&ArchSpec::paper_default());
+        for (id, e) in g.edges.iter().enumerate() {
+            let a = g.node(e.a);
+            let b = g.node(e.b);
+            assert_eq!(g.other_end(id, a), b);
+            assert_eq!(g.other_end(id, b), a);
+        }
+    }
+
+    #[test]
+    fn double_hops_are_cheaper_per_cell() {
+        // Guard the architecture premise against constant edits.
+        let (double, single) = (DOUBLE_HOP_DELAY, SINGLE_HOP_DELAY);
+        assert!(double < 2.0 * single);
+    }
+}

@@ -1,0 +1,28 @@
+//! Routing for the MC-FPGA: a channel-capacity routing graph with
+//! single-length RCM-switched wires and the high-speed double-length lines
+//! of Fig. 10, routed per context by PathFinder negotiated congestion.
+//!
+//! Model granularity: routing resources are channel hops between adjacent
+//! cells (capacity = single-length tracks) plus length-2 hops that bypass a
+//! switch point through a diamond switch (capacity = double-length tracks,
+//! lower delay per cell). Connection and switch blocks are taken as fully
+//! flexible — each hop assigns a free track independently — which keeps the
+//! congestion structure and the per-switch configuration columns (what the
+//! RCM decodes) while abstracting the track-graph detail the paper never
+//! specifies.
+//!
+//! Each context routes its own netlist on the shared fabric; the per-switch
+//! cross-context usage vectors become the [`mcfpga_config::ConfigColumn`]s
+//! that RCM decoder synthesis and the area model consume.
+
+pub mod channel_width;
+pub mod graph;
+pub mod pathfinder;
+pub mod stats;
+pub mod switches;
+
+pub use channel_width::{min_channel_width, routes_at, ChannelWidthResult};
+pub use graph::{EdgeId, EdgeInfo, RoutingGraph};
+pub use pathfinder::{route_context, Net, RouteError, RouteOptions, RoutedContext};
+pub use stats::{routing_stats, RoutingStats};
+pub use switches::{nets_from_placement, switch_columns, SwitchUsage};

@@ -1,0 +1,381 @@
+//! PathFinder negotiated-congestion routing.
+//!
+//! Classic scheme: every net is ripped up and re-routed each iteration with
+//! edge costs `delay * (1 + present_overuse * p) + history`, where history
+//! accumulates on persistently congested edges. Iteration stops when no
+//! edge exceeds its capacity.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use mcfpga_arch::Coord;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{EdgeId, RoutingGraph};
+
+/// One net to route.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Net {
+    pub source: Coord,
+    pub sinks: Vec<Coord>,
+}
+
+/// Router knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteOptions {
+    pub max_iterations: usize,
+    /// Present-congestion multiplier growth per iteration.
+    pub present_growth: f64,
+    /// History increment for overused edges.
+    pub history_increment: f64,
+}
+
+impl Default for RouteOptions {
+    fn default() -> Self {
+        RouteOptions {
+            max_iterations: 40,
+            present_growth: 1.6,
+            history_increment: 1.0,
+        }
+    }
+}
+
+/// Routing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteError {
+    /// Congestion never resolved.
+    Unroutable { overused_edges: usize },
+    /// A sink could not be reached at all (disconnected graph).
+    NoPath { net: usize, sink: Coord },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Unroutable { overused_edges } => {
+                write!(f, "congestion unresolved: {overused_edges} edges overused")
+            }
+            RouteError::NoPath { net, sink } => {
+                write!(f, "net {net} cannot reach sink {sink}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A routed context: per net, the set of edges forming its routing tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutedContext {
+    pub nets: Vec<Net>,
+    /// Edge sets per net (a routing tree over the graph).
+    pub trees: Vec<Vec<EdgeId>>,
+    /// Per-net worst source-to-sink delay.
+    pub delays: Vec<f64>,
+    /// Iterations PathFinder needed.
+    pub iterations: usize,
+}
+
+impl RoutedContext {
+    /// Total wirelength in edges.
+    pub fn total_edges(&self) -> usize {
+        self.trees.iter().map(|t| t.len()).sum()
+    }
+
+    /// Critical-path routing delay (worst net).
+    pub fn critical_delay(&self) -> f64 {
+        self.delays.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Route one context's nets on the graph.
+pub fn route_context(
+    graph: &RoutingGraph,
+    nets: &[Net],
+    opts: &RouteOptions,
+) -> Result<RoutedContext, RouteError> {
+    let n_edges = graph.edges.len();
+    let mut usage = vec![0usize; n_edges];
+    let mut history = vec![0.0f64; n_edges];
+    let mut trees: Vec<Vec<EdgeId>> = vec![Vec::new(); nets.len()];
+    let mut present_factor = 0.6;
+
+    for iteration in 0..opts.max_iterations {
+        // Rip up everything and re-route with current costs.
+        for t in &mut trees {
+            for &e in t.iter() {
+                usage[e] -= 1;
+            }
+            t.clear();
+        }
+        for (ni, net) in nets.iter().enumerate() {
+            let tree = route_net(graph, net, &usage, &history, present_factor)
+                .map_err(|sink| RouteError::NoPath { net: ni, sink })?;
+            for &e in &tree {
+                usage[e] += 1;
+            }
+            trees[ni] = tree;
+        }
+        // Congestion check.
+        let mut overused = 0usize;
+        for e in 0..n_edges {
+            if usage[e] > graph.edges[e].capacity {
+                overused += 1;
+                history[e] += opts.history_increment;
+            }
+        }
+        if overused == 0 {
+            let delays = nets
+                .iter()
+                .zip(&trees)
+                .map(|(net, tree)| tree_delay(graph, net, tree))
+                .collect();
+            return Ok(RoutedContext {
+                nets: nets.to_vec(),
+                trees,
+                delays,
+                iterations: iteration + 1,
+            });
+        }
+        present_factor *= opts.present_growth;
+    }
+    let overused = (0..n_edges)
+        .filter(|&e| usage[e] > graph.edges[e].capacity)
+        .count();
+    Err(RouteError::Unroutable {
+        overused_edges: overused,
+    })
+}
+
+/// Route one net: grow a tree from the source, adding sinks one at a time
+/// with Dijkstra from the whole current tree (zero cost inside the tree).
+fn route_net(
+    graph: &RoutingGraph,
+    net: &Net,
+    usage: &[usize],
+    history: &[f64],
+    present_factor: f64,
+) -> Result<Vec<EdgeId>, Coord> {
+    let mut tree_edges: Vec<EdgeId> = Vec::new();
+    let mut tree_nodes: Vec<usize> = vec![graph.node(net.source)];
+    for &sink in &net.sinks {
+        let target = graph.node(sink);
+        if tree_nodes.contains(&target) {
+            continue;
+        }
+        // Dijkstra seeded with every tree node at cost 0.
+        let mut dist = vec![f64::INFINITY; graph.n_nodes()];
+        let mut via: Vec<Option<(usize, EdgeId)>> = vec![None; graph.n_nodes()];
+        let mut heap = BinaryHeap::new();
+        for &n in &tree_nodes {
+            dist[n] = 0.0;
+            heap.push(HeapEntry { cost: 0.0, node: n });
+        }
+        while let Some(HeapEntry { cost, node }) = heap.pop() {
+            if cost > dist[node] {
+                continue;
+            }
+            if node == target {
+                break;
+            }
+            for &e in graph.incident(node) {
+                let info = &graph.edges[e];
+                let over = (usage[e] + 1).saturating_sub(info.capacity) as f64;
+                let edge_cost = info.delay * (1.0 + over * present_factor) + history[e];
+                let next = graph.other_end(e, node);
+                let nd = cost + edge_cost;
+                if nd < dist[next] {
+                    dist[next] = nd;
+                    via[next] = Some((node, e));
+                    heap.push(HeapEntry { cost: nd, node: next });
+                }
+            }
+        }
+        if dist[target].is_infinite() {
+            return Err(sink);
+        }
+        // Walk back to the tree, adding nodes and edges.
+        let mut cur = target;
+        while let Some((prev, e)) = via[cur] {
+            tree_edges.push(e);
+            tree_nodes.push(cur);
+            cur = prev;
+            if dist[cur] == 0.0 && via[cur].is_none() {
+                break;
+            }
+        }
+        if !tree_nodes.contains(&cur) {
+            tree_nodes.push(cur);
+        }
+    }
+    tree_edges.sort_unstable();
+    tree_edges.dedup();
+    Ok(tree_edges)
+}
+
+/// Worst source-to-sink delay through a routed tree.
+fn tree_delay(graph: &RoutingGraph, net: &Net, tree: &[EdgeId]) -> f64 {
+    // BFS/Dijkstra restricted to tree edges.
+    let src = graph.node(net.source);
+    let mut dist = vec![f64::INFINITY; graph.n_nodes()];
+    dist[src] = 0.0;
+    let mut frontier = vec![src];
+    while let Some(node) = frontier.pop() {
+        for &e in graph.incident(node) {
+            if !tree.contains(&e) {
+                continue;
+            }
+            let next = graph.other_end(e, node);
+            let nd = dist[node] + graph.edges[e].delay;
+            if nd < dist[next] {
+                dist[next] = nd;
+                frontier.push(next);
+            }
+        }
+    }
+    net.sinks
+        .iter()
+        .map(|&s| dist[graph.node(s)])
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfpga_arch::ArchSpec;
+
+    fn graph() -> RoutingGraph {
+        RoutingGraph::build(&ArchSpec::paper_default())
+    }
+
+    #[test]
+    fn single_net_routes_directly() {
+        let g = graph();
+        let nets = vec![Net {
+            source: Coord::new(1, 1),
+            sinks: vec![Coord::new(5, 1)],
+        }];
+        let routed = route_context(&g, &nets, &RouteOptions::default()).unwrap();
+        assert_eq!(routed.iterations, 1);
+        assert!(!routed.trees[0].is_empty());
+        // Double-length lines make the 4-cell hop cheaper than 4 singles.
+        assert!(routed.delays[0] <= 4.0 * crate::graph::SINGLE_HOP_DELAY);
+    }
+
+    #[test]
+    fn multi_sink_nets_form_trees() {
+        let g = graph();
+        let nets = vec![Net {
+            source: Coord::new(4, 4),
+            sinks: vec![Coord::new(1, 1), Coord::new(8, 8), Coord::new(1, 8)],
+        }];
+        let routed = route_context(&g, &nets, &RouteOptions::default()).unwrap();
+        let tree = &routed.trees[0];
+        // A tree visiting all corners is larger than any single path but
+        // smaller than three independent paths.
+        assert!(tree.len() >= 7);
+        assert!(routed.delays[0] > 0.0);
+    }
+
+    #[test]
+    fn congestion_resolves_under_pressure() {
+        // Many parallel nets crossing the same column must spread across
+        // tracks and rows.
+        let g = graph();
+        let nets: Vec<Net> = (1..=8)
+            .map(|y| Net {
+                source: Coord::new(1, y),
+                sinks: vec![Coord::new(8, y)],
+            })
+            .collect();
+        let routed = route_context(&g, &nets, &RouteOptions::default()).unwrap();
+        // Capacity check: recompute usage.
+        let mut usage = vec![0usize; g.edges.len()];
+        for t in &routed.trees {
+            for &e in t {
+                usage[e] += 1;
+            }
+        }
+        for (e, &u) in usage.iter().enumerate() {
+            assert!(u <= g.edges[e].capacity, "edge {e} overused");
+        }
+    }
+
+    #[test]
+    fn unroutable_fabric_reports_failure() {
+        // A 2x2 fabric with 1 track cannot carry 12 crossing nets.
+        let mut arch = ArchSpec::paper_default().with_grid(2, 2);
+        arch.routing.tracks_per_channel = 1;
+        arch.routing.double_length_tracks = 0;
+        let g = RoutingGraph::build(&arch);
+        let nets: Vec<Net> = (0..12)
+            .map(|i| Net {
+                source: Coord::new(0, 1 + (i % 2) as u16),
+                sinks: vec![Coord::new(3, 1 + ((i / 2) % 2) as u16)],
+            })
+            .collect();
+        let opts = RouteOptions {
+            max_iterations: 8,
+            ..Default::default()
+        };
+        match route_context(&g, &nets, &opts) {
+            Err(RouteError::Unroutable { overused_edges }) => assert!(overused_edges > 0),
+            other => panic!("expected congestion failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sink_equal_to_source_is_trivial() {
+        let g = graph();
+        let nets = vec![Net {
+            source: Coord::new(3, 3),
+            sinks: vec![Coord::new(3, 3)],
+        }];
+        let routed = route_context(&g, &nets, &RouteOptions::default()).unwrap();
+        assert!(routed.trees[0].is_empty());
+        assert_eq!(routed.delays[0], 0.0);
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let g = graph();
+        let nets = vec![
+            Net {
+                source: Coord::new(1, 2),
+                sinks: vec![Coord::new(7, 5)],
+            },
+            Net {
+                source: Coord::new(2, 7),
+                sinks: vec![Coord::new(6, 1), Coord::new(8, 3)],
+            },
+        ];
+        let a = route_context(&g, &nets, &RouteOptions::default()).unwrap();
+        let b = route_context(&g, &nets, &RouteOptions::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,154 @@
+//! Routing-quality statistics: wirelength, segment-kind usage, channel
+//! occupancy — the quantities behind the area model's interconnect terms
+//! and the delay experiment.
+
+use mcfpga_arch::SegmentKind;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::RoutingGraph;
+use crate::pathfinder::RoutedContext;
+
+/// Aggregate statistics of one routed context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingStats {
+    /// Total edges used (with multiplicity across nets).
+    pub total_wirelength: usize,
+    /// Edges of each kind used.
+    pub single_segments: usize,
+    pub double_segments: usize,
+    /// Worst per-edge occupancy observed.
+    pub max_occupancy: usize,
+    /// Histogram of per-edge occupancy (`hist[u]` = edges used by `u` nets;
+    /// unused edges are excluded).
+    pub occupancy_histogram: Vec<usize>,
+    /// Mean source-to-sink delay over nets.
+    pub mean_delay: f64,
+    /// Worst net delay.
+    pub critical_delay: f64,
+}
+
+/// Measure a routed context.
+pub fn routing_stats(graph: &RoutingGraph, routed: &RoutedContext) -> RoutingStats {
+    let mut usage = vec![0usize; graph.edges.len()];
+    let mut single = 0usize;
+    let mut double = 0usize;
+    for tree in &routed.trees {
+        for &e in tree {
+            usage[e] += 1;
+            match graph.edges[e].kind {
+                SegmentKind::Single => single += 1,
+                SegmentKind::Double => double += 1,
+            }
+        }
+    }
+    let max_occupancy = usage.iter().copied().max().unwrap_or(0);
+    let mut occupancy_histogram = vec![0usize; max_occupancy + 1];
+    for &u in &usage {
+        if u > 0 {
+            occupancy_histogram[u] += 1;
+        }
+    }
+    let mean_delay = if routed.delays.is_empty() {
+        0.0
+    } else {
+        routed.delays.iter().sum::<f64>() / routed.delays.len() as f64
+    };
+    RoutingStats {
+        total_wirelength: single + double,
+        single_segments: single,
+        double_segments: double,
+        max_occupancy,
+        occupancy_histogram,
+        mean_delay,
+        critical_delay: routed.critical_delay(),
+    }
+}
+
+impl RoutingStats {
+    /// Fraction of used segments that are double-length (how much of the
+    /// fabric's fast wiring the router exploited).
+    pub fn double_fraction(&self) -> f64 {
+        if self.total_wirelength == 0 {
+            0.0
+        } else {
+            self.double_segments as f64 / self.total_wirelength as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathfinder::{route_context, Net, RouteOptions};
+    use mcfpga_arch::{ArchSpec, Coord};
+
+    fn routed(arch: &ArchSpec, nets: Vec<Net>) -> (RoutingGraph, RoutedContext) {
+        let g = RoutingGraph::build(arch);
+        let r = route_context(&g, &nets, &RouteOptions::default()).unwrap();
+        (g, r)
+    }
+
+    #[test]
+    fn stats_count_segments() {
+        let arch = ArchSpec::paper_default();
+        let (g, r) = routed(
+            &arch,
+            vec![Net {
+                source: Coord::new(1, 1),
+                sinks: vec![Coord::new(7, 1)],
+            }],
+        );
+        let s = routing_stats(&g, &r);
+        assert_eq!(s.total_wirelength, s.single_segments + s.double_segments);
+        assert!(s.total_wirelength >= 3, "6 cells away needs >= 3 hops");
+        assert!(s.double_segments > 0, "long straight runs ride DL lines");
+        assert_eq!(s.max_occupancy, 1);
+        assert_eq!(s.occupancy_histogram[1], s.total_wirelength);
+        assert!(s.critical_delay >= s.mean_delay);
+    }
+
+    #[test]
+    fn occupancy_histogram_sums_to_used_edges() {
+        let arch = ArchSpec::paper_default();
+        let nets: Vec<Net> = (1..=4)
+            .map(|y| Net {
+                source: Coord::new(1, y),
+                sinks: vec![Coord::new(8, y), Coord::new(4, 4)],
+            })
+            .collect();
+        let (g, r) = routed(&arch, nets);
+        let s = routing_stats(&g, &r);
+        let used_edges: usize = s.occupancy_histogram.iter().sum();
+        let mut distinct = std::collections::HashSet::new();
+        for t in &r.trees {
+            distinct.extend(t.iter().copied());
+        }
+        assert_eq!(used_edges, distinct.len());
+    }
+
+    #[test]
+    fn no_double_tracks_means_no_double_segments() {
+        let mut arch = ArchSpec::paper_default();
+        arch.routing.double_length_tracks = 0;
+        let (g, r) = routed(
+            &arch,
+            vec![Net {
+                source: Coord::new(1, 1),
+                sinks: vec![Coord::new(8, 8)],
+            }],
+        );
+        let s = routing_stats(&g, &r);
+        assert_eq!(s.double_segments, 0);
+        assert_eq!(s.double_fraction(), 0.0);
+    }
+
+    #[test]
+    fn empty_context_is_all_zero() {
+        let arch = ArchSpec::paper_default();
+        let (g, r) = routed(&arch, vec![]);
+        let s = routing_stats(&g, &r);
+        assert_eq!(s.total_wirelength, 0);
+        assert_eq!(s.mean_delay, 0.0);
+        assert_eq!(s.max_occupancy, 0);
+    }
+}

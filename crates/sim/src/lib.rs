@@ -1,0 +1,27 @@
+//! Configured-fabric simulation: the end-to-end device model.
+//!
+//! [`Device`] compiles a multi-context workload (one netlist per context,
+//! structurally aligned) onto an architecture: mapping with a shared cover,
+//! cross-context sharing, logic-block construction with locally controlled
+//! MCMG-LUTs (plane selection through real RCM decoder netlists), placement,
+//! routing, and switch-column extraction. It then *runs*: clock it with
+//! inputs, switch contexts at any cycle, and registers carry state across —
+//! the DPGA execution model the paper builds on.
+//!
+//! The simulator is the reproduction's correctness anchor: integration
+//! tests drive the same stimuli through the device and through each
+//! context's reference netlist and require bit-exact agreement, and the
+//! routing check re-derives net connectivity purely from per-switch
+//! configuration state.
+
+pub mod device;
+pub mod equivalence;
+pub mod faults;
+pub mod multi;
+pub mod temporal;
+
+pub use device::{CompileError, CompileReport, Device};
+pub use equivalence::{check_device_equivalence, EquivalenceError};
+pub use faults::{lut_fault_campaign, CampaignReport, LutFault};
+pub use multi::MultiDevice;
+pub use temporal::FabricTemporalExecutor;

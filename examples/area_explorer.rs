@@ -1,0 +1,79 @@
+//! Explore the Section 5 area model: sweep change rate, context count and
+//! technology, and print the proposed/conventional ratios with their
+//! component breakdowns.
+//!
+//! ```sh
+//! cargo run --example area_explorer
+//! cargo run --example area_explorer -- 0.03   # custom change rate
+//! ```
+
+use mcfpga::area::{area_comparison, static_power, PowerParams};
+use mcfpga::prelude::*;
+
+fn main() {
+    let params = AreaParams::paper_default();
+    let weights = FabricWeights::default();
+    let custom_rate: Option<f64> = std::env::args().nth(1).and_then(|s| s.parse().ok());
+
+    println!("area model constants (unit transistors): {params:#?}\n");
+
+    // The paper's headline point.
+    let eval = evaluate_paper_point();
+    println!("=== Section 5 headline (4 contexts, 5% change) ===");
+    println!(
+        "CMOS: proposed/conventional = {:.3}   (paper: 0.45)",
+        eval.cmos.ratio
+    );
+    println!(
+        "FePG: proposed/conventional = {:.3}   (paper: 0.37)\n",
+        eval.fepg.ratio
+    );
+
+    // Sweep change rate.
+    let arch = ArchSpec::paper_default();
+    println!("=== ratio vs change rate (4 contexts) ===");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12}",
+        "rate", "CMOS", "FePG", "switch part", "LB part"
+    );
+    let mut rates = vec![0.0, 0.01, 0.03, 0.05, 0.10, 0.20, 0.30, 0.50];
+    if let Some(r) = custom_rate {
+        rates.push(r);
+        rates.sort_by(f64::total_cmp);
+    }
+    for r in rates {
+        let cmos = area_comparison(&arch, r, Technology::Cmos, &params, &weights);
+        let fepg = area_comparison(&arch, r, Technology::Fepg, &params, &weights);
+        println!(
+            "{:>5.0}% {:>10.3} {:>10.3} {:>12.3} {:>12.3}",
+            r * 100.0,
+            cmos.ratio,
+            fepg.ratio,
+            cmos.proposed_switches / cmos.conventional_switches,
+            cmos.proposed_lb / cmos.conventional_lb,
+        );
+    }
+
+    // Sweep context count.
+    println!("\n=== ratio vs context count (5% change) ===");
+    println!("{:>9} {:>10} {:>10}", "contexts", "CMOS", "FePG");
+    for n in [2usize, 4, 8] {
+        let a = arch.clone().with_contexts(n);
+        let cmos = area_comparison(&a, 0.05, Technology::Cmos, &params, &weights);
+        let fepg = area_comparison(&a, 0.05, Technology::Fepg, &params, &weights);
+        println!("{n:>9} {:>10.3} {:>10.3}", cmos.ratio, fepg.ratio);
+    }
+
+    // Static power.
+    println!("\n=== static power (configuration storage leakage) ===");
+    let power_params = PowerParams::default();
+    for (label, tech) in [("CMOS RCM", Technology::Cmos), ("FePG RCM", Technology::Fepg)] {
+        let rep = static_power(&arch, 0.05, tech, &power_params, &weights);
+        println!(
+            "{label}: proposed/conventional = {:.3} ({:.1} vs {:.1} units/cell)",
+            rep.ratio, rep.proposed, rep.conventional
+        );
+    }
+    println!("\nFePG storage is non-volatile ferroelectric: the remaining leakage is");
+    println!("only the SRAM LUT planes, which sharing has already shrunk.");
+}

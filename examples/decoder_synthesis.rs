@@ -1,0 +1,93 @@
+//! RCM decoder synthesis, pattern by pattern: the machinery of Figs. 3-5
+//! and 9, shown live.
+//!
+//! Prints every 4-context configuration pattern with its class, the
+//! synthesised decoder tree, and its switch-element cost; then synthesises
+//! decoders for a random column stream at several change rates to show how
+//! redundancy turns into area.
+//!
+//! ```sh
+//! cargo run --example decoder_synthesis
+//! ```
+
+use mcfpga::config::{classify, random_column, ColumnSetStats};
+use mcfpga::prelude::*;
+use mcfpga::rcm::DecoderNode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn describe(node: &DecoderNode) -> String {
+    match node {
+        DecoderNode::Constant(v) => format!("const {}", u8::from(*v)),
+        DecoderNode::IdBit { bit, inverted } => {
+            format!("{}S{bit}", if *inverted { "!" } else { "" })
+        }
+        DecoderNode::Mux { sel_bit, hi, lo } => {
+            format!("S{sel_bit} ? ({}) : ({})", describe(hi), describe(lo))
+        }
+    }
+}
+
+fn main() {
+    let ctx = ContextId::new(4).unwrap();
+    println!("context-ID encoding (Table 2):\n{}", ctx.table_string());
+
+    println!("all 16 patterns (C3 C2 C1 C0), their class, decoder and SE cost:");
+    println!("{:<8} {:<22} {:<28} {:>3}", "pattern", "class", "decoder", "SEs");
+    let mut census = [0usize; 3];
+    for col in ConfigColumn::enumerate_all(4) {
+        let class = classify(col, ctx);
+        let prog = synthesize(col, ctx);
+        let cost = prog.cost();
+        // Check the lowered netlist really reproduces the column.
+        for c in 0..4 {
+            assert_eq!(prog.eval(ctx, c), col.value_in(c));
+        }
+        let idx = match class {
+            PatternClass::Constant { .. } => 0,
+            PatternClass::SingleBit { .. } => 1,
+            PatternClass::General => 2,
+        };
+        census[idx] += 1;
+        println!(
+            "{:<8} {:<22} {:<28} {:>3}",
+            col.pattern_string(),
+            class.figure(),
+            describe(&prog.tree),
+            cost.n_ses
+        );
+    }
+    println!(
+        "\ncensus: {} constant (Fig.3), {} single-bit (Fig.4), {} general (Fig.5)",
+        census[0], census[1], census[2]
+    );
+
+    println!("\nsynthesising 10_000 random columns at various change rates:");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>8}",
+        "rate", "constant%", "cheap%", "E[SEs]", "worstSE"
+    );
+    for rate in [0.0, 0.03, 0.05, 0.10, 0.25, 0.50] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cols: Vec<ConfigColumn> = (0..10_000)
+            .map(|_| random_column(ctx, rate, &mut rng))
+            .collect();
+        let stats = ColumnSetStats::measure(&cols, ctx);
+        let costs: Vec<usize> = cols
+            .iter()
+            .map(|c| synthesize(*c, ctx).cost().n_ses)
+            .collect();
+        let mean = costs.iter().sum::<usize>() as f64 / costs.len() as f64;
+        let worst = costs.iter().max().unwrap();
+        println!(
+            "{:>5.0}% {:>9.1}% {:>9.1}% {:>10.3} {:>8}",
+            rate * 100.0,
+            100.0 * stats.constant_fraction(),
+            100.0 * stats.cheap_fraction(),
+            mean,
+            worst
+        );
+    }
+    println!("\nat the paper's 5% change rate, ~90% of columns need a single SE");
+    println!("(vs 4 memory bits + a 4:1 mux per bit in a conventional MC-FPGA)");
+}

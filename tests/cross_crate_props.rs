@@ -1,0 +1,257 @@
+//! Property-based tests spanning crates: decoder-synthesis correctness for
+//! arbitrary columns and context counts, map->simulate equivalence for
+//! random netlists, packing feasibility, and bitstream roundtrips.
+
+use mcfpga::config::{Bitstream, ConfigColumn, ResourceClass, ResourceKey};
+use mcfpga::map::map_netlist;
+use mcfpga::netlist::{random_netlist, RandomNetlistParams};
+use mcfpga::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// Any column over any context count decodes to itself through the
+    /// synthesised SE netlist — the RCM's fundamental contract.
+    #[test]
+    fn decoder_synthesis_is_functionally_correct(
+        mask in any::<u32>(),
+        n in 2usize..=16,
+    ) {
+        let ctx = ContextId::new(n).unwrap();
+        let col = ConfigColumn::from_mask(mask, n);
+        let prog = synthesize(col, ctx);
+        for c in 0..n {
+            prop_assert_eq!(prog.eval(ctx, c), col.value_in(c), "context {}", c);
+            prop_assert_eq!(prog.tree.eval(ctx, c), col.value_in(c));
+        }
+    }
+
+    /// Decoder cost never exceeds the worst-case mux tree and the tree
+    /// cost accounting matches the lowered netlist.
+    #[test]
+    fn decoder_costs_are_bounded_and_consistent(
+        mask in any::<u32>(),
+        n in 2usize..=8,
+    ) {
+        let ctx = ContextId::new(n).unwrap();
+        let col = ConfigColumn::from_mask(mask, n);
+        let prog = synthesize(col, ctx);
+        let cost = prog.cost();
+        prop_assert_eq!(cost.n_ses, prog.tree.se_cost());
+        // Worst case for k ID bits: T(k) = 2 + 2 T(k-1), T(1) = 1.
+        let k = ctx.n_bits();
+        let worst = 3 * (1usize << k) / 2 - 2;
+        prop_assert!(cost.n_ses <= worst.max(1), "{} > {}", cost.n_ses, worst);
+        // Constant columns are always a single SE.
+        if col.is_constant() {
+            prop_assert_eq!(cost.n_ses, 1);
+        }
+    }
+
+    /// Mapping preserves combinational behaviour for random netlists at
+    /// every supported LUT size.
+    #[test]
+    fn mapping_preserves_behaviour(seed in 0u64..500, k in 3usize..=6) {
+        let params = RandomNetlistParams {
+            n_inputs: 5,
+            n_gates: 30,
+            n_outputs: 4,
+            dff_fraction: 0.0,
+        };
+        let netlist = random_netlist(params, seed);
+        let mapped = map_netlist(&netlist, k).unwrap();
+        prop_assert!(mapped.max_fanin() <= k);
+        // Exhaustive over the 32 input assignments.
+        for a in 0..32usize {
+            let inputs: Vec<bool> = (0..5).map(|i| (a >> i) & 1 == 1).collect();
+            let expect = netlist.eval_comb(&inputs).unwrap();
+            let mut st = mapped.initial_state();
+            let got = mapped.step(&inputs, &mut st);
+            prop_assert_eq!(&got, &expect, "assignment {}", a);
+        }
+    }
+
+    /// Bitstream set/get and serde roundtrips hold for arbitrary contents.
+    #[test]
+    fn bitstream_roundtrips(
+        entries in proptest::collection::vec((0u16..32, 0u16..32, 0u32..64, any::<u32>()), 0..40),
+    ) {
+        let mut bs = Bitstream::new(4);
+        for (x, y, idx, mask) in &entries {
+            let key = ResourceKey {
+                class: ResourceClass::RoutingSwitch,
+                cell: mcfpga::arch::Coord::new(*x, *y),
+                index: *idx,
+            };
+            bs.set(key, ConfigColumn::from_mask(*mask, 4));
+        }
+        let json = serde_json::to_string(&bs).unwrap();
+        let back: Bitstream = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&bs, &back);
+        for (x, y, idx, mask) in &entries {
+            let key = ResourceKey {
+                class: ResourceClass::RoutingSwitch,
+                cell: mcfpga::arch::Coord::new(*x, *y),
+                index: *idx,
+            };
+            // The last write to a key wins; just check presence & clipping.
+            let got = back.get(&key).unwrap();
+            prop_assert_eq!(got.mask() & !0b1111, 0, "mask clipped to 4 contexts");
+            let _ = mask;
+        }
+    }
+
+    /// Column statistics invariants: class counts partition the set, change
+    /// rate bounded, duplicates consistent with distinct count.
+    #[test]
+    fn column_stats_invariants(
+        masks in proptest::collection::vec(any::<u32>(), 1..200),
+        n in 2usize..=8,
+    ) {
+        use mcfpga::config::ColumnSetStats;
+        let ctx = ContextId::new(n).unwrap();
+        let cols: Vec<ConfigColumn> =
+            masks.iter().map(|&m| ConfigColumn::from_mask(m, n)).collect();
+        let stats = ColumnSetStats::measure(&cols, ctx);
+        prop_assert_eq!(
+            stats.n_constant + stats.n_single_bit + stats.n_general,
+            stats.n_columns
+        );
+        prop_assert_eq!(stats.n_duplicate + stats.n_distinct, stats.n_columns);
+        prop_assert!(stats.change_rate >= 0.0 && stats.change_rate <= 1.0);
+        prop_assert!(stats.cheap_fraction() >= stats.constant_fraction());
+    }
+
+    /// LUT geometry algebra: every mode of every valid geometry preserves
+    /// the pool and the plane-select bit count matches.
+    #[test]
+    fn lut_mode_algebra(min_k in 1usize..6, extra in 0usize..4, outs in 1usize..3) {
+        let g = LutGeometry {
+            outputs: outs,
+            min_inputs: min_k,
+            max_inputs: min_k + extra,
+        };
+        g.validate().unwrap();
+        for m in g.modes() {
+            prop_assert_eq!(m.bits(), g.pool_bits());
+            prop_assert_eq!(
+                m.inputs + m.plane_select_bits(),
+                g.max_inputs,
+                "inputs + select bits span the pool address space"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Text-format roundtrip for arbitrary random netlists.
+    #[test]
+    fn netlist_text_roundtrip(seed in 0u64..300, dffs in 0u8..2) {
+        use mcfpga::netlist::{from_text, to_text};
+        let params = RandomNetlistParams {
+            n_inputs: 5,
+            n_gates: 25,
+            n_outputs: 4,
+            dff_fraction: f64::from(dffs) * 0.15,
+        };
+        let netlist = random_netlist(params, seed);
+        let text = to_text(&netlist);
+        let back = from_text(&text).unwrap();
+        prop_assert_eq!(&back, &netlist);
+    }
+
+    /// Reconfiguration delta records always reconstruct the target image.
+    #[test]
+    fn reconfig_delta_roundtrip(
+        old_bits in proptest::collection::vec(any::<bool>(), 1..512),
+        flips in proptest::collection::vec(any::<usize>(), 0..64),
+    ) {
+        use mcfpga::config::{apply_records, delta_records, plan_reload, ReconfigModel};
+        let model = ReconfigModel::default();
+        let mut new_bits = old_bits.clone();
+        for f in flips {
+            let i = f % new_bits.len();
+            new_bits[i] = !new_bits[i];
+        }
+        let records = delta_records(&old_bits, &new_bits, &model);
+        let mut image = old_bits.clone();
+        apply_records(&mut image, &records, &model);
+        prop_assert_eq!(&image, &new_bits);
+        let plan = plan_reload(&old_bits, &new_bits, &model);
+        prop_assert_eq!(records.len(), plan.dirty_words);
+        prop_assert!(plan.changed_bits <= plan.dirty_words * model.delta_word_bits);
+    }
+
+    /// The RCM grid layout is always overlap-free and complete when it
+    /// succeeds, and uses exactly the decoders' SE budget.
+    #[test]
+    fn rcm_grid_layout_is_sound(
+        masks in proptest::collection::vec(0u32..16, 1..24),
+        rows in 4usize..12,
+        cols in 4usize..12,
+    ) {
+        use mcfpga::rcm::{synthesize as synth, RcmGrid};
+        let ctx = ContextId::new(4).unwrap();
+        let programs: Vec<_> = masks
+            .iter()
+            .map(|&m| synth(ConfigColumn::from_mask(m, 4), ctx))
+            .collect();
+        let want: usize = programs.iter().map(|p| p.netlist.n_ses()).sum();
+        match RcmGrid::new(rows, cols).layout(&programs) {
+            Ok(layout) => {
+                layout.validate().unwrap();
+                prop_assert_eq!(layout.placements.len(), programs.len());
+                prop_assert_eq!(layout.ses_used(), want);
+                prop_assert!(layout.utilisation() <= 1.0);
+            }
+            Err(_) => {
+                // Failure is only legitimate when the budget cannot fit
+                // even allowing first-fit fragmentation (each column can
+                // strand up to `tallest - 1` rows) — or a decoder is
+                // taller than a column.
+                let tallest = programs.iter().map(|p| p.netlist.n_ses()).max().unwrap();
+                prop_assert!(
+                    want + cols * tallest.saturating_sub(1) > rows * cols || tallest > rows,
+                    "layout failed with slack: want {} in {}x{} (tallest {})",
+                    want, rows, cols, tallest
+                );
+            }
+        }
+    }
+
+    /// LUT deduplication preserves behaviour on random netlists.
+    #[test]
+    fn dedupe_preserves_behaviour(seed in 0u64..200) {
+        use mcfpga::map::dedupe_luts;
+        let params = RandomNetlistParams {
+            n_inputs: 5,
+            n_gates: 30,
+            n_outputs: 5,
+            dff_fraction: 0.0,
+        };
+        let netlist = random_netlist(params, seed);
+        let mapped = map_netlist(&netlist, 4).unwrap();
+        let (deduped, stats) = dedupe_luts(&mapped);
+        prop_assert!(stats.after <= stats.before);
+        for a in 0..32usize {
+            let inputs: Vec<bool> = (0..5).map(|i| (a >> i) & 1 == 1).collect();
+            let mut st1 = mapped.initial_state();
+            let mut st2 = deduped.initial_state();
+            prop_assert_eq!(
+                mapped.step(&inputs, &mut st1),
+                deduped.step(&inputs, &mut st2)
+            );
+        }
+    }
+
+    /// Decoder evaluation agrees between the logical tree and the lowered
+    /// netlist for every context, for any column (richer context range).
+    #[test]
+    fn tree_and_netlist_always_agree(mask in any::<u32>(), n in 2usize..=12) {
+        let ctx = ContextId::new(n).unwrap();
+        let col = ConfigColumn::from_mask(mask, n);
+        let prog = synthesize(col, ctx);
+        for c in 0..n {
+            prop_assert_eq!(prog.tree.eval(ctx, c), prog.eval(ctx, c));
+        }
+    }
+}
