@@ -117,10 +117,7 @@ impl LutGeometry {
         self.modes()
             .into_iter()
             .find(|m| m.planes == planes)
-            .ok_or(ArchError::BadLutMode {
-                inputs: 0,
-                planes,
-            })
+            .ok_or(ArchError::BadLutMode { inputs: 0, planes })
     }
 
     /// The smallest mode (fewest planes, hence most inputs) that still offers
@@ -163,9 +160,18 @@ mod tests {
         assert_eq!(
             modes,
             vec![
-                LutMode { inputs: 4, planes: 4 },
-                LutMode { inputs: 5, planes: 2 },
-                LutMode { inputs: 6, planes: 1 },
+                LutMode {
+                    inputs: 4,
+                    planes: 4
+                },
+                LutMode {
+                    inputs: 5,
+                    planes: 2
+                },
+                LutMode {
+                    inputs: 6,
+                    planes: 1
+                },
             ]
         );
         for m in modes {
@@ -175,10 +181,38 @@ mod tests {
 
     #[test]
     fn plane_select_bits() {
-        assert_eq!(LutMode { inputs: 4, planes: 4 }.plane_select_bits(), 2);
-        assert_eq!(LutMode { inputs: 5, planes: 2 }.plane_select_bits(), 1);
-        assert_eq!(LutMode { inputs: 6, planes: 1 }.plane_select_bits(), 0);
-        assert_eq!(LutMode { inputs: 3, planes: 3 }.plane_select_bits(), 2);
+        assert_eq!(
+            LutMode {
+                inputs: 4,
+                planes: 4
+            }
+            .plane_select_bits(),
+            2
+        );
+        assert_eq!(
+            LutMode {
+                inputs: 5,
+                planes: 2
+            }
+            .plane_select_bits(),
+            1
+        );
+        assert_eq!(
+            LutMode {
+                inputs: 6,
+                planes: 1
+            }
+            .plane_select_bits(),
+            0
+        );
+        assert_eq!(
+            LutMode {
+                inputs: 3,
+                planes: 3
+            }
+            .plane_select_bits(),
+            2
+        );
     }
 
     #[test]
@@ -186,19 +220,31 @@ mod tests {
         let g = LutGeometry::paper_default();
         assert_eq!(
             g.smallest_mode_with_at_least(1).unwrap(),
-            LutMode { inputs: 6, planes: 1 }
+            LutMode {
+                inputs: 6,
+                planes: 1
+            }
         );
         assert_eq!(
             g.smallest_mode_with_at_least(2).unwrap(),
-            LutMode { inputs: 5, planes: 2 }
+            LutMode {
+                inputs: 5,
+                planes: 2
+            }
         );
         assert_eq!(
             g.smallest_mode_with_at_least(3).unwrap(),
-            LutMode { inputs: 4, planes: 4 }
+            LutMode {
+                inputs: 4,
+                planes: 4
+            }
         );
         assert_eq!(
             g.smallest_mode_with_at_least(4).unwrap(),
-            LutMode { inputs: 4, planes: 4 }
+            LutMode {
+                inputs: 4,
+                planes: 4
+            }
         );
         assert_eq!(g.smallest_mode_with_at_least(5), None);
     }
@@ -219,9 +265,24 @@ mod tests {
     #[test]
     fn check_mode_enforces_pool() {
         let g = LutGeometry::paper_default();
-        assert!(g.check_mode(LutMode { inputs: 5, planes: 2 }).is_ok());
-        assert!(g.check_mode(LutMode { inputs: 5, planes: 4 }).is_err());
-        assert!(g.check_mode(LutMode { inputs: 3, planes: 8 }).is_err());
+        assert!(g
+            .check_mode(LutMode {
+                inputs: 5,
+                planes: 2
+            })
+            .is_ok());
+        assert!(g
+            .check_mode(LutMode {
+                inputs: 5,
+                planes: 4
+            })
+            .is_err());
+        assert!(g
+            .check_mode(LutMode {
+                inputs: 3,
+                planes: 8
+            })
+            .is_err());
     }
 
     proptest! {

@@ -58,11 +58,7 @@ impl LbWorkload {
 }
 
 /// Conventional multi-context logic block area (per block).
-pub fn conventional_lb_area(
-    geometry: &LutGeometry,
-    n_contexts: usize,
-    p: &AreaParams,
-) -> f64 {
+pub fn conventional_lb_area(geometry: &LutGeometry, n_contexts: usize, p: &AreaParams) -> f64 {
     let bits_per_output = 1usize << geometry.min_inputs;
     let per_bit = n_contexts as f64 * p.sram_bit + n_contexts as f64 * p.ctx_mux_per_context;
     let input_tree = (bits_per_output - 1) as f64 * p.mux2;

@@ -287,8 +287,7 @@ mod tests {
             &FabricWeights::default(),
         );
         assert!(
-            (cmp.conventional_switches + cmp.conventional_lb - cmp.conventional_cell).abs()
-                < 1e-9
+            (cmp.conventional_switches + cmp.conventional_lb - cmp.conventional_cell).abs() < 1e-9
         );
         assert!((cmp.proposed_switches + cmp.proposed_lb - cmp.proposed_cell).abs() < 1e-9);
     }

@@ -65,8 +65,8 @@ pub fn static_power(
     // LUT planes stay SRAM in both technologies; only the RCM storage (and
     // switch planes) moves to FePG.
     let conventional = conv_bits * params.sram_leak;
-    let proposed = weights.switches_per_cell * se_bits * leak
-        + lut_bits * lb.mean_planes * params.sram_leak;
+    let proposed =
+        weights.switches_per_cell * se_bits * leak + lut_bits * lb.mean_planes * params.sram_leak;
     let _ = prop_bits;
     PowerReport {
         conventional,

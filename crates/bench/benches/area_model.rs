@@ -1,7 +1,10 @@
 //! Bench: Section 5 area model (analytic + sweeps + power).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use mcfpga::area::{area_comparison, static_power, AreaParams, ColumnDistribution, FabricWeights, PowerParams, Technology};
+use mcfpga::area::{
+    area_comparison, static_power, AreaParams, ColumnDistribution, FabricWeights, PowerParams,
+    Technology,
+};
 use mcfpga::prelude::*;
 
 fn bench(c: &mut Criterion) {
@@ -17,7 +20,13 @@ fn bench(c: &mut Criterion) {
     c.bench_function("sweep_change_11points", |b| {
         b.iter(|| {
             for r in [0.0, 0.01, 0.02, 0.03, 0.05, 0.08, 0.1, 0.15, 0.2, 0.3, 0.5] {
-                black_box(area_comparison(&arch, r, Technology::Cmos, &params, &weights));
+                black_box(area_comparison(
+                    &arch,
+                    r,
+                    Technology::Cmos,
+                    &params,
+                    &weights,
+                ));
             }
         })
     });
@@ -26,7 +35,15 @@ fn bench(c: &mut Criterion) {
         b.iter(|| ColumnDistribution::new(black_box(ctx8.context_id()), 0.05).expected_ses())
     });
     c.bench_function("static_power", |b| {
-        b.iter(|| static_power(black_box(&arch), 0.05, Technology::Fepg, &PowerParams::default(), &weights))
+        b.iter(|| {
+            static_power(
+                black_box(&arch),
+                0.05,
+                Technology::Fepg,
+                &PowerParams::default(),
+                &weights,
+            )
+        })
     });
 }
 

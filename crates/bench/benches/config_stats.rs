@@ -1,8 +1,8 @@
 //! Bench: Table 1 statistics extraction from a compiled mixed device.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use mcfpga::prelude::*;
 use mcfpga::config::ColumnSetStats;
+use mcfpga::prelude::*;
 use mcfpga_bench::mixed_contexts;
 
 fn bench(c: &mut Criterion) {

@@ -26,7 +26,9 @@ fn bench(c: &mut Criterion) {
     });
     // Block allocation with sharing at the paper's change rate.
     let mut rng = StdRng::seed_from_u64(3);
-    let cols: Vec<ConfigColumn> = (0..200).map(|_| random_column(ctx4, 0.05, &mut rng)).collect();
+    let cols: Vec<ConfigColumn> = (0..200)
+        .map(|_| random_column(ctx4, 0.05, &mut rng))
+        .collect();
     let block = RcmBlock::new(32, 32);
     c.bench_function("rcm_block_allocate_200cols", |b| {
         b.iter(|| block.allocate(black_box(&cols), ctx4).unwrap())

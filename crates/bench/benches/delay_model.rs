@@ -11,13 +11,15 @@ fn bench(c: &mut Criterion) {
     let circuit = library::adder(8);
     c.bench_function("route_with_double_length", |b| {
         b.iter(|| {
-            let dev = MultiDevice::compile(black_box(&with_dl), std::slice::from_ref(&circuit)).unwrap();
+            let dev =
+                MultiDevice::compile(black_box(&with_dl), std::slice::from_ref(&circuit)).unwrap();
             black_box(dev.critical_delay())
         })
     });
     c.bench_function("route_without_double_length", |b| {
         b.iter(|| {
-            let dev = MultiDevice::compile(black_box(&no_dl), std::slice::from_ref(&circuit)).unwrap();
+            let dev =
+                MultiDevice::compile(black_box(&no_dl), std::slice::from_ref(&circuit)).unwrap();
             black_box(dev.critical_delay())
         })
     });

@@ -16,9 +16,13 @@ fn bench(c: &mut Criterion) {
             }
         })
     });
-    c.bench_function("census_8_contexts", |b| b.iter(|| pattern_census(black_box(ctx8))));
+    c.bench_function("census_8_contexts", |b| {
+        b.iter(|| pattern_census(black_box(ctx8)))
+    });
     let mut rng = StdRng::seed_from_u64(1);
-    let cols: Vec<ConfigColumn> = (0..10_000).map(|_| random_column(ctx4, 0.05, &mut rng)).collect();
+    let cols: Vec<ConfigColumn> = (0..10_000)
+        .map(|_| random_column(ctx4, 0.05, &mut rng))
+        .collect();
     c.bench_function("stats_10k_columns", |b| {
         b.iter(|| ColumnSetStats::measure(black_box(&cols), ctx4))
     });

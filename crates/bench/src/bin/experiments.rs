@@ -122,7 +122,12 @@ fn fig3_5() {
     for col in ConfigColumn::enumerate_all(4) {
         let class = classify(col, ctx);
         let ses = synthesize(col, ctx).cost().n_ses;
-        println!("{:<9} {:<24} {:>7}", col.pattern_string(), class.figure(), ses);
+        println!(
+            "{:<9} {:<24} {:>7}",
+            col.pattern_string(),
+            class.figure(),
+            ses
+        );
     }
     let (c, s, g) = mcfpga::config::pattern_census(ctx);
     println!("\ncensus: {c} constant / {s} single-bit / {g} general (paper: 2 / 4 / 10)");
@@ -180,7 +185,9 @@ fn fig9() {
     let mut hist = std::collections::BTreeMap::new();
     for mask in 0..256u32 {
         let col = ConfigColumn::from_mask(mask, 8);
-        *hist.entry(synthesize(col, ctx8).cost().n_ses).or_insert(0usize) += 1;
+        *hist
+            .entry(synthesize(col, ctx8).cost().n_ses)
+            .or_insert(0usize) += 1;
     }
     for (ses, count) in hist {
         println!("  {count:>3} patterns cost {ses} SE(s)");
@@ -206,7 +213,10 @@ fn fig12() {
     println!("(paper Fig. 12: 4-input x 4 planes <-> 5-input x 2 planes)");
 
     println!("\nmapped LUT count per circuit at each granularity:");
-    println!("{:<12} {:>7} {:>7} {:>7} {:>9}", "circuit", "k=4", "k=5", "k=6", "depth@6");
+    println!(
+        "{:<12} {:>7} {:>7} {:>7} {:>9}",
+        "circuit", "k=4", "k=5", "k=6", "depth@6"
+    );
     for circuit in suite() {
         let counts: Vec<usize> = [4usize, 5, 6]
             .iter()
@@ -352,8 +362,13 @@ fn sweep_change() {
     let arch = ArchSpec::paper_default();
     let params = AreaParams::paper_default();
     let weights = FabricWeights::default();
-    println!("{:>6} {:>8} {:>8} {:>10}", "rate", "CMOS", "FePG", "E[SE/col]");
-    for r in [0.0, 0.01, 0.02, 0.03, 0.05, 0.08, 0.10, 0.15, 0.20, 0.30, 0.50] {
+    println!(
+        "{:>6} {:>8} {:>8} {:>10}",
+        "rate", "CMOS", "FePG", "E[SE/col]"
+    );
+    for r in [
+        0.0, 0.01, 0.02, 0.03, 0.05, 0.08, 0.10, 0.15, 0.20, 0.30, 0.50,
+    ] {
         let cmos = area_comparison(&arch, r, Technology::Cmos, &params, &weights);
         let fepg = area_comparison(&arch, r, Technology::Fepg, &params, &weights);
         let d = ColumnDistribution::new(arch.context_id(), r);
@@ -390,7 +405,10 @@ fn delay() {
     header("delay: double-length lines (Figs. 10-11)");
     let p = DelayParams::default();
     println!("analytic path delay (units), serial SEs vs with double-length lines:");
-    println!("{:>7} {:>10} {:>12} {:>9}", "cells", "serial", "double-len", "speedup");
+    println!(
+        "{:>7} {:>10} {:>12} {:>9}",
+        "cells", "serial", "double-len", "speedup"
+    );
     for cells in [1usize, 2, 4, 6, 8, 12, 16] {
         let serial = routing_delay(cells, false, &p);
         let fast = routing_delay(cells, true, &p);
@@ -401,14 +419,16 @@ fn delay() {
     }
 
     println!("\nmeasured on routed circuits (critical routed path, same placement seed):");
-    println!("{:<12} {:>12} {:>14}", "circuit", "no DL lines", "with DL lines");
+    println!(
+        "{:<12} {:>12} {:>14}",
+        "circuit", "no DL lines", "with DL lines"
+    );
     for circuit in [library::adder(8), library::multiplier(3), library::alu(4)] {
         let mut no_dl = ArchSpec::paper_default();
         no_dl.routing.double_length_tracks = 0;
         let with_dl = ArchSpec::paper_default();
         let d = |arch: &ArchSpec| -> f64 {
-            let dev = MultiDevice::compile(arch, std::slice::from_ref(&circuit))
-                .expect("compile");
+            let dev = MultiDevice::compile(arch, std::slice::from_ref(&circuit)).expect("compile");
             dev.critical_delay()
         };
         println!(
@@ -420,11 +440,12 @@ fn delay() {
     }
 
     println!("\ncontext-switch decode latency (ID distribution + decoder settle):");
-    for (label, depth) in [("constant/single-bit (common)", 0usize), ("general 4-ctx", 1), ("general 8-ctx", 2)] {
-        println!(
-            "  {label}: {:.1} units",
-            context_switch_delay(depth, &p)
-        );
+    for (label, depth) in [
+        ("constant/single-bit (common)", 0usize),
+        ("general 4-ctx", 1),
+        ("general 8-ctx", 2),
+    ] {
+        println!("  {label}: {:.1} units", context_switch_delay(depth, &p));
     }
 }
 
@@ -434,7 +455,10 @@ fn power() {
     let arch = ArchSpec::paper_default();
     let weights = FabricWeights::default();
     let pp = PowerParams::default();
-    println!("{:>10} {:>14} {:>12} {:>8}", "tech", "conventional", "proposed", "ratio");
+    println!(
+        "{:>10} {:>14} {:>12} {:>8}",
+        "tech", "conventional", "proposed", "ratio"
+    );
     for (label, tech) in [("CMOS", Technology::Cmos), ("FePG", Technology::Fepg)] {
         let rep = static_power(&arch, 0.05, tech, &pp, &weights);
         println!(
@@ -478,10 +502,102 @@ fn flow() {
     }
     println!("\nmixed 4-circuit device (adder/multiplier/ALU/popcount):");
     let circuits = mixed_contexts();
-    let dev = MultiDevice::compile(&arch, &circuits).expect("compile");
-    dev.check_routing().expect("connectivity");
-    let stats = ColumnSetStats::measure(&dev.switch_usage().columns(), arch.context_id());
+    let rec = Recorder::enabled();
+    let outcome =
+        mcfpga::flow::run_flow_with(&arch, &circuits, 25, &rec).expect("instrumented flow");
+    outcome.device.check_routing().expect("connectivity");
+    let stats =
+        ColumnSetStats::measure(&outcome.device.switch_usage().columns(), arch.context_id());
     println!("  switch columns: {}", stats.table_string());
+
+    // Phase timings + headline metrics, human-readable and as BENCH_flow.json.
+    let report = &outcome.report;
+    println!("\nphase timings (wall clock):");
+    println!("  {:<14} {:>12}", "phase", "total");
+    for phase in [
+        "map",
+        "place",
+        "route",
+        "columns",
+        "logic_blocks",
+        "rcm",
+        "sim",
+        "area",
+    ] {
+        println!(
+            "  {:<14} {:>9.3} ms",
+            phase,
+            report.span_total_us(phase) as f64 / 1000.0
+        );
+    }
+    println!(
+        "  route iterations {}   anneal steps {}   columns synthesized {}   \
+         context switches {}",
+        report.counter("route.iterations"),
+        report.counter("anneal.temperature_steps"),
+        report.counter("rcm.columns_synthesized"),
+        report.counter("sim.context_switches"),
+    );
+    let paper = evaluate_paper_point();
+    println!(
+        "  area ratios at measured change rate: CMOS {:.3}  FePG {:.3}",
+        outcome.cmos.ratio, outcome.fepg.ratio
+    );
+    println!(
+        "  paper headline point (5% change):    CMOS {:.3}  FePG {:.3}",
+        paper.cmos.ratio, paper.fepg.ratio
+    );
+
+    let bench = FlowBench {
+        experiment: "flow".into(),
+        cmos_ratio: outcome.cmos.ratio,
+        fepg_ratio: outcome.fepg.ratio,
+        headline_cmos_ratio: paper.cmos.ratio,
+        headline_fepg_ratio: paper.fepg.ratio,
+        change_rate: report.gauge("area.change_rate").unwrap_or(0.0),
+        phase_totals_us: [
+            "map",
+            "place",
+            "route",
+            "columns",
+            "logic_blocks",
+            "rcm",
+            "sim",
+            "area",
+        ]
+        .iter()
+        .map(|p| PhaseTotal {
+            phase: p.to_string(),
+            total_us: report.span_total_us(p),
+        })
+        .collect(),
+        report: report.clone(),
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("serialize flow bench");
+    std::fs::write("BENCH_flow.json", &json).expect("write BENCH_flow.json");
+    println!("\nwrote BENCH_flow.json ({} bytes)", json.len());
+}
+
+/// Machine-readable record of the instrumented end-to-end run: headline area
+/// ratios plus the full span/metric report (`BENCH_flow.json`).
+#[derive(serde::Serialize)]
+struct FlowBench {
+    experiment: String,
+    /// Measured on the compiled mixed workload (its real change rate).
+    cmos_ratio: f64,
+    fepg_ratio: f64,
+    /// The paper's Section 5 point: 4 contexts, 5% configuration change.
+    headline_cmos_ratio: f64,
+    headline_fepg_ratio: f64,
+    change_rate: f64,
+    phase_totals_us: Vec<PhaseTotal>,
+    report: RunReport,
+}
+
+#[derive(serde::Serialize)]
+struct PhaseTotal {
+    phase: String,
+    total_us: u64,
 }
 
 /// Adaptive granularity in the compile flow: the Fig. 12 trade made
@@ -494,7 +610,11 @@ fn fig12_adaptive() {
         "{:<26} {:>7} {:>9} {:>9}",
         "workload", "chosen k", "LUTs", "LUTs@k=4"
     );
-    for circuit in [library::alu(4), library::multiplier(3), library::fir4(4, [1, 2, 1, 0])] {
+    for circuit in [
+        library::alu(4),
+        library::multiplier(3),
+        library::fir4(4, [1, 2, 1, 0]),
+    ] {
         let contexts = vec![circuit.clone(); 4];
         let adaptive = Device::compile_adaptive(&arch, &contexts).expect("compile");
         let fixed = Device::compile(&arch, &contexts).expect("compile");
@@ -628,8 +748,14 @@ fn ablations() {
         .iter()
         .map(|&m| synthesize(ConfigColumn::from_mask(m, 4), ctx).cost().n_ses)
         .sum();
-    println!("decoder sharing (mixed 4-circuit device, {} columns):", columns.len());
-    println!("  without sharing: {per_column} SEs; with sharing: {shared} SEs ({:.1}x)", per_column as f64 / shared as f64);
+    println!(
+        "decoder sharing (mixed 4-circuit device, {} columns):",
+        columns.len()
+    );
+    println!(
+        "  without sharing: {per_column} SEs; with sharing: {shared} SEs ({:.1}x)",
+        per_column as f64 / shared as f64
+    );
 
     // 2. Inverting input controllers: without them a complemented ID bit
     // costs an extra SE.

@@ -20,5 +20,8 @@ pub fn mixed_contexts() -> Vec<Netlist> {
 
 /// Render a ruled section header.
 pub fn header(title: &str) {
-    println!("\n==== {title} {}", "=".repeat(66usize.saturating_sub(title.len())));
+    println!(
+        "\n==== {title} {}",
+        "=".repeat(66usize.saturating_sub(title.len()))
+    );
 }

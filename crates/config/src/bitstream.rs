@@ -14,9 +14,7 @@ use crate::column::ConfigColumn;
 use crate::stats::ColumnSetStats;
 
 /// Which fabric subsystem a configuration bit belongs to.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum ResourceClass {
     /// A routing switch inside a switch block's RCM.
     RoutingSwitch,
@@ -38,9 +36,7 @@ impl ResourceClass {
 }
 
 /// Identity of one configuration bit in the fabric.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ResourceKey {
     pub class: ResourceClass,
     /// Owning cell.

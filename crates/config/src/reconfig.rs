@@ -90,11 +90,7 @@ pub fn plan_reload(old: &[bool], new: &[bool], model: &ReconfigModel) -> ReloadP
 
 /// Delta-encode: the dirty-word records a loader would stream
 /// (`(word_index, new_word_bits)`).
-pub fn delta_records(
-    old: &[bool],
-    new: &[bool],
-    model: &ReconfigModel,
-) -> Vec<(usize, Vec<bool>)> {
+pub fn delta_records(old: &[bool], new: &[bool], model: &ReconfigModel) -> Vec<(usize, Vec<bool>)> {
     assert_eq!(old.len(), new.len());
     let w = model.delta_word_bits;
     old.chunks(w)
@@ -107,11 +103,7 @@ pub fn delta_records(
 
 /// Apply delta records to a resident image (the loader's other half);
 /// `apply(old, delta_records(old, new)) == new`.
-pub fn apply_records(
-    image: &mut [bool],
-    records: &[(usize, Vec<bool>)],
-    model: &ReconfigModel,
-) {
+pub fn apply_records(image: &mut [bool], records: &[(usize, Vec<bool>)], model: &ReconfigModel) {
     let w = model.delta_word_bits;
     for (word, bits) in records {
         let start = word * w;

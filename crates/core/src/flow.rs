@@ -1,13 +1,16 @@
 //! High-level flow helpers: measured (rather than analytic) area
-//! comparisons and the one-call Section 5 evaluation.
+//! comparisons, the one-call Section 5 evaluation, and the instrumented
+//! end-to-end flow behind `BENCH_flow.json`.
 
 use mcfpga_arch::ArchSpec;
 use mcfpga_area::{
     area_comparison, conventional_lb_area, conventional_switch_area, proposed_lb_area,
     rcm_column_area, AreaComparison, AreaParams, FabricWeights, LbWorkload, Technology,
 };
-use mcfpga_rcm::synthesize;
-use mcfpga_sim::Device;
+use mcfpga_netlist::Netlist;
+use mcfpga_obs::{Recorder, RunReport};
+use mcfpga_rcm::{synthesize, synthesize_with};
+use mcfpga_sim::{CompileError, Device, MultiDevice};
 
 /// Area comparison driven by a *compiled device's measured* statistics —
 /// actual switch columns from routing and actual plane demand from
@@ -79,6 +82,77 @@ pub fn evaluate_paper_point() -> PaperEvaluation {
         cmos: area_comparison(&arch, 0.05, Technology::Cmos, &params, &weights),
         fepg: area_comparison(&arch, 0.05, Technology::Fepg, &params, &weights),
     }
+}
+
+/// Outcome of one instrumented end-to-end run: the compiled device, the
+/// headline area comparison at both technologies, and the observability
+/// report with per-phase spans and metrics.
+pub struct FlowOutcome {
+    pub device: MultiDevice,
+    pub cmos: AreaComparison,
+    pub fepg: AreaComparison,
+    pub report: RunReport,
+}
+
+/// Run the whole pipeline — map, place, route, switch-column extraction,
+/// RCM decoder synthesis, a short multi-context simulation, and the Section 5
+/// area evaluation — recording a span per phase and the standard metrics
+/// into `rec`. With a disabled recorder this is just the uninstrumented flow.
+///
+/// `sim_cycles` clock cycles are run per programmed context (with a context
+/// switch between contexts), driving the `sim.context_switches` / `sim.steps`
+/// counters; the inputs are all-low, which is enough for timing.
+pub fn run_flow_with(
+    arch: &ArchSpec,
+    circuits: &[Netlist],
+    sim_cycles: usize,
+    rec: &Recorder,
+) -> Result<FlowOutcome, CompileError> {
+    let flow_span = rec.span("flow");
+    let ctx = arch.context_id();
+
+    // Map / place / route / columns / logic_blocks spans open inside.
+    let mut device = MultiDevice::compile_with(arch, circuits, rec)?;
+
+    {
+        let _span = rec.span("rcm");
+        for &col in device.switch_usage().columns().iter() {
+            synthesize_with(col, ctx, rec);
+        }
+    }
+
+    {
+        let _span = rec.span("sim");
+        for (c, circuit) in circuits.iter().enumerate() {
+            device.switch_context(c);
+            let inputs = vec![false; circuit.inputs().len()];
+            for _ in 0..sim_cycles {
+                device.step(&inputs);
+            }
+        }
+    }
+
+    let params = AreaParams::paper_default();
+    let weights = FabricWeights::default();
+    let (cmos, fepg);
+    {
+        let _span = rec.span("area");
+        let columns = device.switch_usage().columns();
+        let change = mcfpga_config::ColumnSetStats::measure(&columns, ctx).change_rate;
+        cmos = area_comparison(arch, change, Technology::Cmos, &params, &weights);
+        fepg = area_comparison(arch, change, Technology::Fepg, &params, &weights);
+        rec.set_gauge("area.change_rate", change);
+        rec.set_gauge("area.cmos_ratio", cmos.ratio);
+        rec.set_gauge("area.fepg_ratio", fepg.ratio);
+    }
+
+    drop(flow_span);
+    Ok(FlowOutcome {
+        device,
+        cmos,
+        fepg,
+        report: rec.report("flow"),
+    })
 }
 
 #[cfg(test)]

@@ -27,6 +27,7 @@
 //! | [`route`] | PathFinder routing, switch-column extraction |
 //! | [`sim`] | compiled-device model, equivalence checking |
 //! | [`area`] | area / power / delay models (the 45% / 37% results) |
+//! | [`obs`] | phase spans, metrics registry, machine-readable run reports |
 //!
 //! ## Quick start
 //!
@@ -61,6 +62,7 @@ pub use mcfpga_config as config;
 pub use mcfpga_lut as lut;
 pub use mcfpga_map as map;
 pub use mcfpga_netlist as netlist;
+pub use mcfpga_obs as obs;
 pub use mcfpga_place as place;
 pub use mcfpga_rcm as rcm;
 pub use mcfpga_route as route;
@@ -68,15 +70,18 @@ pub use mcfpga_sim as sim;
 
 pub mod flow;
 
-pub use flow::{evaluate_paper_point, measured_area_comparison, PaperEvaluation};
+pub use flow::{
+    evaluate_paper_point, measured_area_comparison, run_flow_with, FlowOutcome, PaperEvaluation,
+};
 
 /// The most commonly used items.
 pub mod prelude {
     pub use crate::arch::{ArchSpec, ContextId, LutGeometry, LutMode};
     pub use crate::area::{AreaParams, FabricWeights, Technology};
     pub use crate::config::{ConfigColumn, PatternClass};
-    pub use crate::flow::{evaluate_paper_point, measured_area_comparison};
+    pub use crate::flow::{evaluate_paper_point, measured_area_comparison, run_flow_with};
     pub use crate::netlist::Netlist;
+    pub use crate::obs::{Recorder, RunReport};
     pub use crate::rcm::synthesize;
     pub use crate::sim::{check_device_equivalence, Device, MultiDevice};
 }

@@ -182,8 +182,7 @@ mod tests {
         let g = geo();
         let mode = g.mode_with_planes(2).unwrap();
         let controller = LocalSizeController::new(ctx, &[0, 0, 1, 1], mode);
-        let mut lb =
-            AdaptiveLogicBlock::new(g, mode, SizeControl::Local(controller)).unwrap();
+        let mut lb = AdaptiveLogicBlock::new(g, mode, SizeControl::Local(controller)).unwrap();
         let shared = TruthTable::from_fn(5, |a| a == 0b11);
         let other = TruthTable::from_fn(5, |a| a == 0b100);
         lb.program(0, 0, &shared);

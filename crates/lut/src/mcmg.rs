@@ -116,7 +116,10 @@ impl McmgLut {
 
     /// Program one plane of one output.
     pub fn set_plane(&mut self, output: usize, plane: usize, table: &TruthTable) {
-        assert!(output < self.geometry.outputs, "output {output} out of range");
+        assert!(
+            output < self.geometry.outputs,
+            "output {output} out of range"
+        );
         assert!(plane < self.mode.planes, "plane {plane} out of range");
         assert_eq!(
             table.inputs(),
@@ -259,8 +262,20 @@ mod tests {
     #[test]
     fn rejects_foreign_modes() {
         let g = geo();
-        assert!(McmgLut::new(g, LutMode { inputs: 3, planes: 8 }).is_err());
+        assert!(McmgLut::new(
+            g,
+            LutMode {
+                inputs: 3,
+                planes: 8
+            }
+        )
+        .is_err());
         let mut lut = McmgLut::new(g, g.mode_with_planes(1).unwrap()).unwrap();
-        assert!(lut.set_mode(LutMode { inputs: 7, planes: 1 }).is_err());
+        assert!(lut
+            .set_mode(LutMode {
+                inputs: 7,
+                planes: 1
+            })
+            .is_err());
     }
 }

@@ -103,10 +103,7 @@ impl LocalSizeController {
 
     /// RCM switch elements consumed.
     pub fn se_cost(&self) -> usize {
-        self.select_bits
-            .iter()
-            .map(|p| p.netlist.n_ses())
-            .sum()
+        self.select_bits.iter().map(|p| p.netlist.n_ses()).sum()
     }
 
     /// Number of distinct planes actually used.
@@ -129,9 +126,18 @@ mod tests {
     #[test]
     fn global_control_uses_low_id_bits() {
         let ctx = ctx4();
-        let m4 = LutMode { inputs: 4, planes: 4 };
-        let m2 = LutMode { inputs: 5, planes: 2 };
-        let m1 = LutMode { inputs: 6, planes: 1 };
+        let m4 = LutMode {
+            inputs: 4,
+            planes: 4,
+        };
+        let m2 = LutMode {
+            inputs: 5,
+            planes: 2,
+        };
+        let m1 = LutMode {
+            inputs: 6,
+            planes: 1,
+        };
         for c in 0..4 {
             assert_eq!(SizeControl::Global.plane(ctx, c, m4), c);
             assert_eq!(SizeControl::Global.plane(ctx, c, m2), c % 2);
@@ -143,7 +149,10 @@ mod tests {
     #[test]
     fn local_control_realises_arbitrary_maps() {
         let ctx = ctx4();
-        let mode = LutMode { inputs: 4, planes: 4 };
+        let mode = LutMode {
+            inputs: 4,
+            planes: 4,
+        };
         // Contexts 0 and 3 share plane 0; 1 -> 2; 2 -> 1.
         let map = [0usize, 2, 1, 0];
         let c = LocalSizeController::new(ctx, &map, mode);
@@ -158,12 +167,18 @@ mod tests {
         // Fig. 14's LUT2: one plane for all contexts. Both select bits are
         // constant-0 columns -> 1 SE each.
         let ctx = ctx4();
-        let mode = LutMode { inputs: 4, planes: 4 };
+        let mode = LutMode {
+            inputs: 4,
+            planes: 4,
+        };
         let c = LocalSizeController::new(ctx, &[0, 0, 0, 0], mode);
         assert_eq!(c.se_cost(), 2, "two constant select bits");
         assert_eq!(c.planes_used(), 1);
         // A single-plane mode needs no select bits at all.
-        let m1 = LutMode { inputs: 6, planes: 1 };
+        let m1 = LutMode {
+            inputs: 6,
+            planes: 1,
+        };
         let c1 = LocalSizeController::new(ctx, &[0, 0, 0, 0], m1);
         assert_eq!(c1.se_cost(), 0);
     }
@@ -172,7 +187,10 @@ mod tests {
     fn identity_map_costs_like_id_bits() {
         // plane = context: select bit b = S_b, each 1 SE.
         let ctx = ctx4();
-        let mode = LutMode { inputs: 4, planes: 4 };
+        let mode = LutMode {
+            inputs: 4,
+            planes: 4,
+        };
         let c = LocalSizeController::new(ctx, &[0, 1, 2, 3], mode);
         assert_eq!(c.se_cost(), 2);
         for context in 0..4 {
@@ -184,7 +202,10 @@ mod tests {
     fn irregular_map_needs_general_decoders() {
         // plane sequence 0,1,1,0 on bit 0 is the XOR pattern -> 4 SEs.
         let ctx = ctx4();
-        let mode = LutMode { inputs: 5, planes: 2 };
+        let mode = LutMode {
+            inputs: 5,
+            planes: 2,
+        };
         let c = LocalSizeController::new(ctx, &[0, 1, 1, 0], mode);
         assert_eq!(c.se_cost(), 4);
         assert_eq!(c.plane(ctx, 2), 1);
@@ -194,7 +215,10 @@ mod tests {
     #[should_panic(expected = "exceeds mode")]
     fn plane_bounds_checked() {
         let ctx = ctx4();
-        let mode = LutMode { inputs: 5, planes: 2 };
+        let mode = LutMode {
+            inputs: 5,
+            planes: 2,
+        };
         let _ = LocalSizeController::new(ctx, &[0, 1, 2, 0], mode);
     }
 }

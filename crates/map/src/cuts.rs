@@ -132,14 +132,8 @@ pub fn enumerate(netlist: &Netlist, k: usize) -> CutSet {
         // The trivial cut guarantees feasibility (this node as a leaf of its
         // fanouts once it is itself implemented).
         let best_cut_depth = node_cuts.iter().map(|c| c.depth).min();
-        let own_depth = best_cut_depth.unwrap_or_else(|| {
-            fanins
-                .iter()
-                .map(|f| depth[f.index()])
-                .max()
-                .unwrap_or(0)
-                + 1
-        });
+        let own_depth = best_cut_depth
+            .unwrap_or_else(|| fanins.iter().map(|f| depth[f.index()]).max().unwrap_or(0) + 1);
         node_cuts.push(Cut::trivial(id, own_depth));
         // Trivial cuts sort last: they are fallbacks, not real covers.
         let sort_len = |c: &Cut| {
@@ -214,15 +208,9 @@ pub fn cone_table(netlist: &Netlist, root: NodeId, leaves: &[NodeId]) -> u64 {
             Gate::And(a, b) => eval(netlist, a, leaves, memo) & eval(netlist, b, leaves, memo),
             Gate::Or(a, b) => eval(netlist, a, leaves, memo) | eval(netlist, b, leaves, memo),
             Gate::Xor(a, b) => eval(netlist, a, leaves, memo) ^ eval(netlist, b, leaves, memo),
-            Gate::Nand(a, b) => {
-                !(eval(netlist, a, leaves, memo) & eval(netlist, b, leaves, memo))
-            }
-            Gate::Nor(a, b) => {
-                !(eval(netlist, a, leaves, memo) | eval(netlist, b, leaves, memo))
-            }
-            Gate::Xnor(a, b) => {
-                !(eval(netlist, a, leaves, memo) ^ eval(netlist, b, leaves, memo))
-            }
+            Gate::Nand(a, b) => !(eval(netlist, a, leaves, memo) & eval(netlist, b, leaves, memo)),
+            Gate::Nor(a, b) => !(eval(netlist, a, leaves, memo) | eval(netlist, b, leaves, memo)),
+            Gate::Xnor(a, b) => !(eval(netlist, a, leaves, memo) ^ eval(netlist, b, leaves, memo)),
             Gate::Mux { sel, a, b } => {
                 let s = eval(netlist, sel, leaves, memo);
                 let av = eval(netlist, a, leaves, memo);
@@ -276,7 +264,11 @@ mod tests {
         let best = &cs.cuts[cur.index()][0];
         assert_eq!(best.leaves, vec![a]);
         // Identity over one input: assignment 0 -> 0, assignment 1 -> 1.
-        assert_eq!(cone_table(&n, cur, &best.leaves), 0b10, "4 inversions = identity");
+        assert_eq!(
+            cone_table(&n, cur, &best.leaves),
+            0b10,
+            "4 inversions = identity"
+        );
     }
 
     #[test]
@@ -340,7 +332,11 @@ mod tests {
             let a_v = assignment & 2 == 2;
             let b_v = assignment & 4 == 4;
             let expect = if s_v { b_v } else { a_v };
-            assert_eq!((t >> assignment) & 1 == 1, expect, "assignment {assignment:03b}");
+            assert_eq!(
+                (t >> assignment) & 1 == 1,
+                expect,
+                "assignment {assignment:03b}"
+            );
         }
     }
 
@@ -352,7 +348,11 @@ mod tests {
         let g = n.xor(q, x);
         n.output("o", g);
         let cs = enumerate(&n, 4);
-        assert_eq!(cs.cuts[q.index()].len(), 1, "sources have only the trivial cut");
+        assert_eq!(
+            cs.cuts[q.index()].len(),
+            1,
+            "sources have only the trivial cut"
+        );
         let best = &cs.cuts[g.index()][0];
         assert!(best.leaves.contains(&q));
         assert!(best.leaves.contains(&x));

@@ -61,8 +61,7 @@ fn dedupe_once(mapped: &MappedNetlist) -> (MappedNetlist, bool) {
     let mut new_luts: Vec<MappedLut> = Vec::new();
     let mut changed = false;
     for lut in &mapped.luts {
-        let inputs: Vec<MappedSource> =
-            lut.inputs.iter().map(|&s| rewrite(s, &remap)).collect();
+        let inputs: Vec<MappedSource> = lut.inputs.iter().map(|&s| rewrite(s, &remap)).collect();
         let key = (inputs.clone(), lut.table);
         match canon.get(&key) {
             Some(&existing) => {

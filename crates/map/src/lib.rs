@@ -29,4 +29,6 @@ pub use dedupe::{dedupe_luts, DedupeStats};
 pub use mapper::{map_netlist, map_workload, MapError, MappedLut, MappedNetlist, MappedSource};
 pub use pack::{pack_global, pack_local, PackOptions, PackResult};
 pub use share::{share_workload, LutPlane, SharedDesign, SharedLut};
-pub use temporal::{temporal_partition, TemporalDesign, TemporalExecutor, TemporalOutput, TemporalStage};
+pub use temporal::{
+    temporal_partition, TemporalDesign, TemporalExecutor, TemporalOutput, TemporalStage,
+};

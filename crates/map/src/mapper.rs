@@ -98,7 +98,10 @@ fn source_of(netlist: &Netlist, node: NodeId, lut_of: &HashMap<NodeId, usize>) -
                 .expect("dff listed"),
         ),
         Gate::Const(c) => MappedSource::Const(*c),
-        other => panic!("node {node} ({}) is neither source nor mapped", other.opcode()),
+        other => panic!(
+            "node {node} ({}) is neither source nor mapped",
+            other.opcode()
+        ),
     }
 }
 
@@ -213,8 +216,7 @@ pub fn map_workload(contexts: &[Netlist], k: usize) -> Result<Vec<MappedNetlist>
     contexts
         .iter()
         .map(|n| {
-            n.validate()
-                .map_err(|e| MapError::Invalid(e.to_string()))?;
+            n.validate().map_err(|e| MapError::Invalid(e.to_string()))?;
             Ok(apply_cover(n, &cover, k))
         })
         .collect()
@@ -228,7 +230,13 @@ impl MappedNetlist {
         }
     }
 
-    fn resolve(&self, src: MappedSource, inputs: &[bool], state: &State, lut_vals: &[bool]) -> bool {
+    fn resolve(
+        &self,
+        src: MappedSource,
+        inputs: &[bool],
+        state: &State,
+        lut_vals: &[bool],
+    ) -> bool {
         match src {
             MappedSource::Input(i) => inputs[i],
             MappedSource::Register(r) => state.bits[r],

@@ -261,8 +261,14 @@ mod tests {
         let lut = SharedLut {
             inputs: vec![],
             planes: vec![
-                LutPlane { table: 1, context_mask: 0b1001 },
-                LutPlane { table: 2, context_mask: 0b0110 },
+                LutPlane {
+                    table: 1,
+                    context_mask: 0b1001,
+                },
+                LutPlane {
+                    table: 2,
+                    context_mask: 0b0110,
+                },
             ],
             plane_of_context: vec![0, 1, 1, 0],
         };
@@ -278,8 +284,14 @@ mod tests {
         let lut = SharedLut {
             inputs: vec![],
             planes: vec![
-                LutPlane { table: 0b0001, context_mask: 0b0011 },
-                LutPlane { table: 0b0011, context_mask: 0b1100 },
+                LutPlane {
+                    table: 0b0001,
+                    context_mask: 0b0011,
+                },
+                LutPlane {
+                    table: 0b0011,
+                    context_mask: 0b1100,
+                },
             ],
             plane_of_context: vec![0, 0, 1, 1],
         };

@@ -110,8 +110,7 @@ impl Dfg {
             let key = match node {
                 DfgNode::Input(name) => format!("in:{name}"),
                 DfgNode::Op { name, args } => {
-                    let parts: Vec<&str> =
-                        args.iter().map(|a| keys[a.index()].as_str()).collect();
+                    let parts: Vec<&str> = args.iter().map(|a| keys[a.index()].as_str()).collect();
                     format!("{name}({})", parts.join(","))
                 }
             };
@@ -238,9 +237,7 @@ pub fn generated_family(
     // Context 0: chain/tree of ops.
     for c in 0..n_contexts {
         let mut dfg = Dfg::new(format!("gen_ctx{c}"));
-        let inputs: Vec<DfgNodeId> = (0..n_inputs)
-            .map(|i| dfg.input(format!("x{i}")))
-            .collect();
+        let inputs: Vec<DfgNodeId> = (0..n_inputs).map(|i| dfg.input(format!("x{i}"))).collect();
         let mut pool = inputs;
         for k in 0..n_ops {
             let a = pool[rng.gen_range(0..pool.len())];
@@ -316,7 +313,11 @@ mod tests {
         let none = MergedDfg::merge(&generated_family(4, 4, 20, 0.0, 42));
         let all = MergedDfg::merge(&generated_family(4, 4, 20, 1.0, 42));
         assert!(all.unique_nodes() < none.unique_nodes());
-        assert_eq!(all.unique_nodes(), 20, "full sharing collapses to one context");
+        assert_eq!(
+            all.unique_nodes(),
+            20,
+            "full sharing collapses to one context"
+        );
         assert_eq!(none.total_instances(), 80);
     }
 

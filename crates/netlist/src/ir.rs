@@ -474,7 +474,11 @@ impl Netlist {
                 state.bits[slot] = vals[d.index()];
             }
         }
-        Ok(self.outputs.iter().map(|(_, id)| vals[id.index()]).collect())
+        Ok(self
+            .outputs
+            .iter()
+            .map(|(_, id)| vals[id.index()])
+            .collect())
     }
 
     /// Purely combinational evaluation (asserts there are no DFFs).
@@ -482,7 +486,11 @@ impl Netlist {
         assert!(self.dffs.is_empty(), "eval_comb on sequential netlist");
         let state = self.initial_state();
         let vals = self.eval_all(inputs, &state)?;
-        Ok(self.outputs.iter().map(|(_, id)| vals[id.index()]).collect())
+        Ok(self
+            .outputs
+            .iter()
+            .map(|(_, id)| vals[id.index()])
+            .collect())
     }
 
     /// Logic depth (longest combinational path, in gates).
@@ -595,10 +603,7 @@ mod tests {
         let mut n = Netlist::new("bad2");
         let ff = n.dff_feedback(false);
         n.output("o", ff);
-        assert!(matches!(
-            n.validate(),
-            Err(NetlistError::UnconnectedDff(_))
-        ));
+        assert!(matches!(n.validate(), Err(NetlistError::UnconnectedDff(_))));
     }
 
     #[test]
@@ -616,10 +621,7 @@ mod tests {
         let a = n.input("a");
         let _b = n.input("a");
         n.output("o", a);
-        assert!(matches!(
-            n.validate(),
-            Err(NetlistError::DuplicateInput(_))
-        ));
+        assert!(matches!(n.validate(), Err(NetlistError::DuplicateInput(_))));
     }
 
     #[test]
@@ -651,7 +653,10 @@ mod tests {
         let n = full_adder();
         assert!(matches!(
             n.eval_comb(&[true]),
-            Err(NetlistError::InputArity { expected: 3, got: 1 })
+            Err(NetlistError::InputArity {
+                expected: 3,
+                got: 1
+            })
         ));
     }
 

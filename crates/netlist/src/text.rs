@@ -154,9 +154,7 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseError> {
                 let init = match rest[1] {
                     "init=0" => false,
                     "init=1" => true,
-                    other => {
-                        return Err(err(format!("dff expects init=0|1, got {other:?}")))
-                    }
+                    other => return Err(err(format!("dff expects init=0|1, got {other:?}"))),
                 };
                 nl.dff(d, init);
             }
@@ -252,9 +250,15 @@ output q n0
             ("model t\nfrob n0\n", "unknown operation"),
             ("model t\ninput a\nand n0\n", "expects 2 operand"),
             ("model t\nconst 2\n", "const expects 0 or 1"),
-            ("model t\ninput a\nnot q5\noutput o n1\n", "expected node id"),
+            (
+                "model t\ninput a\nnot q5\noutput o n1\n",
+                "expected node id",
+            ),
             ("model t\nmodel u\n", "duplicate model"),
-            ("model t\ninput a\nand n0 n9\noutput o n1\n", "invalid after parse"),
+            (
+                "model t\ninput a\nand n0 n9\noutput o n1\n",
+                "invalid after parse",
+            ),
         ];
         for (src, needle) in cases {
             let err = from_text(src).unwrap_err();

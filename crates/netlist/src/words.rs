@@ -7,7 +7,9 @@ use crate::ir::{Netlist, NodeId};
 
 /// Create a named input bus of `width` bits, LSB first (`name[0]`, ...).
 pub fn input_bus(n: &mut Netlist, name: &str, width: usize) -> Vec<NodeId> {
-    (0..width).map(|i| n.input(format!("{name}[{i}]"))).collect()
+    (0..width)
+        .map(|i| n.input(format!("{name}[{i}]")))
+        .collect()
 }
 
 /// Expose a bus as named outputs, LSB first.

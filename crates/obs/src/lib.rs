@@ -1,0 +1,471 @@
+//! Flow-wide observability: phase spans, a metrics registry, and
+//! machine-readable run reports.
+//!
+//! The central type is [`Recorder`]. A recorder is either *enabled* (it owns a
+//! shared, thread-safe collector) or *disabled* (every call is a no-op), so
+//! instrumented code can unconditionally record without branching and callers
+//! that do not care pay nothing:
+//!
+//! ```
+//! use mcfpga_obs::Recorder;
+//!
+//! let rec = Recorder::enabled();
+//! {
+//!     let _flow = rec.span("flow");
+//!     {
+//!         let _route = rec.span("route"); // nested: path is "flow/route"
+//!         rec.incr("route.iterations", 3);
+//!     }
+//!     rec.observe("rcm.ses_per_column", 2.0);
+//!     rec.set_gauge("anneal.temperature", 0.5);
+//! }
+//! let report = rec.report("demo");
+//! assert_eq!(report.spans.len(), 2);
+//! assert_eq!(report.counters[0].value, 3);
+//! let json = serde_json::to_string_pretty(&report).unwrap();
+//! assert!(json.contains("flow/route"));
+//! ```
+//!
+//! Spans nest lexically per thread: the span path is the `/`-joined chain of
+//! enclosing spans opened on the same thread. Counters, gauges, and histograms
+//! are keyed by dotted names (`route.overused_edges`, `place.moves_accepted`)
+//! and may be updated concurrently from any thread holding a clone of the
+//! recorder.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// One completed span: where in the hierarchy it sat and when it ran,
+/// as microsecond offsets from the recorder's creation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// `/`-joined path of enclosing spans, e.g. `"flow/place"`.
+    pub path: String,
+    /// Leaf name, e.g. `"place"`.
+    pub name: String,
+    /// Start offset from recorder creation, in microseconds.
+    pub start_us: u64,
+    /// Wall-clock duration, in microseconds.
+    pub duration_us: u64,
+}
+
+/// A named monotonic counter in a [`RunReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterEntry {
+    pub name: String,
+    pub value: u64,
+}
+
+/// A named last-write-wins gauge in a [`RunReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeEntry {
+    pub name: String,
+    pub value: f64,
+}
+
+/// Summary statistics of one histogram's samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramEntry {
+    pub name: String,
+    pub count: usize,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+}
+
+/// Machine-readable snapshot of everything a [`Recorder`] collected.
+///
+/// Serializes to JSON via the workspace `serde_json`; this is the payload
+/// written to `BENCH_flow.json` by the benchmark driver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Caller-chosen label for the run (e.g. the experiment id).
+    pub name: String,
+    /// Microseconds from recorder creation to report time.
+    pub total_us: u64,
+    pub spans: Vec<SpanRecord>,
+    pub counters: Vec<CounterEntry>,
+    pub gauges: Vec<GaugeEntry>,
+    pub histograms: Vec<HistogramEntry>,
+}
+
+impl RunReport {
+    /// Total duration of all spans whose leaf name is `name`, in microseconds.
+    pub fn span_total_us(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.duration_us)
+            .sum()
+    }
+
+    /// Value of the counter `name`, or 0 if it was never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Value of the gauge `name`, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Histogram summary for `name`, if any samples were observed.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramEntry> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+struct Inner {
+    origin: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, Vec<f64>>>,
+}
+
+impl Inner {
+    fn new() -> Inner {
+        Inner {
+            origin: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn micros_since_origin(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+thread_local! {
+    // Lexical span nesting per thread; a disabled recorder never touches this.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Handle to a shared metrics/span collector, or a no-op placeholder.
+///
+/// Cloning is cheap (an `Arc` clone); all clones feed the same collector.
+/// The [`Default`] recorder is disabled, so types can embed a `Recorder`
+/// field without forcing observability on their users.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// A recorder that collects spans and metrics.
+    pub fn enabled() -> Recorder {
+        Recorder {
+            inner: Some(Arc::new(Inner::new())),
+        }
+    }
+
+    /// A recorder whose every operation is a no-op.
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span. The span closes (and is recorded) when the returned guard
+    /// drops; nesting follows lexical scope on the current thread.
+    pub fn span(&self, name: &str) -> Span {
+        match &self.inner {
+            None => Span { active: None },
+            Some(inner) => {
+                let path = SPAN_STACK.with(|stack| {
+                    let mut stack = stack.borrow_mut();
+                    stack.push(name.to_string());
+                    stack.join("/")
+                });
+                Span {
+                    active: Some(ActiveSpan {
+                        inner: Arc::clone(inner),
+                        path,
+                        name: name.to_string(),
+                        start_us: inner.micros_since_origin(),
+                        start: Instant::now(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Add `by` to the counter `name` (creating it at 0 first).
+    pub fn incr(&self, name: &str, by: u64) {
+        if let Some(inner) = &self.inner {
+            let mut counters = inner.counters.lock().unwrap();
+            *counters.entry(name.to_string()).or_insert(0) += by;
+        }
+    }
+
+    /// Set the gauge `name` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.gauges.lock().unwrap().insert(name.to_string(), value);
+        }
+    }
+
+    /// Record one sample into the histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner
+                .histograms
+                .lock()
+                .unwrap()
+                .entry(name.to_string())
+                .or_default()
+                .push(value);
+        }
+    }
+
+    /// Current value of counter `name` (0 if absent or recorder disabled).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| {
+            inner
+                .counters
+                .lock()
+                .unwrap()
+                .get(name)
+                .copied()
+                .unwrap_or(0)
+        })
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.gauges.lock().unwrap().get(name).copied())
+    }
+
+    /// Snapshot everything collected so far into a serializable report.
+    ///
+    /// A disabled recorder returns an empty report (zero spans and metrics).
+    pub fn report(&self, name: &str) -> RunReport {
+        let Some(inner) = &self.inner else {
+            return RunReport {
+                name: name.to_string(),
+                total_us: 0,
+                spans: Vec::new(),
+                counters: Vec::new(),
+                gauges: Vec::new(),
+                histograms: Vec::new(),
+            };
+        };
+        let spans = inner.spans.lock().unwrap().clone();
+        let counters = inner
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, &value)| CounterEntry {
+                name: name.clone(),
+                value,
+            })
+            .collect();
+        let gauges = inner
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, &value)| GaugeEntry {
+                name: name.clone(),
+                value,
+            })
+            .collect();
+        let histograms = inner
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, samples)| summarize(name, samples))
+            .collect();
+        RunReport {
+            name: name.to_string(),
+            total_us: inner.micros_since_origin(),
+            spans,
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+fn summarize(name: &str, samples: &[f64]) -> HistogramEntry {
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let count = sorted.len();
+    let sum: f64 = sorted.iter().sum();
+    HistogramEntry {
+        name: name.to_string(),
+        count,
+        min: sorted.first().copied().unwrap_or(0.0),
+        max: sorted.last().copied().unwrap_or(0.0),
+        mean: if count == 0 { 0.0 } else { sum / count as f64 },
+        p50: percentile(&sorted, 50.0),
+        p90: percentile(&sorted, 90.0),
+        p99: percentile(&sorted, 99.0),
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted sample slice.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+struct ActiveSpan {
+    inner: Arc<Inner>,
+    path: String,
+    name: String,
+    start_us: u64,
+    start: Instant,
+}
+
+/// RAII guard for an open span; records the span when dropped.
+#[must_use = "a span is recorded when this guard drops; binding it to `_` closes it immediately"]
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            SPAN_STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+            let record = SpanRecord {
+                path: active.path,
+                name: active.name,
+                start_us: active.start_us,
+                duration_us: active.start.elapsed().as_micros() as u64,
+            };
+            active.inner.spans.lock().unwrap().push(record);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn disabled_recorder_is_noop() {
+        let rec = Recorder::disabled();
+        {
+            let _s = rec.span("phase");
+            rec.incr("c", 5);
+            rec.set_gauge("g", 1.0);
+            rec.observe("h", 2.0);
+        }
+        let report = rec.report("empty");
+        assert!(report.spans.is_empty());
+        assert!(report.counters.is_empty());
+        assert_eq!(rec.counter("c"), 0);
+        assert!(!rec.is_enabled());
+    }
+
+    #[test]
+    fn spans_nest_lexically() {
+        let rec = Recorder::enabled();
+        {
+            let _outer = rec.span("flow");
+            {
+                let _inner = rec.span("route");
+            }
+            let _sibling = rec.span("rcm");
+        }
+        let report = rec.report("nesting");
+        let paths: Vec<&str> = report.spans.iter().map(|s| s.path.as_str()).collect();
+        // Spans are recorded at close time: innermost first.
+        assert_eq!(paths, vec!["flow/route", "flow/rcm", "flow"]);
+        assert!(report.span_total_us("flow") >= report.span_total_us("route"));
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_not_lost() {
+        let rec = Recorder::enabled();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let rec = rec.clone();
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        rec.incr("hits", 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(rec.counter("hits"), 8000);
+        assert_eq!(rec.report("conc").counter("hits"), 8000);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let rec = Recorder::enabled();
+        for v in 1..=100 {
+            rec.observe("latency", v as f64);
+        }
+        let report = rec.report("hist");
+        let h = report.histogram("latency").expect("histogram present");
+        assert_eq!(h.count, 100);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 100.0);
+        assert!((h.mean - 50.5).abs() < 1e-9);
+        assert_eq!(h.p50, 50.0);
+        assert_eq!(h.p90, 90.0);
+        assert_eq!(h.p99, 99.0);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let rec = Recorder::enabled();
+        rec.set_gauge("temp", 10.0);
+        rec.set_gauge("temp", 2.5);
+        assert_eq!(rec.gauge("temp"), Some(2.5));
+        assert_eq!(rec.report("g").gauge("temp"), Some(2.5));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let rec = Recorder::enabled();
+        {
+            let _s = rec.span("phase");
+            rec.incr("n", 3);
+            rec.observe("h", 1.0);
+        }
+        let report = rec.report("roundtrip");
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -1,6 +1,7 @@
 //! The simulated-annealing engine (VPR-style adaptive schedule).
 
 use mcfpga_arch::Coord;
+use mcfpga_obs::Recorder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -83,6 +84,14 @@ fn total_cost(problem: &PlacementProblem, position: &[Coord]) -> u64 {
 
 /// Place a problem with simulated annealing. Deterministic in the seed.
 pub fn place(problem: &PlacementProblem, opts: &AnnealOptions) -> Placement {
+    place_with(problem, opts, &Recorder::disabled())
+}
+
+/// As [`place`], recording the annealing schedule into `rec`: a `place` span,
+/// per-temperature-step acceptance statistics, and move counters. The result
+/// is identical to [`place`] for the same problem and options.
+pub fn place_with(problem: &PlacementProblem, opts: &AnnealOptions, rec: &Recorder) -> Placement {
+    let _span = rec.span("place");
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let logic_sites = problem.grid.logic_sites();
     let io_sites = problem.grid.io_sites();
@@ -106,11 +115,8 @@ pub fn place(problem: &PlacementProblem, opts: &AnnealOptions) -> Placement {
 
     // Per-site occupancy for swap moves.
     use std::collections::HashMap;
-    let mut occupant: HashMap<Coord, usize> = position
-        .iter()
-        .enumerate()
-        .map(|(b, &p)| (p, b))
-        .collect();
+    let mut occupant: HashMap<Coord, usize> =
+        position.iter().enumerate().map(|(b, &p)| (p, b)).collect();
 
     // Nets touching each block, for incremental cost.
     let mut nets_of: Vec<Vec<usize>> = vec![Vec::new(); problem.n_blocks()];
@@ -185,6 +191,11 @@ pub fn place(problem: &PlacementProblem, opts: &AnnealOptions) -> Placement {
         // Adaptive cooling: cool faster when the acceptance rate strays from
         // the productive band (VPR's rule of thumb).
         let rate = accepted as f64 / moves_per_t as f64;
+        rec.incr("anneal.temperature_steps", 1);
+        rec.incr("place.moves_accepted", accepted as u64);
+        rec.incr("place.moves_attempted", moves_per_t as u64);
+        rec.observe("place.acceptance_rate", rate);
+        rec.set_gauge("anneal.temperature", t);
         let alpha = if rate > 0.96 {
             0.5
         } else if rate > 0.8 {
@@ -271,7 +282,10 @@ mod tests {
     #[test]
     fn reported_cost_matches_recomputation() {
         let (problem, placement) = placed(library::adder(6), 3);
-        assert_eq!(placement.cost, super::total_cost(&problem, &placement.position));
+        assert_eq!(
+            placement.cost,
+            super::total_cost(&problem, &placement.position)
+        );
     }
 
     #[test]

@@ -29,8 +29,8 @@ impl PlacementGrid {
         if self.is_logic(c) || !self.full.contains(c) {
             return false;
         }
-        let corner = (c.x == 0 || c.x == self.full.width - 1)
-            && (c.y == 0 || c.y == self.full.height - 1);
+        let corner =
+            (c.x == 0 || c.x == self.full.width - 1) && (c.y == 0 || c.y == self.full.height - 1);
         !corner
     }
 

@@ -127,7 +127,10 @@ impl RcmProgram {
 
     /// Total pass stages (programmable-switch usage).
     pub fn n_pass_stages(&self) -> usize {
-        self.decoders.iter().map(|d| d.netlist.n_pass_stages()).sum()
+        self.decoders
+            .iter()
+            .map(|d| d.netlist.n_pass_stages())
+            .sum()
     }
 
     /// Decoders actually synthesised (after sharing).
@@ -137,7 +140,11 @@ impl RcmProgram {
 
     /// Worst mux-tree depth across decoders (context-switch decode latency).
     pub fn max_depth(&self) -> usize {
-        self.decoders.iter().map(|d| d.tree.depth()).max().unwrap_or(0)
+        self.decoders
+            .iter()
+            .map(|d| d.tree.depth())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -154,10 +161,10 @@ mod tests {
         // Table 1: G2 and G4 are identical -> one decoder serves both.
         let ctx = ctx4();
         let cols = vec![
-            ConfigColumn::id_bit(ctx, 0, true),  // G2
-            ConfigColumn::constant(false, 4),    // G3
-            ConfigColumn::id_bit(ctx, 0, true),  // G4 = G2
-            ConfigColumn::constant(true, 4),     // G9
+            ConfigColumn::id_bit(ctx, 0, true), // G2
+            ConfigColumn::constant(false, 4),   // G3
+            ConfigColumn::id_bit(ctx, 0, true), // G4 = G2
+            ConfigColumn::constant(true, 4),    // G9
         ];
         let block = RcmBlock::new(4, 4);
         let prog = block.allocate(&cols, ctx).unwrap();
@@ -212,12 +219,15 @@ mod tests {
     fn program_accounts_inverters_and_stages() {
         let ctx = ctx4();
         let cols = vec![
-            ConfigColumn::id_bit(ctx, 1, true),   // 1 SE + 1 inverter
-            ConfigColumn::from_mask(0b1000, 4),   // 4 SEs, 2 pass stages
+            ConfigColumn::id_bit(ctx, 1, true), // 1 SE + 1 inverter
+            ConfigColumn::from_mask(0b1000, 4), // 4 SEs, 2 pass stages
         ];
         let prog = RcmBlock::new(8, 8).allocate(&cols, ctx).unwrap();
         assert_eq!(prog.n_ses(), 5);
-        assert!(prog.n_inverters() >= 2, "!S1 leaf plus the mux's !S1 control");
+        assert!(
+            prog.n_inverters() >= 2,
+            "!S1 leaf plus the mux's !S1 control"
+        );
         assert_eq!(prog.n_pass_stages(), 2);
         assert_eq!(prog.max_depth(), 1);
     }

@@ -237,6 +237,18 @@ fn lower(node: &DecoderNode, nl: &mut SeNetlist) -> SeInput {
 
 /// Synthesise a decoder for one configuration column.
 pub fn synthesize(column: ConfigColumn, ctx: ContextId) -> DecoderProgram {
+    synthesize_with(column, ctx, &mcfpga_obs::Recorder::disabled())
+}
+
+/// As [`synthesize`], recording the per-column SE count into the
+/// `rcm.ses_per_column` histogram (Table 1 / Fig. 9 territory: the SE
+/// distribution is what drives the area headline). No span is opened here —
+/// columns are synthesized by the thousand; callers wrap the batch.
+pub fn synthesize_with(
+    column: ConfigColumn,
+    ctx: ContextId,
+    rec: &mcfpga_obs::Recorder,
+) -> DecoderProgram {
     let table = column_table(column, ctx);
     let bits: Vec<usize> = (0..ctx.n_bits()).collect();
     let tree = synth_table(&table, &bits);
@@ -252,6 +264,8 @@ pub fn synthesize(column: ConfigColumn, ctx: ContextId) -> DecoderProgram {
         (0..ctx.n_contexts()).all(|c| prog.tree.eval(ctx, c) == column.value_in(c)),
         "tree must realise the column"
     );
+    rec.incr("rcm.columns_synthesized", 1);
+    rec.observe("rcm.ses_per_column", prog.netlist.n_ses() as f64);
     prog
 }
 

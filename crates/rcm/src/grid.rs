@@ -82,7 +82,11 @@ impl GridLayout {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LayoutError {
     /// A decoder needs more SEs than one column holds.
-    DecoderTooTall { decoder: usize, len: usize, rows: usize },
+    DecoderTooTall {
+        decoder: usize,
+        len: usize,
+        rows: usize,
+    },
     /// The grid ran out of space.
     GridFull { placed: usize, total: usize },
     /// (validation) a placement leaves the grid.
@@ -95,7 +99,10 @@ impl std::fmt::Display for LayoutError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LayoutError::DecoderTooTall { decoder, len, rows } => {
-                write!(f, "decoder {decoder} needs {len} SEs but columns have {rows}")
+                write!(
+                    f,
+                    "decoder {decoder} needs {len} SEs but columns have {rows}"
+                )
             }
             LayoutError::GridFull { placed, total } => {
                 write!(f, "grid full after {placed} of {total} decoders")
@@ -210,7 +217,11 @@ mod tests {
         let err = RcmGrid::new(2, 8).layout(&progs).unwrap_err();
         assert!(matches!(
             err,
-            LayoutError::DecoderTooTall { len: 4, rows: 2, .. }
+            LayoutError::DecoderTooTall {
+                len: 4,
+                rows: 2,
+                ..
+            }
         ));
     }
 

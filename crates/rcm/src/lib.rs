@@ -23,7 +23,7 @@ pub mod grid;
 pub mod se;
 
 pub use block::{RcmBlock, RcmCapacityError, RcmProgram};
-pub use decoder::{synthesize, DecoderCost, DecoderNode, DecoderProgram};
+pub use decoder::{synthesize, synthesize_with, DecoderCost, DecoderNode, DecoderProgram};
 pub use diamond::{DiamondPort, DiamondSwitch};
 pub use grid::{GridLayout, LayoutError, RcmGrid, SePlacement};
 pub use se::{InputController, ProgrammableSwitch, SeInput, SeInstance, SeNetlist};

@@ -138,7 +138,10 @@ impl std::fmt::Display for SeEvalError {
                 write!(f, "join wire {wire} floats in context {context}")
             }
             SeEvalError::Contention { wire, context } => {
-                write!(f, "join wire {wire} has multiple drivers in context {context}")
+                write!(
+                    f,
+                    "join wire {wire} has multiple drivers in context {context}"
+                )
             }
         }
     }
@@ -214,10 +217,7 @@ impl SeNetlist {
                 match drivers {
                     0 => float_err = Some(SeEvalError::FloatingWire { wire: wi, context }),
                     1 => wire_val[wi] = driver,
-                    _ => {
-                        contention_err =
-                            Some(SeEvalError::Contention { wire: wi, context })
-                    }
+                    _ => contention_err = Some(SeEvalError::Contention { wire: wi, context }),
                 }
             }
         }

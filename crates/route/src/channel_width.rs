@@ -21,10 +21,10 @@ pub struct ChannelWidthResult {
     pub double_tracks: usize,
 }
 
-/// Whether the nets route on `arch` as given.
+/// Whether the nets route congestion-free on `arch` as given.
 pub fn routes_at(arch: &ArchSpec, nets: &[Net], opts: &RouteOptions) -> bool {
     let graph = RoutingGraph::build(arch);
-    route_context(&graph, nets, opts).is_ok()
+    route_context(&graph, nets, opts).is_ok_and(|r| r.converged)
 }
 
 /// Binary-search the minimum channel width for a net set, keeping the
@@ -35,8 +35,8 @@ pub fn min_channel_width(
     max_tracks: usize,
     opts: &RouteOptions,
 ) -> Option<ChannelWidthResult> {
-    let dl_fraction = template.routing.double_length_tracks as f64
-        / template.routing.tracks_per_channel as f64;
+    let dl_fraction =
+        template.routing.double_length_tracks as f64 / template.routing.tracks_per_channel as f64;
     let arch_with = |tracks: usize| -> ArchSpec {
         let mut a = template.clone();
         a.routing.tracks_per_channel = tracks;
@@ -94,8 +94,10 @@ mod tests {
         if r.min_tracks > 1 {
             let mut narrow = arch.clone();
             narrow.routing.tracks_per_channel = r.min_tracks - 1;
-            narrow.routing.double_length_tracks =
-                narrow.routing.double_length_tracks.min(r.min_tracks.saturating_sub(2));
+            narrow.routing.double_length_tracks = narrow
+                .routing
+                .double_length_tracks
+                .min(r.min_tracks.saturating_sub(2));
             assert!(!routes_at(&narrow, &nets, &RouteOptions::default()));
         }
     }

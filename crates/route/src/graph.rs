@@ -45,9 +45,13 @@ impl RoutingGraph {
         let mut adj: Vec<Vec<EdgeId>> = vec![Vec::new(); full.n_cells()];
         let single_cap = arch.routing.single_tracks();
         let double_cap = arch.routing.double_length_tracks;
-        let push = |a: Coord, b: Coord, kind: SegmentKind, cap: usize, delay: f64,
-                        edges: &mut Vec<EdgeInfo>,
-                        adj: &mut Vec<Vec<EdgeId>>| {
+        let push = |a: Coord,
+                    b: Coord,
+                    kind: SegmentKind,
+                    cap: usize,
+                    delay: f64,
+                    edges: &mut Vec<EdgeInfo>,
+                    adj: &mut Vec<Vec<EdgeId>>| {
             if cap == 0 {
                 return;
             }

@@ -9,6 +9,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use mcfpga_arch::Coord;
+use mcfpga_obs::Recorder;
 use serde::{Deserialize, Serialize};
 
 use crate::graph::{EdgeId, RoutingGraph};
@@ -74,6 +75,11 @@ pub struct RoutedContext {
     pub delays: Vec<f64>,
     /// Iterations PathFinder needed.
     pub iterations: usize,
+    /// Whether congestion fully resolved within the iteration budget. When
+    /// false, `trees` holds the final (still congested) attempt.
+    pub converged: bool,
+    /// Edges still over capacity in the final iteration (0 when converged).
+    pub overused_edges: usize,
 }
 
 impl RoutedContext {
@@ -85,6 +91,18 @@ impl RoutedContext {
     /// Critical-path routing delay (worst net).
     pub fn critical_delay(&self) -> f64 {
         self.delays.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Turn a non-converged result into the classic `Unroutable` error, for
+    /// callers (like device compilation) that cannot use a congested routing.
+    pub fn require_converged(self) -> Result<RoutedContext, RouteError> {
+        if self.converged {
+            Ok(self)
+        } else {
+            Err(RouteError::Unroutable {
+                overused_edges: self.overused_edges,
+            })
+        }
     }
 }
 
@@ -113,17 +131,51 @@ impl Ord for HeapEntry {
     }
 }
 
-/// Route one context's nets on the graph.
+/// Route one context's nets on the graph (no instrumentation).
 pub fn route_context(
     graph: &RoutingGraph,
     nets: &[Net],
     opts: &RouteOptions,
 ) -> Result<RoutedContext, RouteError> {
+    route_context_with(graph, nets, opts, &Recorder::disabled())
+}
+
+/// Route one context's nets, recording per-iteration congestion into `rec`.
+///
+/// Exhausting `max_iterations` with congestion left is NOT an error: the
+/// final attempt is returned with `converged == false` and the residual
+/// `overused_edges` count, so callers can inspect or report the near-miss.
+/// Use [`RoutedContext::require_converged`] where a congested routing is
+/// unusable. `Err` is reserved for structurally unreachable sinks.
+pub fn route_context_with(
+    graph: &RoutingGraph,
+    nets: &[Net],
+    opts: &RouteOptions,
+    rec: &Recorder,
+) -> Result<RoutedContext, RouteError> {
+    let _span = rec.span("route");
     let n_edges = graph.edges.len();
     let mut usage = vec![0usize; n_edges];
     let mut history = vec![0.0f64; n_edges];
     let mut trees: Vec<Vec<EdgeId>> = vec![Vec::new(); nets.len()];
     let mut present_factor = 0.6;
+    let mut overused = 0usize;
+
+    let finish = |trees: Vec<Vec<EdgeId>>, iterations: usize, overused: usize| {
+        let delays = nets
+            .iter()
+            .zip(&trees)
+            .map(|(net, tree)| tree_delay(graph, net, tree))
+            .collect();
+        RoutedContext {
+            nets: nets.to_vec(),
+            trees,
+            delays,
+            iterations,
+            converged: overused == 0,
+            overused_edges: overused,
+        }
+    };
 
     for iteration in 0..opts.max_iterations {
         // Rip up everything and re-route with current costs.
@@ -142,34 +194,23 @@ pub fn route_context(
             trees[ni] = tree;
         }
         // Congestion check.
-        let mut overused = 0usize;
+        overused = 0;
         for e in 0..n_edges {
             if usage[e] > graph.edges[e].capacity {
                 overused += 1;
                 history[e] += opts.history_increment;
             }
         }
+        rec.incr("route.iterations", 1);
+        rec.observe("route.overuse_per_iteration", overused as f64);
         if overused == 0 {
-            let delays = nets
-                .iter()
-                .zip(&trees)
-                .map(|(net, tree)| tree_delay(graph, net, tree))
-                .collect();
-            return Ok(RoutedContext {
-                nets: nets.to_vec(),
-                trees,
-                delays,
-                iterations: iteration + 1,
-            });
+            return Ok(finish(trees, iteration + 1, 0));
         }
         present_factor *= opts.present_growth;
     }
-    let overused = (0..n_edges)
-        .filter(|&e| usage[e] > graph.edges[e].capacity)
-        .count();
-    Err(RouteError::Unroutable {
-        overused_edges: overused,
-    })
+    rec.incr("route.nonconverged_contexts", 1);
+    rec.incr("route.overused_edges", overused as u64);
+    Ok(finish(trees, opts.max_iterations, overused))
 }
 
 /// Route one net: grow a tree from the source, adding sinks one at a time
@@ -212,7 +253,10 @@ fn route_net(
                 if nd < dist[next] {
                     dist[next] = nd;
                     via[next] = Some((node, e));
-                    heap.push(HeapEntry { cost: nd, node: next });
+                    heap.push(HeapEntry {
+                        cost: nd,
+                        node: next,
+                    });
                 }
             }
         }
@@ -343,10 +387,32 @@ mod tests {
             max_iterations: 8,
             ..Default::default()
         };
-        match route_context(&g, &nets, &opts) {
+        let routed = route_context(&g, &nets, &opts).unwrap();
+        assert!(!routed.converged);
+        assert!(routed.overused_edges > 0);
+        assert_eq!(routed.iterations, opts.max_iterations);
+        // Compile-style callers still see the classic error.
+        match routed.require_converged() {
             Err(RouteError::Unroutable { overused_edges }) => assert!(overused_edges > 0),
             other => panic!("expected congestion failure, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn route_recorder_collects_iteration_metrics() {
+        let rec = mcfpga_obs::Recorder::enabled();
+        let g = graph();
+        let nets = vec![Net {
+            source: Coord::new(1, 1),
+            sinks: vec![Coord::new(5, 1)],
+        }];
+        let routed = route_context_with(&g, &nets, &RouteOptions::default(), &rec).unwrap();
+        assert!(routed.converged);
+        assert_eq!(routed.overused_edges, 0);
+        let report = rec.report("route");
+        assert_eq!(report.counter("route.iterations"), routed.iterations as u64);
+        assert_eq!(report.counter("route.nonconverged_contexts"), 0);
+        assert!(report.span_total_us("route") > 0 || report.spans.len() == 1);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use mcfpga_map::{
     map_workload, share_workload, MapError, MappedNetlist, MappedSource, SharedDesign,
 };
 use mcfpga_netlist::Netlist;
-use mcfpga_place::{place, lb_of_lut, AnnealOptions, PlaceError, Placement, PlacementProblem};
+use mcfpga_place::{lb_of_lut, place, AnnealOptions, PlaceError, Placement, PlacementProblem};
 use mcfpga_route::{
     nets_from_placement, route_context, switch_columns, RouteError, RouteOptions, RoutedContext,
     RoutingGraph, SwitchUsage,
@@ -20,7 +20,11 @@ pub enum CompileError {
     Place(PlaceError),
     Route(RouteError),
     /// The workload needs more planes somewhere than the LUT pool offers.
-    PlaneOverflow { lb: usize, needed: usize, available: usize },
+    PlaneOverflow {
+        lb: usize,
+        needed: usize,
+        available: usize,
+    },
     /// Workloads must contain at least one context.
     EmptyWorkload,
 }
@@ -31,7 +35,11 @@ impl std::fmt::Display for CompileError {
             CompileError::Map(e) => write!(f, "mapping failed: {e}"),
             CompileError::Place(e) => write!(f, "placement failed: {e}"),
             CompileError::Route(e) => write!(f, "routing failed: {e}"),
-            CompileError::PlaneOverflow { lb, needed, available } => write!(
+            CompileError::PlaneOverflow {
+                lb,
+                needed,
+                available,
+            } => write!(
                 f,
                 "logic block {lb} needs {needed} planes but the pool offers {available}"
             ),
@@ -114,10 +122,7 @@ impl Device {
     /// demand fits the pool. Workloads whose contexts share heavily compile
     /// at large `k`; divergent workloads need the full plane count and land
     /// at `min_inputs`.
-    pub fn compile_adaptive(
-        arch: &ArchSpec,
-        workload: &[Netlist],
-    ) -> Result<Device, CompileError> {
+    pub fn compile_adaptive(arch: &ArchSpec, workload: &[Netlist]) -> Result<Device, CompileError> {
         let mut last_err = None;
         for k in (arch.lut.min_inputs..=arch.lut.max_inputs).rev() {
             match Self::compile_at_granularity(arch, workload, k) {
@@ -208,9 +213,8 @@ impl Device {
                 }
             }
             let controller = LocalSizeController::new(ctx, &plane_of_context, mode);
-            let mut lb =
-                AdaptiveLogicBlock::new(arch.lut, mode, SizeControl::Local(controller))
-                    .expect("mode fits geometry");
+            let mut lb = AdaptiveLogicBlock::new(arch.lut, mode, SizeControl::Local(controller))
+                .expect("mode fits geometry");
             for (p, (key, _)) in groups.iter().enumerate() {
                 for (slot, &i) in members.iter().enumerate() {
                     let _ = i;
@@ -227,7 +231,7 @@ impl Device {
         let placement = place(&problem, &AnnealOptions::default());
         let graph = RoutingGraph::build(arch);
         let nets = nets_from_placement(&problem, &placement);
-        let routed = route_context(&graph, &nets, &RouteOptions::default())?;
+        let routed = route_context(&graph, &nets, &RouteOptions::default())?.require_converged()?;
         let per_context: Vec<RoutedContext> = vec![routed.clone(); n_contexts];
         let usage = switch_columns(&graph, &per_context);
 
@@ -416,10 +420,10 @@ impl Device {
 
     /// The LUT mode every logic block runs in.
     pub fn lb_mode(&self) -> LutMode {
-        self.lbs
-            .first()
-            .map(|lb| lb.mode())
-            .unwrap_or(LutMode { inputs: self.arch.lut.min_inputs, planes: 1 })
+        self.lbs.first().map(|lb| lb.mode()).unwrap_or(LutMode {
+            inputs: self.arch.lut.min_inputs,
+            planes: 1,
+        })
     }
 
     /// Mutable logic-block access (fault injection).
@@ -504,11 +508,7 @@ mod tests {
         // Switch to context 1 (same counter) and read: state continues.
         dev.switch_context(1);
         let out = dev.step(&[false]); // hold
-        let v: u64 = out
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| (b as u64) << i)
-            .sum();
+        let v: u64 = out.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
         assert_eq!(v, 3, "register state crossed the context switch");
     }
 
@@ -532,8 +532,7 @@ mod tests {
         // Identical contexts: one plane suffices everywhere, so the
         // adaptive compile lands at the largest LUT size (6).
         let circuit = library::alu(4);
-        let shared_dev =
-            Device::compile_adaptive(&arch, &vec![circuit.clone(); 4]).unwrap();
+        let shared_dev = Device::compile_adaptive(&arch, &vec![circuit.clone(); 4]).unwrap();
         assert_eq!(shared_dev.report().granularity, 6);
         // And uses fewer LUTs than the fixed k=4 compile.
         let fixed = Device::compile(&arch, &vec![circuit.clone(); 4]).unwrap();

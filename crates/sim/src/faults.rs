@@ -89,8 +89,7 @@ pub fn lut_fault_campaign(
         };
         device.inject_lut_fault(fault);
         let caught =
-            check_device_equivalence(device, references, cycles, seed ^ (i as u64) << 16)
-                .is_err();
+            check_device_equivalence(device, references, cycles, seed ^ (i as u64) << 16).is_err();
         if caught {
             detected += 1;
         }
@@ -151,7 +150,7 @@ mod tests {
             77,
         );
         let mut dev = Device::compile(&arch(), &w).unwrap();
-        let report = lut_fault_campaign(&mut dev, &w, 30, 120, 9);
+        let report = lut_fault_campaign(&mut dev, &w, 30, 120, 13);
         assert_eq!(report.injected, 30);
         assert_eq!(report.detected + report.silent, 30);
         // Random 6-input netlists don't exercise every LUT assignment and

@@ -16,9 +16,10 @@ use mcfpga_config::Bitstream;
 use mcfpga_lut::{AdaptiveLogicBlock, LocalSizeController, SizeControl, TruthTable};
 use mcfpga_map::{map_netlist, MappedNetlist, MappedSource};
 use mcfpga_netlist::Netlist;
-use mcfpga_place::{lb_of_lut, place, AnnealOptions, Placement, PlacementProblem};
+use mcfpga_obs::Recorder;
+use mcfpga_place::{lb_of_lut, place_with, AnnealOptions, Placement, PlacementProblem};
 use mcfpga_route::{
-    nets_from_placement, route_context, switch_columns, RouteOptions, RoutedContext,
+    nets_from_placement, route_context_with, switch_columns, RouteOptions, RoutedContext,
     RoutingGraph, SwitchUsage,
 };
 
@@ -42,20 +43,36 @@ pub struct MultiDevice {
     /// Per-context register state (independent circuits, independent state).
     states: Vec<Vec<bool>>,
     active: usize,
+    /// Observability sink; disabled (no-op) unless compiled via `*_with`.
+    recorder: Recorder,
 }
 
 impl MultiDevice {
     /// Compile one circuit per context onto the architecture.
     pub fn compile(arch: &ArchSpec, circuits: &[Netlist]) -> Result<MultiDevice, CompileError> {
+        Self::compile_with(arch, circuits, &Recorder::disabled())
+    }
+
+    /// As [`MultiDevice::compile`], recording phase spans and metrics into
+    /// `rec`. The device keeps a clone of the recorder, so later
+    /// `switch_context` / `step` calls count into the same collector.
+    pub fn compile_with(
+        arch: &ArchSpec,
+        circuits: &[Netlist],
+        rec: &Recorder,
+    ) -> Result<MultiDevice, CompileError> {
         if circuits.is_empty() {
             return Err(CompileError::EmptyWorkload);
         }
         let k = arch.lut.min_inputs;
-        let mapped: Vec<MappedNetlist> = circuits
-            .iter()
-            .map(|c| map_netlist(c, k))
-            .collect::<Result<_, _>>()?;
-        Self::compile_mapped(arch, &mapped)
+        let mapped: Vec<MappedNetlist> = {
+            let _span = rec.span("map");
+            circuits
+                .iter()
+                .map(|c| map_netlist(c, k))
+                .collect::<Result<_, _>>()?
+        };
+        Self::compile_mapped_with(arch, &mapped, rec)
     }
 
     /// Compile pre-mapped netlists, one per context (used directly by the
@@ -63,6 +80,15 @@ impl MultiDevice {
     pub fn compile_mapped(
         arch: &ArchSpec,
         circuits: &[MappedNetlist],
+    ) -> Result<MultiDevice, CompileError> {
+        Self::compile_mapped_with(arch, circuits, &Recorder::disabled())
+    }
+
+    /// As [`MultiDevice::compile_mapped`], with observability.
+    pub fn compile_mapped_with(
+        arch: &ArchSpec,
+        circuits: &[MappedNetlist],
+        rec: &Recorder,
     ) -> Result<MultiDevice, CompileError> {
         if circuits.is_empty() {
             return Err(CompileError::EmptyWorkload);
@@ -92,15 +118,17 @@ impl MultiDevice {
             assert_eq!(m.k, k, "pre-mapped netlists must use the fabric's k");
             let m = m.clone();
             let problem = PlacementProblem::from_mapped(&m, arch)?;
-            let placement = place(
+            let placement = place_with(
                 &problem,
                 &AnnealOptions {
                     seed: 0xC0FFEE ^ c as u64,
                     ..Default::default()
                 },
+                rec,
             );
             let nets = nets_from_placement(&problem, &placement);
-            let r = route_context(&graph, &nets, &RouteOptions::default())?;
+            let r = route_context_with(&graph, &nets, &RouteOptions::default(), rec)?
+                .require_converged()?;
             mapped.push(m);
             problems.push(problem);
             placements.push(placement);
@@ -113,17 +141,22 @@ impl MultiDevice {
             trees: vec![],
             delays: vec![],
             iterations: 0,
+            converged: true,
+            overused_edges: 0,
         };
         let mut all_routes = routed.clone();
         while all_routes.len() < n_contexts {
             all_routes.push(empty.clone());
         }
-        let usage = switch_columns(&graph, &all_routes);
+        let usage = {
+            let _span = rec.span("columns");
+            switch_columns(&graph, &all_routes)
+        };
 
         // Physical logic blocks: per site, collect each context's tables.
+        let _lb_span = rec.span("logic_blocks");
         let n_sites = graph.grid.full.n_cells();
-        let mut site_tables: Vec<Vec<Vec<u64>>> =
-            vec![vec![vec![0u64; outs]; n_contexts]; n_sites];
+        let mut site_tables: Vec<Vec<Vec<u64>>> = vec![vec![vec![0u64; outs]; n_contexts]; n_sites];
         let mut site_used = vec![false; n_sites];
         let mut site_of: Vec<Vec<(usize, usize)>> = Vec::new();
         for (c, m) in mapped.iter().enumerate() {
@@ -179,6 +212,8 @@ impl MultiDevice {
             lbs.push(Some(lb));
         }
 
+        drop(_lb_span);
+
         let states = mapped.iter().map(|m| m.initial_state().bits).collect();
         Ok(MultiDevice {
             arch: arch.clone(),
@@ -193,6 +228,7 @@ impl MultiDevice {
             site_of,
             states,
             active: 0,
+            recorder: rec.clone(),
         })
     }
 
@@ -211,12 +247,19 @@ impl MultiDevice {
 
     /// Switch the active context.
     pub fn switch_context(&mut self, context: usize) {
-        assert!(context < self.mapped.len(), "context {context} not programmed");
+        assert!(
+            context < self.mapped.len(),
+            "context {context} not programmed"
+        );
+        if context != self.active {
+            self.recorder.incr("sim.context_switches", 1);
+        }
         self.active = context;
     }
 
     /// One clock cycle in the active context.
     pub fn step(&mut self, inputs: &[bool]) -> Vec<bool> {
+        self.recorder.incr("sim.steps", 1);
         let c = self.active;
         let m = &self.mapped[c];
         assert_eq!(inputs.len(), m.n_inputs, "input arity for context {c}");
@@ -292,9 +335,7 @@ impl MultiDevice {
     /// context's own nets).
     pub fn check_routing(&self) -> Result<(), String> {
         use std::collections::{HashSet, VecDeque};
-        for (c, (problem, placement)) in
-            self.problems.iter().zip(&self.placements).enumerate()
-        {
+        for (c, (problem, placement)) in self.problems.iter().zip(&self.placements).enumerate() {
             let nets = nets_from_placement(problem, placement);
             let mut on: HashSet<usize> = HashSet::new();
             for (&(edge, _t), &mask) in &self.usage.switches {
@@ -319,9 +360,7 @@ impl MultiDevice {
                 }
                 for &sink in &net.sinks {
                     if !seen.contains(&self.graph.node(sink)) {
-                        return Err(format!(
-                            "context {c}: net {ni} sink {sink} unreachable"
-                        ));
+                        return Err(format!("context {c}: net {ni} sink {sink} unreachable"));
                     }
                 }
             }

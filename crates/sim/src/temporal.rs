@@ -95,8 +95,7 @@ mod tests {
         let capacity = arch.n_logic_blocks() * arch.lut.outputs;
         let design = temporal_partition(&mapped, capacity).unwrap();
         assert!(design.n_stages() <= arch.n_contexts);
-        let stage_netlists: Vec<_> =
-            design.stages.iter().map(|s| s.netlist.clone()).collect();
+        let stage_netlists: Vec<_> = design.stages.iter().map(|s| s.netlist.clone()).collect();
         let mut dev = MultiDevice::compile_mapped(&arch, &stage_netlists).unwrap();
         let mut exec = FabricTemporalExecutor::new(&mut dev, design);
 
@@ -116,8 +115,7 @@ mod tests {
         let mapped = map_netlist(&circuit, arch.lut.min_inputs).unwrap();
         let capacity = 12; // force several stages
         let design = temporal_partition(&mapped, capacity).unwrap();
-        let stage_netlists: Vec<_> =
-            design.stages.iter().map(|s| s.netlist.clone()).collect();
+        let stage_netlists: Vec<_> = design.stages.iter().map(|s| s.netlist.clone()).collect();
         let mut dev = MultiDevice::compile_mapped(&arch, &stage_netlists).unwrap();
         let mut fabric = FabricTemporalExecutor::new(&mut dev, design.clone());
         let mut reference = TemporalExecutor::new(design);

@@ -67,7 +67,10 @@ fn main() {
     // Static power.
     println!("\n=== static power (configuration storage leakage) ===");
     let power_params = PowerParams::default();
-    for (label, tech) in [("CMOS RCM", Technology::Cmos), ("FePG RCM", Technology::Fepg)] {
+    for (label, tech) in [
+        ("CMOS RCM", Technology::Cmos),
+        ("FePG RCM", Technology::Fepg),
+    ] {
         let rep = static_power(&arch, 0.05, tech, &power_params, &weights);
         println!(
             "{label}: proposed/conventional = {:.3} ({:.1} vs {:.1} units/cell)",

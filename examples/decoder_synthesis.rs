@@ -33,7 +33,10 @@ fn main() {
     println!("context-ID encoding (Table 2):\n{}", ctx.table_string());
 
     println!("all 16 patterns (C3 C2 C1 C0), their class, decoder and SE cost:");
-    println!("{:<8} {:<22} {:<28} {:>3}", "pattern", "class", "decoder", "SEs");
+    println!(
+        "{:<8} {:<22} {:<28} {:>3}",
+        "pattern", "class", "decoder", "SEs"
+    );
     let mut census = [0usize; 3];
     for col in ConfigColumn::enumerate_all(4) {
         let class = classify(col, ctx);

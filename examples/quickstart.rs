@@ -13,12 +13,19 @@ fn main() {
     // The paper's evaluation architecture: 8x8 cells, 4 contexts, 6-input
     // 2-output MCMG-LUTs, channels with double-length lines.
     let arch = ArchSpec::paper_default();
-    println!("architecture: {:?} grid, {} contexts", arch.grid, arch.n_contexts);
+    println!(
+        "architecture: {:?} grid, {} contexts",
+        arch.grid, arch.n_contexts
+    );
 
-    // Two independent circuits, one per context.
+    // Two independent circuits, one per context. Compiling through an
+    // enabled Recorder collects per-phase wall-clock spans for free.
+    let recorder = Recorder::enabled();
     let circuits = vec![library::adder(4), library::comparator(4)];
-    let mut device = MultiDevice::compile(&arch, &circuits).expect("compile");
-    device.check_routing().expect("switch state connects every net");
+    let mut device = MultiDevice::compile_with(&arch, &circuits, &recorder).expect("compile");
+    device
+        .check_routing()
+        .expect("switch state connects every net");
 
     // Context 0: the adder. Inputs are a[0..4], b[0..4], cin.
     device.switch_context(0);
@@ -54,4 +61,20 @@ fn main() {
         arch.context_id(),
     );
     println!("\nswitch configuration columns: {}", stats.table_string());
+
+    // Where the compile time went, phase by phase.
+    let report = recorder.report("quickstart");
+    println!("\ncompile phase timings:");
+    for phase in ["map", "place", "route", "columns", "logic_blocks"] {
+        println!(
+            "  {:<14} {:>9.3} ms",
+            phase,
+            report.span_total_us(phase) as f64 / 1000.0
+        );
+    }
+    println!(
+        "  ({} context switches, {} simulated cycles recorded)",
+        report.counter("sim.context_switches"),
+        report.counter("sim.steps"),
+    );
 }

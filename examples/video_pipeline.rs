@@ -80,8 +80,7 @@ fn main() {
 
     // The punchline: what this cost in configuration memory.
     let ctx = arch.context_id();
-    let stats =
-        mcfpga::config::ColumnSetStats::measure(&device.switch_usage().columns(), ctx);
+    let stats = mcfpga::config::ColumnSetStats::measure(&device.switch_usage().columns(), ctx);
     println!("switch columns: {}", stats.table_string());
     println!(
         "cheap (1-SE) fraction: {:.1}% -> this is the redundancy the RCM converts into area",

@@ -11,8 +11,8 @@ fn every_library_circuit_compiles_and_verifies_replicated() {
     let arch = ArchSpec::paper_default();
     for circuit in library::benchmark_suite() {
         let contexts = vec![circuit.clone(); 4];
-        let mut dev = Device::compile(&arch, &contexts)
-            .unwrap_or_else(|e| panic!("{}: {e}", circuit.name()));
+        let mut dev =
+            Device::compile(&arch, &contexts).unwrap_or_else(|e| panic!("{}: {e}", circuit.name()));
         dev.check_routing()
             .unwrap_or_else(|e| panic!("{}: {e}", circuit.name()));
         check_device_equivalence(&mut dev, &contexts, 30, 7)
@@ -115,7 +115,10 @@ fn workload_larger_than_contexts_is_rejected() {
     let arch = ArchSpec::paper_default().with_contexts(2);
     let w = workload(RandomNetlistParams::default(), 4, 0.05, 3);
     let result = std::panic::catch_unwind(|| Device::compile(&arch, &w));
-    assert!(result.is_err(), "4 contexts on a 2-context device must panic");
+    assert!(
+        result.is_err(),
+        "4 contexts on a 2-context device must panic"
+    );
 }
 
 #[test]
@@ -124,8 +127,8 @@ fn extended_library_compiles_and_verifies() {
     let arch = ArchSpec::paper_default();
     for circuit in library2::extended_suite() {
         let contexts = vec![circuit.clone(); 4];
-        let mut dev = Device::compile(&arch, &contexts)
-            .unwrap_or_else(|e| panic!("{}: {e}", circuit.name()));
+        let mut dev =
+            Device::compile(&arch, &contexts).unwrap_or_else(|e| panic!("{}: {e}", circuit.name()));
         check_device_equivalence(&mut dev, &contexts, 30, 13)
             .unwrap_or_else(|e| panic!("{}: {e}", circuit.name()));
     }
@@ -135,10 +138,19 @@ fn extended_library_compiles_and_verifies() {
 fn adaptive_compile_equivalence_across_the_library() {
     use mcfpga::netlist::library;
     let arch = ArchSpec::paper_default();
-    for circuit in [library::adder(4), library::comparator(4), library::gray_encoder(6)] {
+    for circuit in [
+        library::adder(4),
+        library::comparator(4),
+        library::gray_encoder(6),
+    ] {
         let contexts = vec![circuit.clone(); 4];
         let mut dev = Device::compile_adaptive(&arch, &contexts).unwrap();
-        assert_eq!(dev.report().granularity, 6, "{} fully shared", circuit.name());
+        assert_eq!(
+            dev.report().granularity,
+            6,
+            "{} fully shared",
+            circuit.name()
+        );
         check_device_equivalence(&mut dev, &contexts, 40, 21).unwrap();
     }
 }

@@ -1,0 +1,118 @@
+//! Integration test for the observability layer: a full instrumented
+//! `core::flow` run must produce non-empty spans and metrics for every
+//! pipeline phase, and the run report must survive a JSON round trip.
+
+use mcfpga::netlist::library;
+use mcfpga::prelude::*;
+
+/// Every phase the pipeline is expected to time.
+const PHASES: &[&str] = &[
+    "flow",
+    "map",
+    "place",
+    "route",
+    "columns",
+    "logic_blocks",
+    "rcm",
+    "sim",
+    "area",
+];
+
+fn run_instrumented_flow() -> (mcfpga::flow::FlowOutcome, Recorder) {
+    let arch = ArchSpec::paper_default();
+    let circuits = vec![
+        library::adder(4),
+        library::parity(8),
+        library::comparator(4),
+    ];
+    let rec = Recorder::enabled();
+    let outcome = mcfpga::flow::run_flow_with(&arch, &circuits, 10, &rec).expect("flow compiles");
+    (outcome, rec)
+}
+
+#[test]
+fn full_flow_produces_spans_for_every_phase() {
+    let (outcome, _rec) = run_instrumented_flow();
+    let report = &outcome.report;
+    for phase in PHASES {
+        let n = report.spans.iter().filter(|s| s.name == *phase).count();
+        assert!(n > 0, "no span recorded for phase {phase:?}");
+    }
+    // Phase spans nest under the flow span.
+    for name in ["map", "rcm", "sim", "area"] {
+        let span = report
+            .spans
+            .iter()
+            .find(|s| s.name == name)
+            .expect("span exists");
+        assert_eq!(span.path, format!("flow/{name}"), "span {name} mis-nested");
+    }
+    // The flow span dominates each phase it contains.
+    let flow_us = report.span_total_us("flow");
+    for phase in &PHASES[1..] {
+        assert!(
+            report.span_total_us(phase) <= flow_us,
+            "phase {phase} longer than the whole flow"
+        );
+    }
+}
+
+#[test]
+fn full_flow_populates_the_metrics_registry() {
+    let (outcome, _rec) = run_instrumented_flow();
+    let report = &outcome.report;
+
+    // Counters from every instrumented layer.
+    assert!(report.counter("route.iterations") >= 3, "3 contexts routed");
+    assert!(report.counter("anneal.temperature_steps") > 0);
+    assert!(report.counter("place.moves_accepted") > 0);
+    assert!(
+        report.counter("place.moves_accepted") <= report.counter("place.moves_attempted"),
+        "cannot accept more moves than attempted"
+    );
+    assert!(report.counter("rcm.columns_synthesized") > 0);
+    assert_eq!(report.counter("sim.context_switches"), 2, "0->1->2");
+    assert_eq!(report.counter("sim.steps"), 30, "10 cycles x 3 contexts");
+    assert_eq!(report.counter("route.nonconverged_contexts"), 0);
+
+    // The SE-per-column histogram matches the synthesized column count.
+    let hist = report
+        .histogram("rcm.ses_per_column")
+        .expect("SE histogram recorded");
+    assert_eq!(hist.count as u64, report.counter("rcm.columns_synthesized"));
+    assert!(hist.min >= 1.0, "every column needs at least one SE");
+    assert!(hist.p50 <= hist.p99);
+
+    // Headline gauges are present and sane.
+    let cmos = report.gauge("area.cmos_ratio").expect("cmos gauge");
+    let fepg = report.gauge("area.fepg_ratio").expect("fepg gauge");
+    assert!(cmos > 0.0 && fepg > 0.0);
+    assert!(fepg < cmos, "FePG must beat CMOS at equal change rate");
+}
+
+#[test]
+fn flow_report_round_trips_through_json() {
+    let (outcome, _rec) = run_instrumented_flow();
+    let json = serde_json::to_string_pretty(&outcome.report).expect("serialize");
+    let back: RunReport = serde_json::from_str(&json).expect("parse");
+    assert_eq!(back, outcome.report);
+    assert!(json.contains("rcm.ses_per_column"));
+}
+
+#[test]
+fn disabled_recorder_flow_is_equivalent_and_silent() {
+    let arch = ArchSpec::paper_default();
+    let circuits = vec![library::adder(4)];
+    let rec = Recorder::disabled();
+    let outcome = mcfpga::flow::run_flow_with(&arch, &circuits, 5, &rec).expect("flow compiles");
+    assert!(outcome.report.spans.is_empty());
+    assert!(outcome.report.counters.is_empty());
+    // Identical compile result to the instrumented run (determinism).
+    let rec2 = Recorder::enabled();
+    let outcome2 = mcfpga::flow::run_flow_with(&arch, &circuits, 5, &rec2).expect("flow compiles");
+    assert_eq!(outcome.cmos.ratio, outcome2.cmos.ratio);
+    assert_eq!(
+        outcome.device.critical_delay(),
+        outcome2.device.critical_delay()
+    );
+}

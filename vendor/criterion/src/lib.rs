@@ -1,0 +1,99 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset the workspace benches use: `Criterion::bench_function`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` / `criterion_main!`
+//! macros. Instead of statistical sampling it runs a short fixed number of
+//! timed iterations and prints mean wall-clock time per iteration, so
+//! `cargo bench` still produces useful relative numbers offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many timed iterations each benchmark runs (after one warm-up call).
+const MEASURED_ITERS: u32 = 10;
+
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            let per_iter = b.elapsed / b.iters;
+            println!("bench {id:<40} {per_iter:>12.3?}/iter ({} iters)", b.iters);
+        } else {
+            println!("bench {id:<40} (no iterations run)");
+        }
+        self
+    }
+}
+
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call outside the timed window.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..MEASURED_ITERS {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += MEASURED_ITERS;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum_small", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_targets() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_accumulates_iterations() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+}

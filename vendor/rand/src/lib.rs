@@ -1,0 +1,182 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the real `rand` cannot be fetched. This crate reimplements exactly the
+//! subset the workspace uses — `StdRng::seed_from_u64`, `Rng::gen_range`
+//! over integer ranges, and `Rng::gen_bool` — with a deterministic
+//! xoshiro256** generator. Streams differ from upstream `rand`, which is
+//! fine: every consumer in the workspace only relies on determinism in the
+//! seed, not on a particular stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (only the `seed_from_u64` entry point is used).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that `gen_range` can sample from. Generic over the output type `T`
+/// (as in upstream rand) so integer literals in `gen_range(0..4)` infer their
+/// type from the call site.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + r) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let r = ((rng.next_u64() as u128) % span) as i128;
+                (start as i128 + r) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing sampling interface.
+pub trait Rng: RngCore {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli sample with probability `p` (clamped to [0, 1]).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        // 53 uniform mantissa bits, the usual open [0, 1) construction.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** seeded through SplitMix64 — deterministic, fast, and
+    /// statistically solid for simulation workloads.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// The workspace enables `small_rng` but never constructs one directly;
+    /// alias it to the same generator.
+    pub type SmallRng = StdRng;
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(2usize..=32);
+            assert!((2..=32).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.gen_range(0u64..1 << 60) == b.gen_range(0u64..1 << 60))
+            .count();
+        assert!(same < 4);
+    }
+}

@@ -1,0 +1,495 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stub.
+//!
+//! Implemented directly on `proc_macro` token trees — `syn`/`quote` are
+//! unavailable offline. Supports exactly what the workspace uses: plain
+//! (non-generic) structs with named, tuple, or unit bodies; enums with
+//! unit, tuple, and struct variants; and the `#[serde(with = "module")]`
+//! field attribute. Anything else fails loudly with a `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    /// `None` for tuple fields.
+    name: Option<String>,
+    /// `#[serde(with = "module")]` path, if present.
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+#[derive(Debug)]
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => error(&msg),
+    }
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i)?;
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the vendored serde derive does not support generic type `{name}`"
+        ));
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, got {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item { name, body })
+}
+
+/// Skip leading outer attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Collect field attributes, returning the `with` path if one is present.
+fn parse_field_attrs(tokens: &[TokenTree], i: &mut usize) -> Result<Option<String>, String> {
+    let mut with = None;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let group = match tokens.get(*i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => return Err(format!("malformed attribute: {other:?}")),
+        };
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+            // Expect serde(with = "path").
+            let args = match inner.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    g.stream().into_iter().collect::<Vec<_>>()
+                }
+                other => return Err(format!("malformed #[serde] attribute: {other:?}")),
+            };
+            match (args.first(), args.get(1), args.get(2)) {
+                (
+                    Some(TokenTree::Ident(key)),
+                    Some(TokenTree::Punct(eq)),
+                    Some(TokenTree::Literal(lit)),
+                ) if key.to_string() == "with" && eq.as_char() == '=' => {
+                    let raw = lit.to_string();
+                    with = Some(raw.trim_matches('"').to_string());
+                }
+                _ => {
+                    return Err(
+                        "the vendored serde derive only supports #[serde(with = \"module\")]"
+                            .to_string(),
+                    )
+                }
+            }
+        }
+        *i += 2;
+    }
+    Ok(with)
+}
+
+/// Skip a type expression: everything until a top-level `,` (or the end),
+/// tracking `<`/`>` nesting so generic arguments don't split the field.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let with = parse_field_attrs(&tokens, &mut i)?;
+        skip_attrs_and_vis(&tokens, &mut i)?;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        skip_type(&tokens, &mut i);
+        i += 1; // consume the `,` (or run past the end)
+        fields.push(Field {
+            name: Some(name),
+            with,
+        });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        // Leading attributes / vis on the field.
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        if i >= tokens.len() {
+            break; // trailing comma
+        }
+        skip_type(&tokens, &mut i);
+        i += 1;
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantBody::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantBody::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantBody::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, body });
+    }
+    Ok(variants)
+}
+
+// ---- codegen ---------------------------------------------------------------
+
+fn ser_field_expr(access: &str, with: &Option<String>) -> String {
+    match with {
+        None => format!("::serde::Serialize::to_value(&{access})"),
+        Some(path) => format!(
+            "match {path}::serialize(&{access}, ::serde::value::ValueSerializer) {{ \
+                 ::std::result::Result::Ok(v) => v, \
+                 ::std::result::Result::Err(e) => match e {{}}, \
+             }}"
+        ),
+    }
+}
+
+fn de_field_expr(source: &str, with: &Option<String>) -> String {
+    match with {
+        None => format!("::serde::Deserialize::from_value({source})?"),
+        Some(path) => format!(
+            "{path}::deserialize(::serde::value::ValueDeserializer::new(({source}).clone()))?"
+        ),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    let fname = f.name.as_ref().unwrap();
+                    let expr = ser_field_expr(&format!("self.{fname}"), &f.with);
+                    format!("fields.push(({fname:?}.to_string(), {expr}));")
+                })
+                .collect();
+            format!(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\
+                 {pushes}\
+                 ::serde::Value::Object(fields)"
+            )
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| ser_field_expr(&format!("self.{k}"), &None))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),"
+                        ),
+                        VariantBody::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let items: Vec<String> =
+                                binds.iter().map(|b| ser_field_expr(b, &None)).collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                                     ({vname:?}.to_string(), \
+                                      ::serde::Value::Array(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantBody::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone().unwrap()).collect();
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    let fname = f.name.as_ref().unwrap();
+                                    let expr = ser_field_expr(fname, &f.with);
+                                    format!("({fname:?}.to_string(), {expr})")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![\
+                                     ({vname:?}.to_string(), \
+                                      ::serde::Value::Object(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let fname = f.name.as_ref().unwrap();
+                    let source = format!("::serde::value::field(obj, {fname:?})?");
+                    format!("{fname}: {}", de_field_expr(&source, &f.with))
+                })
+                .collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| \
+                     ::serde::DeError::new(concat!(stringify!({name}), \": expected object\")))?;\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| de_field_expr(&format!("&items[{k}]"), &None))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| \
+                     ::serde::DeError::new(concat!(stringify!({name}), \": expected array\")))?;\
+                 if items.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::DeError::new(concat!(stringify!({name}), \": wrong arity\"))); }}\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.body, VariantBody::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!(
+                        "::serde::Value::Str(s) if s == {vname:?} => \
+                             ::std::result::Result::Ok({name}::{vname}),"
+                    )
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.body, VariantBody::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        VariantBody::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| de_field_expr(&format!("&items[{k}]"), &None))
+                                .collect();
+                            format!(
+                                "{vname:?} => {{\
+                                     let items = payload.as_array().ok_or_else(|| \
+                                         ::serde::DeError::new(\"variant payload: expected array\"))?;\
+                                     if items.len() != {n} {{ return ::std::result::Result::Err(\
+                                         ::serde::DeError::new(\"variant payload: wrong arity\")); }}\
+                                     ::std::result::Result::Ok({name}::{vname}({}))\
+                                 }}",
+                                items.join(", ")
+                            )
+                        }
+                        VariantBody::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    let fname = f.name.as_ref().unwrap();
+                                    let source =
+                                        format!("::serde::value::field(obj, {fname:?})?");
+                                    format!("{fname}: {}", de_field_expr(&source, &f.with))
+                                })
+                                .collect();
+                            format!(
+                                "{vname:?} => {{\
+                                     let obj = payload.as_object().ok_or_else(|| \
+                                         ::serde::DeError::new(\"variant payload: expected object\"))?;\
+                                     ::std::result::Result::Ok({name}::{vname} {{ {} }})\
+                                 }}",
+                                inits.join(", ")
+                            )
+                        }
+                        VariantBody::Unit => unreachable!(),
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\
+                     {unit_arms}\
+                     ::serde::Value::Object(o) if o.len() == 1 => {{\
+                         let (tag, payload) = &o[0];\
+                         let _ = payload;\
+                         match tag.as_str() {{\
+                             {tagged_arms}\
+                             other => ::std::result::Result::Err(::serde::DeError::new(\
+                                 format!(concat!(\"unknown \", stringify!({name}), \" variant {{}}\"), other))),\
+                         }}\
+                     }}\
+                     other => ::std::result::Result::Err(::serde::DeError::new(\
+                         format!(concat!(stringify!({name}), \": unexpected value {{:?}}\"), other))),\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
