@@ -510,6 +510,38 @@ fn flow() {
         ColumnSetStats::measure(&outcome.device.switch_usage().columns(), arch.context_id());
     println!("  switch columns: {}", stats.table_string());
 
+    // Serial vs parallel compile wall-clock on the same 4-context suite:
+    // interleaved trials, best of 5 each (the compiled devices are
+    // bit-for-bit identical, so only the schedule differs). The parallel
+    // fan-out is capped at the machine's available parallelism; on a
+    // single-core host both schedules run the same code.
+    let time_compile = |parallel: bool| -> u64 {
+        let opts = mcfpga::sim::CompileOptions {
+            parallel,
+            ..Default::default()
+        };
+        let start = std::time::Instant::now();
+        MultiDevice::compile_opts(&arch, &circuits, &opts, &Recorder::disabled()).expect("compile");
+        start.elapsed().as_micros() as u64
+    };
+    let mut compile_serial_us = u64::MAX;
+    let mut compile_parallel_us = u64::MAX;
+    for _ in 0..5 {
+        compile_serial_us = compile_serial_us.min(time_compile(false));
+        compile_parallel_us = compile_parallel_us.min(time_compile(true));
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(circuits.len());
+    println!(
+        "\ncompile wall-clock (best of 5): serial {:.3} ms, parallel {:.3} ms \
+         ({:.2}x across {workers} worker thread(s))",
+        compile_serial_us as f64 / 1000.0,
+        compile_parallel_us as f64 / 1000.0,
+        compile_serial_us as f64 / compile_parallel_us.max(1) as f64,
+    );
+
     // Phase timings + headline metrics, human-readable and as BENCH_flow.json.
     let report = &outcome.report;
     println!("\nphase timings (wall clock):");
@@ -539,14 +571,77 @@ fn flow() {
         report.counter("sim.context_switches"),
     );
     let paper = evaluate_paper_point();
+
+    // The mixed suite's four *unrelated* circuits change most switch columns
+    // between contexts (~56%), far above the paper's 5% headline assumption,
+    // so its area ratio is naturally worse than conventional. A
+    // structure-preserving 5%-change workload — the paper's intended
+    // operating regime — is measured alongside so both points are labeled.
+    let structured = workload(RandomNetlistParams::default(), 4, 0.05, 99);
+    let structured_dev = Device::compile(&arch, &structured).expect("structured compile");
+    let structured_change =
+        ColumnSetStats::measure(&structured_dev.switch_usage().columns(), arch.context_id())
+            .change_rate;
+    let params = AreaParams::paper_default();
+    let weights = FabricWeights::default();
+    let structured_cmos =
+        measured_area_comparison(&structured_dev, Technology::Cmos, &params, &weights);
+    let structured_fepg =
+        measured_area_comparison(&structured_dev, Technology::Fepg, &params, &weights);
+
+    println!("\narea points (proposed/conventional, lower is better):");
     println!(
-        "  area ratios at measured change rate: CMOS {:.3}  FePG {:.3}",
-        outcome.cmos.ratio, outcome.fepg.ratio
+        "  mixed-4-circuits       ({:>4.1}% measured change): CMOS {:.3}  FePG {:.3}",
+        100.0 * stats.change_rate,
+        outcome.cmos.ratio,
+        outcome.fepg.ratio
     );
+    println!("    ^ four unrelated circuits: most switch columns differ across");
+    println!("      contexts, so RCM decoders cost more than fixed planes here.");
     println!(
-        "  paper headline point (5% change):    CMOS {:.3}  FePG {:.3}",
+        "  structured-5pct-change ({:>4.1}% measured change): CMOS {:.3}  FePG {:.3}",
+        100.0 * structured_change,
+        structured_cmos.ratio,
+        structured_fepg.ratio
+    );
+    println!("    ^ structure-preserving workload, 5% perturbation between");
+    println!("      contexts: the paper's intended operating regime.");
+    println!(
+        "  paper-headline-5pct    (analytic model at   5%): CMOS {:.3}  FePG {:.3}",
         paper.cmos.ratio, paper.fepg.ratio
     );
+
+    let area_points = vec![
+        AreaPoint {
+            label: "mixed-4-circuits".into(),
+            change_rate: stats.change_rate,
+            cmos_ratio: outcome.cmos.ratio,
+            fepg_ratio: outcome.fepg.ratio,
+            note: "four unrelated circuits (adder/multiplier/ALU/popcount): most \
+                   switch columns differ across contexts, far above the paper's \
+                   5% headline assumption, so the ratio exceeds 1.0 by design"
+                .into(),
+        },
+        AreaPoint {
+            label: "structured-5pct-change".into(),
+            change_rate: structured_change,
+            cmos_ratio: structured_cmos.ratio,
+            fepg_ratio: structured_fepg.ratio,
+            note: "structure-preserving workload with 5% perturbation between \
+                   contexts, measured on the compiled device: the paper's \
+                   intended operating regime"
+                .into(),
+        },
+        AreaPoint {
+            label: "paper-headline-5pct".into(),
+            change_rate: 0.05,
+            cmos_ratio: paper.cmos.ratio,
+            fepg_ratio: paper.fepg.ratio,
+            note: "the analytic Section 5 point: 4 contexts, 5% configuration \
+                   change (paper: CMOS 0.45, FePG 0.37)"
+                .into(),
+        },
+    ];
 
     let bench = FlowBench {
         experiment: "flow".into(),
@@ -555,6 +650,10 @@ fn flow() {
         headline_cmos_ratio: paper.cmos.ratio,
         headline_fepg_ratio: paper.fepg.ratio,
         change_rate: report.gauge("area.change_rate").unwrap_or(0.0),
+        compile_serial_us,
+        compile_parallel_us,
+        parallelism: report.gauge("flow.parallelism").unwrap_or(1.0),
+        area_points,
         phase_totals_us: [
             "map",
             "place",
@@ -590,8 +689,26 @@ struct FlowBench {
     headline_cmos_ratio: f64,
     headline_fepg_ratio: f64,
     change_rate: f64,
+    /// Compile wall-clock on the 4-context suite, best of 3, per schedule.
+    compile_serial_us: u64,
+    compile_parallel_us: u64,
+    /// Contexts fanned out across threads by the parallel compile.
+    parallelism: f64,
+    /// Labeled area points: the mixed suite (measured), the
+    /// structure-preserving 5%-change workload (measured), and the paper's
+    /// analytic headline.
+    area_points: Vec<AreaPoint>,
     phase_totals_us: Vec<PhaseTotal>,
     report: RunReport,
+}
+
+#[derive(serde::Serialize)]
+struct AreaPoint {
+    label: String,
+    change_rate: f64,
+    cmos_ratio: f64,
+    fepg_ratio: f64,
+    note: String,
 }
 
 #[derive(serde::Serialize)]

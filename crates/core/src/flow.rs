@@ -10,7 +10,7 @@ use mcfpga_area::{
 use mcfpga_netlist::Netlist;
 use mcfpga_obs::{Recorder, RunReport};
 use mcfpga_rcm::{synthesize, synthesize_with};
-use mcfpga_sim::{CompileError, Device, MultiDevice};
+use mcfpga_sim::{CompileError, CompileOptions, Device, MultiDevice};
 
 /// Area comparison driven by a *compiled device's measured* statistics —
 /// actual switch columns from routing and actual plane demand from
@@ -108,11 +108,23 @@ pub fn run_flow_with(
     sim_cycles: usize,
     rec: &Recorder,
 ) -> Result<FlowOutcome, CompileError> {
+    run_flow_opts(arch, circuits, sim_cycles, &CompileOptions::default(), rec)
+}
+
+/// As [`run_flow_with`], with explicit compile-pipeline knobs (serial vs
+/// parallel per-context compile, router rip-up schedule).
+pub fn run_flow_opts(
+    arch: &ArchSpec,
+    circuits: &[Netlist],
+    sim_cycles: usize,
+    opts: &CompileOptions,
+    rec: &Recorder,
+) -> Result<FlowOutcome, CompileError> {
     let flow_span = rec.span("flow");
     let ctx = arch.context_id();
 
     // Map / place / route / columns / logic_blocks spans open inside.
-    let mut device = MultiDevice::compile_with(arch, circuits, rec)?;
+    let mut device = MultiDevice::compile_opts(arch, circuits, opts, rec)?;
 
     {
         let _span = rec.span("rcm");

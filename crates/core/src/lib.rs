@@ -71,7 +71,8 @@ pub use mcfpga_sim as sim;
 pub mod flow;
 
 pub use flow::{
-    evaluate_paper_point, measured_area_comparison, run_flow_with, FlowOutcome, PaperEvaluation,
+    evaluate_paper_point, measured_area_comparison, run_flow_opts, run_flow_with, FlowOutcome,
+    PaperEvaluation,
 };
 
 /// The most commonly used items.
@@ -83,5 +84,5 @@ pub mod prelude {
     pub use crate::netlist::Netlist;
     pub use crate::obs::{Recorder, RunReport};
     pub use crate::rcm::synthesize;
-    pub use crate::sim::{check_device_equivalence, Device, MultiDevice};
+    pub use crate::sim::{check_device_equivalence, CompileOptions, Device, MultiDevice, SimError};
 }

@@ -64,6 +64,11 @@ impl Placement {
 }
 
 fn net_hpwl(net: &[usize], position: &[Coord]) -> u64 {
+    // An empty net has no bounding box; without this guard the fold below
+    // would leave min = u16::MAX, max = 0 and underflow in debug builds.
+    if net.is_empty() {
+        return 0;
+    }
     let mut min_x = u16::MAX;
     let mut max_x = 0u16;
     let mut min_y = u16::MAX;
@@ -131,6 +136,14 @@ pub fn place_with(problem: &PlacementProblem, opts: &AnnealOptions, rec: &Record
         return Placement { position, cost };
     }
 
+    // Scratch for the move loop: the affected-net set is rebuilt every move,
+    // so deduplicate with a generation stamp per net instead of allocating,
+    // sorting and deduping a fresh Vec each time. Summation order over the
+    // set does not matter, so dropping the sort leaves results identical.
+    let mut affected: Vec<usize> = Vec::with_capacity(16);
+    let mut net_stamp: Vec<u64> = vec![0; problem.nets.len()];
+    let mut move_stamp: u64 = 0;
+
     // Initial temperature: spread of random-move deltas.
     let mut t = (cost as f64 / problem.nets.len() as f64).max(1.0) * 2.0;
     let t_min = opts.t_min_factor;
@@ -150,12 +163,22 @@ pub fn place_with(problem: &PlacementProblem, opts: &AnnealOptions, rec: &Record
             }
             let other = occupant.get(&target).copied();
             // Cost of affected nets before the move.
-            let mut affected: Vec<usize> = nets_of[b].clone();
-            if let Some(o) = other {
-                affected.extend(&nets_of[o]);
+            move_stamp += 1;
+            affected.clear();
+            for &n in &nets_of[b] {
+                if net_stamp[n] != move_stamp {
+                    net_stamp[n] = move_stamp;
+                    affected.push(n);
+                }
             }
-            affected.sort_unstable();
-            affected.dedup();
+            if let Some(o) = other {
+                for &n in &nets_of[o] {
+                    if net_stamp[n] != move_stamp {
+                        net_stamp[n] = move_stamp;
+                        affected.push(n);
+                    }
+                }
+            }
             let before: u64 = affected
                 .iter()
                 .map(|&n| net_hpwl(&problem.nets[n], &position))
@@ -270,6 +293,16 @@ mod tests {
             "annealed {} vs initial {initial}",
             placement.cost
         );
+    }
+
+    #[test]
+    fn empty_net_costs_zero_instead_of_underflowing() {
+        // Regression: an empty net used to leave min = u16::MAX, max = 0 and
+        // panic on `max - min` in debug builds.
+        let positions = vec![Coord::new(3, 4), Coord::new(1, 2)];
+        assert_eq!(super::net_hpwl(&[], &positions), 0);
+        assert_eq!(super::net_hpwl(&[0], &positions), 0);
+        assert_eq!(super::net_hpwl(&[0, 1], &positions), 4);
     }
 
     #[test]

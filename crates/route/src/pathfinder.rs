@@ -1,9 +1,12 @@
 //! PathFinder negotiated-congestion routing.
 //!
-//! Classic scheme: every net is ripped up and re-routed each iteration with
-//! edge costs `delay * (1 + present_overuse * p) + history`, where history
-//! accumulates on persistently congested edges. Iteration stops when no
-//! edge exceeds its capacity.
+//! Classic scheme with an incremental twist: nets are routed with edge costs
+//! `delay * (1 + present_overuse * p) + history`, where history accumulates
+//! on persistently congested edges. After the first full routing pass, only
+//! nets whose trees touch an overused edge are ripped up and re-routed each
+//! iteration (the classic rip-up-everything behaviour remains available via
+//! [`RouteOptions::full_ripup`]). Iteration stops when no edge exceeds its
+//! capacity.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -29,6 +32,13 @@ pub struct RouteOptions {
     pub present_growth: f64,
     /// History increment for overused edges.
     pub history_increment: f64,
+    /// Rip up *every* net each iteration (the textbook PathFinder schedule)
+    /// instead of only the nets whose trees touch an overused edge. The
+    /// incremental default converges to the same legality guarantee — an
+    /// overused edge is by definition on some net's tree, so congestion can
+    /// never outlive the nets causing it — while re-routing far fewer nets
+    /// per iteration on lightly congested fabrics.
+    pub full_ripup: bool,
 }
 
 impl Default for RouteOptions {
@@ -37,6 +47,7 @@ impl Default for RouteOptions {
             max_iterations: 40,
             present_growth: 1.6,
             history_increment: 1.0,
+            full_ripup: false,
         }
     }
 }
@@ -131,6 +142,62 @@ impl Ord for HeapEntry {
     }
 }
 
+/// Reusable Dijkstra state, generation-stamped so successive searches skip
+/// the O(V) reset: a node's `dist`/`via` entries are only meaningful when its
+/// stamp matches the current generation.
+struct DijkstraScratch {
+    dist: Vec<f64>,
+    via: Vec<Option<(usize, EdgeId)>>,
+    stamp: Vec<u32>,
+    generation: u32,
+    heap: BinaryHeap<HeapEntry>,
+    /// Node membership of the net currently being routed (cleared per net).
+    in_tree: Vec<bool>,
+}
+
+impl DijkstraScratch {
+    fn new(n_nodes: usize) -> DijkstraScratch {
+        DijkstraScratch {
+            dist: vec![f64::INFINITY; n_nodes],
+            via: vec![None; n_nodes],
+            stamp: vec![0; n_nodes],
+            generation: 0,
+            heap: BinaryHeap::new(),
+            in_tree: vec![false; n_nodes],
+        }
+    }
+
+    /// Start a fresh search: bump the generation instead of clearing arrays.
+    fn begin_search(&mut self) {
+        self.generation += 1;
+        self.heap.clear();
+    }
+
+    fn touch(&mut self, node: usize) {
+        if self.stamp[node] != self.generation {
+            self.stamp[node] = self.generation;
+            self.dist[node] = f64::INFINITY;
+            self.via[node] = None;
+        }
+    }
+
+    fn dist(&self, node: usize) -> f64 {
+        if self.stamp[node] == self.generation {
+            self.dist[node]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn via(&self, node: usize) -> Option<(usize, EdgeId)> {
+        if self.stamp[node] == self.generation {
+            self.via[node]
+        } else {
+            None
+        }
+    }
+}
+
 /// Route one context's nets on the graph (no instrumentation).
 pub fn route_context(
     graph: &RoutingGraph,
@@ -160,39 +227,46 @@ pub fn route_context_with(
     let mut trees: Vec<Vec<EdgeId>> = vec![Vec::new(); nets.len()];
     let mut present_factor = 0.6;
     let mut overused = 0usize;
-
-    let finish = |trees: Vec<Vec<EdgeId>>, iterations: usize, overused: usize| {
-        let delays = nets
-            .iter()
-            .zip(&trees)
-            .map(|(net, tree)| tree_delay(graph, net, tree))
-            .collect();
-        RoutedContext {
-            nets: nets.to_vec(),
-            trees,
-            delays,
-            iterations,
-            converged: overused == 0,
-            overused_edges: overused,
-        }
-    };
+    let mut scratch = DijkstraScratch::new(graph.n_nodes());
+    let mut reroute: Vec<usize> = Vec::with_capacity(nets.len());
 
     for iteration in 0..opts.max_iterations {
-        // Rip up everything and re-route with current costs.
-        for t in &mut trees {
-            for &e in t.iter() {
+        // Select the nets to rip up: everything on the first pass (or in
+        // full-rip-up mode), otherwise only nets whose current tree touches
+        // an overused edge. Selection and re-routing both run in net-index
+        // order, so the schedule is deterministic.
+        reroute.clear();
+        if iteration == 0 || opts.full_ripup {
+            reroute.extend(0..nets.len());
+        } else {
+            for (ni, tree) in trees.iter().enumerate() {
+                if tree.iter().any(|&e| usage[e] > graph.edges[e].capacity) {
+                    reroute.push(ni);
+                }
+            }
+        }
+        for &ni in &reroute {
+            for &e in &trees[ni] {
                 usage[e] -= 1;
             }
-            t.clear();
+            trees[ni].clear();
         }
-        for (ni, net) in nets.iter().enumerate() {
-            let tree = route_net(graph, net, &usage, &history, present_factor)
-                .map_err(|sink| RouteError::NoPath { net: ni, sink })?;
+        for &ni in &reroute {
+            let tree = route_net(
+                graph,
+                &nets[ni],
+                &usage,
+                &history,
+                present_factor,
+                &mut scratch,
+            )
+            .map_err(|sink| RouteError::NoPath { net: ni, sink })?;
             for &e in &tree {
                 usage[e] += 1;
             }
             trees[ni] = tree;
         }
+        rec.incr("route.nets_rerouted", reroute.len() as u64);
         // Congestion check.
         overused = 0;
         for e in 0..n_edges {
@@ -204,13 +278,37 @@ pub fn route_context_with(
         rec.incr("route.iterations", 1);
         rec.observe("route.overuse_per_iteration", overused as f64);
         if overused == 0 {
-            return Ok(finish(trees, iteration + 1, 0));
+            return Ok(finish(graph, nets, trees, iteration + 1, 0));
         }
         present_factor *= opts.present_growth;
     }
     rec.incr("route.nonconverged_contexts", 1);
     rec.incr("route.overused_edges", overused as u64);
-    Ok(finish(trees, opts.max_iterations, overused))
+    Ok(finish(graph, nets, trees, opts.max_iterations, overused))
+}
+
+/// Assemble the final [`RoutedContext`] from the surviving trees.
+fn finish(
+    graph: &RoutingGraph,
+    nets: &[Net],
+    trees: Vec<Vec<EdgeId>>,
+    iterations: usize,
+    overused: usize,
+) -> RoutedContext {
+    let mut edge_mark = vec![false; graph.edges.len()];
+    let delays = nets
+        .iter()
+        .zip(&trees)
+        .map(|(net, tree)| tree_delay(graph, net, tree, &mut edge_mark))
+        .collect();
+    RoutedContext {
+        nets: nets.to_vec(),
+        trees,
+        delays,
+        iterations,
+        converged: overused == 0,
+        overused_edges: overused,
+    }
 }
 
 /// Route one net: grow a tree from the source, adding sinks one at a time
@@ -221,24 +319,27 @@ fn route_net(
     usage: &[usize],
     history: &[f64],
     present_factor: f64,
+    scratch: &mut DijkstraScratch,
 ) -> Result<Vec<EdgeId>, Coord> {
     let mut tree_edges: Vec<EdgeId> = Vec::new();
-    let mut tree_nodes: Vec<usize> = vec![graph.node(net.source)];
+    let src = graph.node(net.source);
+    let mut tree_nodes: Vec<usize> = vec![src];
+    scratch.in_tree[src] = true;
+    let mut result = Ok(());
     for &sink in &net.sinks {
         let target = graph.node(sink);
-        if tree_nodes.contains(&target) {
+        if scratch.in_tree[target] {
             continue;
         }
         // Dijkstra seeded with every tree node at cost 0.
-        let mut dist = vec![f64::INFINITY; graph.n_nodes()];
-        let mut via: Vec<Option<(usize, EdgeId)>> = vec![None; graph.n_nodes()];
-        let mut heap = BinaryHeap::new();
+        scratch.begin_search();
         for &n in &tree_nodes {
-            dist[n] = 0.0;
-            heap.push(HeapEntry { cost: 0.0, node: n });
+            scratch.touch(n);
+            scratch.dist[n] = 0.0;
+            scratch.heap.push(HeapEntry { cost: 0.0, node: n });
         }
-        while let Some(HeapEntry { cost, node }) = heap.pop() {
-            if cost > dist[node] {
+        while let Some(HeapEntry { cost, node }) = scratch.heap.pop() {
+            if cost > scratch.dist(node) {
                 continue;
             }
             if node == target {
@@ -250,40 +351,55 @@ fn route_net(
                 let edge_cost = info.delay * (1.0 + over * present_factor) + history[e];
                 let next = graph.other_end(e, node);
                 let nd = cost + edge_cost;
-                if nd < dist[next] {
-                    dist[next] = nd;
-                    via[next] = Some((node, e));
-                    heap.push(HeapEntry {
+                if nd < scratch.dist(next) {
+                    scratch.touch(next);
+                    scratch.dist[next] = nd;
+                    scratch.via[next] = Some((node, e));
+                    scratch.heap.push(HeapEntry {
                         cost: nd,
                         node: next,
                     });
                 }
             }
         }
-        if dist[target].is_infinite() {
-            return Err(sink);
+        if scratch.dist(target).is_infinite() {
+            result = Err(sink);
+            break;
         }
-        // Walk back to the tree, adding nodes and edges.
+        // Walk back to the tree, adding nodes and edges. Termination
+        // invariant: `via` is `None` exactly at this search's seed nodes —
+        // they start at distance 0 and every edge cost is strictly positive,
+        // so no relaxation ever overwrites a seed's `via`. The walk
+        // therefore stops at the first node already in the tree (which may
+        // be an earlier sink's branch point, not necessarily the source).
         let mut cur = target;
-        while let Some((prev, e)) = via[cur] {
+        while let Some((prev, e)) = scratch.via(cur) {
             tree_edges.push(e);
             tree_nodes.push(cur);
+            scratch.in_tree[cur] = true;
             cur = prev;
-            if dist[cur] == 0.0 && via[cur].is_none() {
-                break;
-            }
         }
-        if !tree_nodes.contains(&cur) {
-            tree_nodes.push(cur);
-        }
+        debug_assert!(scratch.in_tree[cur], "walk-back must end on the tree");
     }
+    // The membership flags are scratch shared across nets; clear them before
+    // handing control back.
+    for &n in &tree_nodes {
+        scratch.in_tree[n] = false;
+    }
+    result?;
     tree_edges.sort_unstable();
     tree_edges.dedup();
     Ok(tree_edges)
 }
 
-/// Worst source-to-sink delay through a routed tree.
-fn tree_delay(graph: &RoutingGraph, net: &Net, tree: &[EdgeId]) -> f64 {
+/// Worst source-to-sink delay through a routed tree. `edge_mark` is a
+/// caller-provided scratch of size `graph.edges.len()`, false on entry and
+/// restored to false on exit (O(tree) membership instead of O(tree) scans
+/// per edge).
+fn tree_delay(graph: &RoutingGraph, net: &Net, tree: &[EdgeId], edge_mark: &mut [bool]) -> f64 {
+    for &e in tree {
+        edge_mark[e] = true;
+    }
     // BFS/Dijkstra restricted to tree edges.
     let src = graph.node(net.source);
     let mut dist = vec![f64::INFINITY; graph.n_nodes()];
@@ -291,7 +407,7 @@ fn tree_delay(graph: &RoutingGraph, net: &Net, tree: &[EdgeId]) -> f64 {
     let mut frontier = vec![src];
     while let Some(node) = frontier.pop() {
         for &e in graph.incident(node) {
-            if !tree.contains(&e) {
+            if !edge_mark[e] {
                 continue;
             }
             let next = graph.other_end(e, node);
@@ -301,6 +417,9 @@ fn tree_delay(graph: &RoutingGraph, net: &Net, tree: &[EdgeId]) -> f64 {
                 frontier.push(next);
             }
         }
+    }
+    for &e in tree {
+        edge_mark[e] = false;
     }
     net.sinks
         .iter()
@@ -347,6 +466,50 @@ mod tests {
     }
 
     #[test]
+    fn walk_back_stops_at_the_existing_tree_not_the_source() {
+        // Source in a corner, two sinks stacked far away: the second sink's
+        // walk-back must graft onto the first sink's branch instead of
+        // retracing a full independent path from the source.
+        let g = graph();
+        let source = Coord::new(1, 1);
+        let near = Coord::new(8, 1);
+        let far = Coord::new(8, 3);
+        let nets = vec![Net {
+            source,
+            sinks: vec![near, far],
+        }];
+        let routed = route_context(&g, &nets, &RouteOptions::default()).unwrap();
+        let tree = &routed.trees[0];
+        // An independent path to each sink costs at least 7 + 9 cells of
+        // wire; sharing the horizontal run bounds the tree well below that.
+        let independent = route_context(
+            &g,
+            &[
+                Net {
+                    source,
+                    sinks: vec![near],
+                },
+                Net {
+                    source,
+                    sinks: vec![far],
+                },
+            ],
+            &RouteOptions::default(),
+        )
+        .unwrap();
+        let independent_edges: usize = independent.trees.iter().map(|t| t.len()).sum();
+        assert!(
+            tree.len() < independent_edges,
+            "tree {} edges vs {} for two independent paths: second sink did \
+             not reuse the existing tree",
+            tree.len(),
+            independent_edges
+        );
+        // And the shared tree still reaches both sinks (delays finite).
+        assert!(routed.delays[0].is_finite() && routed.delays[0] > 0.0);
+    }
+
+    #[test]
     fn congestion_resolves_under_pressure() {
         // Many parallel nets crossing the same column must spread across
         // tracks and rows.
@@ -368,6 +531,65 @@ mod tests {
         for (e, &u) in usage.iter().enumerate() {
             assert!(u <= g.edges[e].capacity, "edge {e} overused");
         }
+    }
+
+    #[test]
+    fn incremental_and_full_ripup_both_resolve_congestion() {
+        // The congestion_resolves_under_pressure scenario, routed both ways:
+        // identical legality guarantees (no overuse), converged, and the
+        // incremental schedule re-routes no more nets than the full one.
+        let g = graph();
+        let nets: Vec<Net> = (1..=8)
+            .map(|y| Net {
+                source: Coord::new(1, y),
+                sinks: vec![Coord::new(8, y)],
+            })
+            .collect();
+        let check_legal = |routed: &RoutedContext| {
+            let mut usage = vec![0usize; g.edges.len()];
+            for t in &routed.trees {
+                for &e in t {
+                    usage[e] += 1;
+                }
+            }
+            for (e, &u) in usage.iter().enumerate() {
+                assert!(u <= g.edges[e].capacity, "edge {e} overused");
+            }
+        };
+        let rec_inc = Recorder::enabled();
+        let incremental = route_context_with(
+            &g,
+            &nets,
+            &RouteOptions {
+                full_ripup: false,
+                ..Default::default()
+            },
+            &rec_inc,
+        )
+        .unwrap();
+        let rec_full = Recorder::enabled();
+        let full = route_context_with(
+            &g,
+            &nets,
+            &RouteOptions {
+                full_ripup: true,
+                ..Default::default()
+            },
+            &rec_full,
+        )
+        .unwrap();
+        assert!(incremental.converged);
+        assert!(full.converged);
+        assert_eq!(incremental.overused_edges, 0);
+        assert_eq!(full.overused_edges, 0);
+        check_legal(&incremental);
+        check_legal(&full);
+        let inc_rerouted = rec_inc.counter("route.nets_rerouted");
+        let full_rerouted = rec_full.counter("route.nets_rerouted");
+        assert!(
+            inc_rerouted <= full_rerouted,
+            "incremental re-routed {inc_rerouted} nets vs full {full_rerouted}"
+        );
     }
 
     #[test]
@@ -412,6 +634,7 @@ mod tests {
         let report = rec.report("route");
         assert_eq!(report.counter("route.iterations"), routed.iterations as u64);
         assert_eq!(report.counter("route.nonconverged_contexts"), 0);
+        assert!(report.counter("route.nets_rerouted") >= nets.len() as u64);
         assert!(report.span_total_us("route") > 0 || report.spans.len() == 1);
     }
 

@@ -23,5 +23,5 @@ pub mod temporal;
 pub use device::{CompileError, CompileReport, Device};
 pub use equivalence::{check_device_equivalence, EquivalenceError};
 pub use faults::{lut_fault_campaign, CampaignReport, LutFault};
-pub use multi::MultiDevice;
+pub use multi::{CompileOptions, MultiDevice, SimError};
 pub use temporal::FabricTemporalExecutor;

@@ -25,6 +25,124 @@ use mcfpga_route::{
 
 use crate::device::CompileError;
 
+/// Compile-pipeline knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// Fan the per-context map/place/route work out across scoped threads
+    /// (one per programmed context). Contexts are fully independent — each
+    /// gets its own derived annealing seed and its own routing pass on the
+    /// shared (immutable) graph — and results are merged back in context
+    /// order, so the compiled device is bit-for-bit identical to the serial
+    /// path.
+    pub parallel: bool,
+    /// Router knobs applied to every context.
+    pub route: RouteOptions,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            parallel: true,
+            route: RouteOptions::default(),
+        }
+    }
+}
+
+/// Runtime failure of the compiled-device serving API ([`MultiDevice::try_step`]
+/// and friends): bad caller input reported in-band instead of aborting the
+/// process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The requested context index has no programmed circuit.
+    ContextNotProgrammed { context: usize, programmed: usize },
+    /// `step` was driven with the wrong number of primary inputs.
+    InputArity {
+        context: usize,
+        expected: usize,
+        got: usize,
+    },
+    /// `set_registers` was given the wrong number of register bits.
+    RegisterCount {
+        context: usize,
+        expected: usize,
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::ContextNotProgrammed {
+                context,
+                programmed,
+            } => write!(
+                f,
+                "context {context} not programmed ({programmed} circuits loaded)"
+            ),
+            SimError::InputArity {
+                context,
+                expected,
+                got,
+            } => write!(f, "context {context} expects {expected} inputs, got {got}"),
+            SimError::RegisterCount {
+                context,
+                expected,
+                got,
+            } => write!(
+                f,
+                "context {context} has {expected} registers, got {got} bits"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Worker threads worth spawning for `n_tasks` independent jobs: never more
+/// than the machine exposes, never more than there are jobs.
+fn effective_workers(n_tasks: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(n_tasks)
+}
+
+/// Run `f(0..n)` across up to `workers` scoped threads via an atomic work
+/// queue. Workers claim indices in nondeterministic order, but the returned
+/// `Vec` is slot-indexed by task id, so callers always see results in task
+/// order — the basis of the parallel compile's bit-for-bit determinism.
+/// With `workers <= 1` this is a plain serial loop (no threads spawned).
+fn fan_out<T: Send>(n: usize, workers: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n {
+                    break;
+                }
+                let value = f(c);
+                *slots[c].lock().unwrap() = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every slot filled once the scope joins")
+        })
+        .collect()
+}
+
 /// A compiled heterogeneous device.
 pub struct MultiDevice {
     arch: ArchSpec,
@@ -61,18 +179,36 @@ impl MultiDevice {
         circuits: &[Netlist],
         rec: &Recorder,
     ) -> Result<MultiDevice, CompileError> {
+        Self::compile_opts(arch, circuits, &CompileOptions::default(), rec)
+    }
+
+    /// As [`MultiDevice::compile_with`], with explicit pipeline knobs
+    /// ([`CompileOptions::parallel`] and the shared [`RouteOptions`]).
+    pub fn compile_opts(
+        arch: &ArchSpec,
+        circuits: &[Netlist],
+        opts: &CompileOptions,
+        rec: &Recorder,
+    ) -> Result<MultiDevice, CompileError> {
         if circuits.is_empty() {
             return Err(CompileError::EmptyWorkload);
         }
         let k = arch.lut.min_inputs;
         let mapped: Vec<MappedNetlist> = {
             let _span = rec.span("map");
-            circuits
-                .iter()
-                .map(|c| map_netlist(c, k))
+            let workers = if opts.parallel {
+                effective_workers(circuits.len())
+            } else {
+                1
+            };
+            // Mapping is per-circuit independent; fan it out and merge
+            // results in context order (first in-order error wins, exactly
+            // as the serial collect would report).
+            fan_out(circuits.len(), workers, |c| map_netlist(&circuits[c], k))
+                .into_iter()
                 .collect::<Result<_, _>>()?
         };
-        Self::compile_mapped_with(arch, &mapped, rec)
+        Self::compile_mapped_opts(arch, &mapped, opts, rec)
     }
 
     /// Compile pre-mapped netlists, one per context (used directly by the
@@ -88,6 +224,16 @@ impl MultiDevice {
     pub fn compile_mapped_with(
         arch: &ArchSpec,
         circuits: &[MappedNetlist],
+        rec: &Recorder,
+    ) -> Result<MultiDevice, CompileError> {
+        Self::compile_mapped_opts(arch, circuits, &CompileOptions::default(), rec)
+    }
+
+    /// As [`MultiDevice::compile_mapped_with`], with explicit pipeline knobs.
+    pub fn compile_mapped_opts(
+        arch: &ArchSpec,
+        circuits: &[MappedNetlist],
+        opts: &CompileOptions,
         rec: &Recorder,
     ) -> Result<MultiDevice, CompileError> {
         if circuits.is_empty() {
@@ -108,31 +254,58 @@ impl MultiDevice {
             planes: p_max,
         };
 
-        // Per-context flows.
+        // Per-context flows: each context is placed (with its own derived
+        // seed) and routed independently on the shared immutable graph, so
+        // the work fans out across threads when `opts.parallel` is set. The
+        // per-context results are merged back in context order either way,
+        // making the parallel device bit-for-bit identical to the serial one
+        // (including which error is reported: the first failing context).
         let graph = RoutingGraph::build(arch);
-        let mut mapped = Vec::new();
-        let mut problems = Vec::new();
-        let mut placements = Vec::new();
-        let mut routed = Vec::new();
-        for (c, m) in circuits.iter().enumerate() {
+        for m in circuits {
             assert_eq!(m.k, k, "pre-mapped netlists must use the fabric's k");
-            let m = m.clone();
-            let problem = PlacementProblem::from_mapped(&m, arch)?;
-            let placement = place_with(
-                &problem,
-                &AnnealOptions {
-                    seed: 0xC0FFEE ^ c as u64,
-                    ..Default::default()
-                },
-                rec,
-            );
-            let nets = nets_from_placement(&problem, &placement);
-            let r = route_context_with(&graph, &nets, &RouteOptions::default(), rec)?
-                .require_converged()?;
-            mapped.push(m);
-            problems.push(problem);
-            placements.push(placement);
-            routed.push(r);
+        }
+        let per_context =
+            |c: usize| -> Result<(PlacementProblem, Placement, RoutedContext), CompileError> {
+                let problem = PlacementProblem::from_mapped(&circuits[c], arch)?;
+                let placement = place_with(
+                    &problem,
+                    &AnnealOptions {
+                        seed: 0xC0FFEE ^ c as u64,
+                        ..Default::default()
+                    },
+                    rec,
+                );
+                let nets = nets_from_placement(&problem, &placement);
+                let r = route_context_with(&graph, &nets, &opts.route, rec)?.require_converged()?;
+                Ok((problem, placement, r))
+            };
+        let mapped: Vec<MappedNetlist> = circuits.to_vec();
+        let mut problems = Vec::with_capacity(circuits.len());
+        let mut placements = Vec::with_capacity(circuits.len());
+        let mut routed = Vec::with_capacity(circuits.len());
+        let workers = if opts.parallel {
+            effective_workers(circuits.len())
+        } else {
+            1
+        };
+        rec.set_gauge("flow.parallelism", workers as f64);
+        if workers > 1 {
+            for result in fan_out(circuits.len(), workers, per_context) {
+                let (problem, placement, r) = result?;
+                problems.push(problem);
+                placements.push(placement);
+                routed.push(r);
+            }
+        } else {
+            // Plain serial loop: stop at the first failing context instead
+            // of computing the rest (the parallel path reports the same
+            // first-in-order error, it just can't avoid the extra work).
+            for c in 0..circuits.len() {
+                let (problem, placement, r) = per_context(c)?;
+                problems.push(problem);
+                placements.push(placement);
+                routed.push(r);
+            }
         }
         // Pad unused contexts with empty routing so columns cover every
         // device context.
@@ -246,23 +419,50 @@ impl MultiDevice {
     }
 
     /// Switch the active context.
+    ///
+    /// Panicking convenience over [`MultiDevice::try_switch_context`]; use
+    /// the checked variant on serving paths that must survive bad input.
     pub fn switch_context(&mut self, context: usize) {
-        assert!(
-            context < self.mapped.len(),
-            "context {context} not programmed"
-        );
+        self.try_switch_context(context)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Switch the active context, reporting an unprogrammed context in-band.
+    pub fn try_switch_context(&mut self, context: usize) -> Result<(), SimError> {
+        if context >= self.mapped.len() {
+            return Err(SimError::ContextNotProgrammed {
+                context,
+                programmed: self.mapped.len(),
+            });
+        }
         if context != self.active {
             self.recorder.incr("sim.context_switches", 1);
         }
         self.active = context;
+        Ok(())
     }
 
     /// One clock cycle in the active context.
+    ///
+    /// Panicking convenience over [`MultiDevice::try_step`]; use the checked
+    /// variant on serving paths that must survive bad input.
     pub fn step(&mut self, inputs: &[bool]) -> Vec<bool> {
-        self.recorder.incr("sim.steps", 1);
+        self.try_step(inputs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// One clock cycle in the active context, reporting an input-arity
+    /// mismatch in-band instead of aborting the process.
+    pub fn try_step(&mut self, inputs: &[bool]) -> Result<Vec<bool>, SimError> {
         let c = self.active;
         let m = &self.mapped[c];
-        assert_eq!(inputs.len(), m.n_inputs, "input arity for context {c}");
+        if inputs.len() != m.n_inputs {
+            return Err(SimError::InputArity {
+                context: c,
+                expected: m.n_inputs,
+                got: inputs.len(),
+            });
+        }
+        self.recorder.incr("sim.steps", 1);
         let mut lut_vals = vec![false; m.luts.len()];
         for i in 0..m.luts.len() {
             let in_bits: Vec<bool> = m.luts[i]
@@ -285,7 +485,7 @@ impl MultiDevice {
             .map(|d| self.resolve(c, d.d, inputs, &lut_vals))
             .collect();
         self.states[c] = next;
-        outs
+        Ok(outs)
     }
 
     fn resolve(&self, c: usize, src: MappedSource, inputs: &[bool], lut_vals: &[bool]) -> bool {
@@ -304,13 +504,32 @@ impl MultiDevice {
     }
 
     /// Overwrite a context's register state.
+    ///
+    /// Panicking convenience over [`MultiDevice::try_set_registers`]; use
+    /// the checked variant on serving paths that must survive bad input.
     pub fn set_registers(&mut self, context: usize, bits: &[bool]) {
-        assert_eq!(
-            bits.len(),
-            self.states[context].len(),
-            "register count mismatch for context {context}"
-        );
+        self.try_set_registers(context, bits)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Overwrite a context's register state, reporting a bad context index
+    /// or register-count mismatch in-band.
+    pub fn try_set_registers(&mut self, context: usize, bits: &[bool]) -> Result<(), SimError> {
+        if context >= self.states.len() {
+            return Err(SimError::ContextNotProgrammed {
+                context,
+                programmed: self.states.len(),
+            });
+        }
+        if bits.len() != self.states[context].len() {
+            return Err(SimError::RegisterCount {
+                context,
+                expected: self.states[context].len(),
+                got: bits.len(),
+            });
+        }
         self.states[context].copy_from_slice(bits);
+        Ok(())
     }
 
     /// Reset every context's registers.
@@ -476,5 +695,220 @@ mod tests {
         let circuits = vec![library::adder(4)];
         let dev = MultiDevice::compile(&arch(), &circuits).unwrap();
         assert!(dev.critical_delay() > 0.0);
+    }
+
+    fn compile_both_ways(circuits: &[Netlist]) -> (MultiDevice, MultiDevice) {
+        let serial = MultiDevice::compile_opts(
+            &arch(),
+            circuits,
+            &CompileOptions {
+                parallel: false,
+                ..Default::default()
+            },
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        let parallel = MultiDevice::compile_opts(
+            &arch(),
+            circuits,
+            &CompileOptions {
+                parallel: true,
+                ..Default::default()
+            },
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        (serial, parallel)
+    }
+
+    fn assert_devices_identical(serial: &MultiDevice, parallel: &MultiDevice) {
+        assert_eq!(serial.mapped, parallel.mapped);
+        assert_eq!(serial.placements, parallel.placements);
+        assert_eq!(serial.routed, parallel.routed);
+        assert_eq!(serial.usage, parallel.usage);
+        assert_eq!(serial.site_of, parallel.site_of);
+        assert_eq!(serial.states, parallel.states);
+        assert_eq!(serial.switch_bitstream(), parallel.switch_bitstream());
+    }
+
+    #[test]
+    fn parallel_compile_is_bit_identical_to_serial() {
+        let circuits = vec![
+            library::adder(4),
+            library::multiplier(3),
+            library::alu(4),
+            library::popcount(6),
+        ];
+        let (mut serial, mut parallel) = compile_both_ways(&circuits);
+        assert_devices_identical(&serial, &parallel);
+        // And the devices behave identically under stimulus.
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..30 {
+            let c = rng.gen_range(0..circuits.len());
+            serial.switch_context(c);
+            parallel.switch_context(c);
+            let n_in = circuits[c].inputs().len();
+            let inputs: Vec<bool> = (0..n_in).map(|_| rng.gen_bool(0.5)).collect();
+            assert_eq!(serial.step(&inputs), parallel.step(&inputs));
+        }
+    }
+
+    #[test]
+    fn parallel_compile_records_parallelism_gauge() {
+        let rec = Recorder::enabled();
+        let circuits = vec![library::adder(4), library::parity(8)];
+        MultiDevice::compile_with(&arch(), &circuits, &rec).unwrap();
+        // Fan-out is capped at the machine's available parallelism, so the
+        // effective worker count is what the gauge must report.
+        let expected = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(circuits.len()) as f64;
+        assert_eq!(rec.gauge("flow.parallelism"), Some(expected));
+        // Serial compile always reports 1.
+        let rec = Recorder::enabled();
+        MultiDevice::compile_opts(
+            &arch(),
+            &circuits,
+            &CompileOptions {
+                parallel: false,
+                ..Default::default()
+            },
+            &rec,
+        )
+        .unwrap();
+        assert_eq!(rec.gauge("flow.parallelism"), Some(1.0));
+    }
+
+    #[test]
+    fn try_step_rejects_bad_input_arity_without_panicking() {
+        let circuits = vec![library::adder(4)];
+        let mut dev = MultiDevice::compile(&arch(), &circuits).unwrap();
+        // adder(4) takes 9 inputs (a, b, cin); drive it with 3.
+        let err = dev.try_step(&[false; 3]).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InputArity {
+                context: 0,
+                expected: 9,
+                got: 3
+            }
+        );
+        // The failed step must not count as a simulated cycle.
+        let rec = Recorder::enabled();
+        let mut dev = MultiDevice::compile_with(&arch(), &circuits, &rec).unwrap();
+        assert!(dev.try_step(&[false; 3]).is_err());
+        assert_eq!(rec.counter("sim.steps"), 0);
+        // A correct step still works afterwards.
+        assert!(dev.try_step(&[false; 9]).is_ok());
+        assert_eq!(rec.counter("sim.steps"), 1);
+    }
+
+    #[test]
+    fn try_switch_context_rejects_unprogrammed_contexts() {
+        let circuits = vec![library::adder(4)];
+        let mut dev = MultiDevice::compile(&arch(), &circuits).unwrap();
+        let err = dev.try_switch_context(3).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::ContextNotProgrammed {
+                context: 3,
+                programmed: 1
+            }
+        );
+        assert_eq!(dev.active_context(), 0);
+        dev.try_switch_context(0).unwrap();
+    }
+
+    #[test]
+    fn try_set_registers_rejects_bad_counts() {
+        let circuits = vec![library::counter(4)];
+        let mut dev = MultiDevice::compile(&arch(), &circuits).unwrap();
+        let err = dev.try_set_registers(0, &[true; 17]).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::RegisterCount {
+                context: 0,
+                expected: 4,
+                got: 17
+            }
+        );
+        let err = dev.try_set_registers(5, &[true; 4]).unwrap_err();
+        assert!(matches!(err, SimError::ContextNotProgrammed { .. }));
+        dev.try_set_registers(0, &[true, false, true, false])
+            .unwrap();
+        assert_eq!(dev.registers(0), &[true, false, true, false]);
+    }
+
+    #[test]
+    fn sim_errors_display_the_offending_values() {
+        let e = SimError::InputArity {
+            context: 2,
+            expected: 9,
+            got: 3,
+        };
+        assert_eq!(e.to_string(), "context 2 expects 9 inputs, got 3");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use mcfpga_netlist::{random_netlist, RandomNetlistParams};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// Parallel compile produces a MultiDevice identical to serial
+        /// compile across random workloads and seeds: same placements,
+        /// routing trees, switch usage, logic-block assignment, and initial
+        /// state.
+        #[test]
+        fn parallel_equals_serial_on_random_workloads(seed in 0u64..10_000, n_ctx in 1usize..=4) {
+            let arch = ArchSpec::paper_default();
+            let circuits: Vec<_> = (0..n_ctx)
+                .map(|c| {
+                    random_netlist(
+                        RandomNetlistParams {
+                            n_inputs: 6,
+                            n_gates: 30,
+                            n_outputs: 4,
+                            dff_fraction: 0.1,
+                        },
+                        seed.wrapping_add(c as u64),
+                    )
+                })
+                .collect();
+            let serial = MultiDevice::compile_opts(
+                &arch,
+                &circuits,
+                &CompileOptions { parallel: false, ..Default::default() },
+                &Recorder::disabled(),
+            );
+            let parallel = MultiDevice::compile_opts(
+                &arch,
+                &circuits,
+                &CompileOptions { parallel: true, ..Default::default() },
+                &Recorder::disabled(),
+            );
+            match (serial, parallel) {
+                (Ok(s), Ok(p)) => {
+                    prop_assert_eq!(&s.mapped, &p.mapped);
+                    prop_assert_eq!(&s.placements, &p.placements);
+                    prop_assert_eq!(&s.routed, &p.routed);
+                    prop_assert_eq!(&s.usage, &p.usage);
+                    prop_assert_eq!(&s.site_of, &p.site_of);
+                    prop_assert_eq!(&s.states, &p.states);
+                    prop_assert_eq!(s.switch_bitstream(), p.switch_bitstream());
+                }
+                // Both paths must agree on failure too (first in-order error).
+                (Err(se), Err(pe)) => prop_assert_eq!(se.to_string(), pe.to_string()),
+                (s, p) => prop_assert!(
+                    false,
+                    "serial {:?} vs parallel {:?} disagree on success",
+                    s.map(|_| ()), p.map(|_| ())
+                ),
+            }
+        }
     }
 }
