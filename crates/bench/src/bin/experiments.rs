@@ -530,10 +530,7 @@ fn flow() {
         compile_serial_us = compile_serial_us.min(time_compile(false));
         compile_parallel_us = compile_parallel_us.min(time_compile(true));
     }
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(circuits.len());
+    let workers = mcfpga::sim::CompileOptions::default().resolved_workers(circuits.len());
     println!(
         "\ncompile wall-clock (best of 5): serial {:.3} ms, parallel {:.3} ms \
          ({:.2}x across {workers} worker thread(s))",
@@ -675,6 +672,31 @@ fn flow() {
     let json = serde_json::to_string_pretty(&bench).expect("serialize flow bench");
     std::fs::write("BENCH_flow.json", &json).expect("write BENCH_flow.json");
     println!("\nwrote BENCH_flow.json ({} bytes)", json.len());
+
+    // Chrome/Perfetto trace of the instrumented run: phase spans plus the
+    // per-context-switch, per-route-iteration, and per-anneal-step events.
+    // Load it in chrome://tracing or https://ui.perfetto.dev.
+    let trace = rec.chrome_trace_json();
+    std::fs::write("BENCH_flow_trace.json", &trace).expect("write BENCH_flow_trace.json");
+    println!(
+        "wrote BENCH_flow_trace.json ({} bytes, {} events, {} dropped)",
+        trace.len(),
+        rec.trace_events().len(),
+        rec.trace_dropped()
+    );
+    if let Some(r) = &report.reconfig {
+        println!(
+            "reconfig telemetry: {} switches, mean change rate {:.4}, \
+             columns {} = {} constant + {} single-bit + {} general, {} SEs",
+            r.n_switches,
+            r.mean_change_rate,
+            r.n_columns,
+            r.n_constant,
+            r.n_single_bit,
+            r.n_general,
+            r.se_cost_total
+        );
+    }
 }
 
 /// Machine-readable record of the instrumented end-to-end run: headline area

@@ -159,11 +159,15 @@ pub fn run_flow_opts(
     }
 
     drop(flow_span);
+    let mut report = rec.report("flow");
+    // Condense the per-switch trace into the report's reconfiguration
+    // summary (None when the recorder is disabled or nothing switched).
+    report.reconfig = mcfpga_obs::ReconfigTelemetry::from_events(&rec.trace_events());
     Ok(FlowOutcome {
         device,
         cmos,
         fepg,
-        report: rec.report("flow"),
+        report,
     })
 }
 

@@ -31,13 +31,29 @@
 //! are keyed by dotted names (`route.overused_edges`, `place.moves_accepted`)
 //! and may be updated concurrently from any thread holding a clone of the
 //! recorder.
+//!
+//! Alongside the aggregates, an enabled recorder buffers structured
+//! [`TraceEvent`]s — instants via [`Recorder::instant`] and begin/end pairs
+//! via [`Recorder::begin`] — in a bounded ring (see the [`trace`] module
+//! docs), and [`Recorder::chrome_trace_json`] exports spans and events
+//! together in Chrome/Perfetto trace-event format.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+
+pub mod trace;
+
+pub use trace::{
+    current_thread_id, ReconfigTelemetry, SwitchTelemetry, TraceEvent, TracePhase, TraceValue,
+};
+
+/// Default bound on buffered trace events; older events are evicted first.
+/// Override with [`Recorder::enabled_with_capacity`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
 
 /// One completed span: where in the hierarchy it sat and when it ran,
 /// as microsecond offsets from the recorder's creation.
@@ -51,6 +67,8 @@ pub struct SpanRecord {
     pub start_us: u64,
     /// Wall-clock duration, in microseconds.
     pub duration_us: u64,
+    /// Sequential id of the thread the span ran on (see [`current_thread_id`]).
+    pub tid: u64,
 }
 
 /// A named monotonic counter in a [`RunReport`].
@@ -94,6 +112,9 @@ pub struct RunReport {
     pub counters: Vec<CounterEntry>,
     pub gauges: Vec<GaugeEntry>,
     pub histograms: Vec<HistogramEntry>,
+    /// Per-context-switch reconfiguration summary, when the run traced any
+    /// context switches (attached by the flow driver; `None` otherwise).
+    pub reconfig: Option<ReconfigTelemetry>,
 }
 
 impl RunReport {
@@ -131,21 +152,37 @@ struct Inner {
     counters: Mutex<BTreeMap<String, u64>>,
     gauges: Mutex<BTreeMap<String, f64>>,
     histograms: Mutex<BTreeMap<String, Vec<f64>>>,
+    events: Mutex<trace::TraceRing>,
 }
 
 impl Inner {
-    fn new() -> Inner {
+    fn new(trace_capacity: usize) -> Inner {
         Inner {
             origin: Instant::now(),
             spans: Mutex::new(Vec::new()),
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
+            events: Mutex::new(trace::TraceRing::new(trace_capacity)),
         }
     }
 
     fn micros_since_origin(&self) -> u64 {
         self.origin.elapsed().as_micros() as u64
+    }
+
+    fn push_event(&self, name: &str, phase: TracePhase, args: &[(&str, TraceValue)]) {
+        let event = TraceEvent {
+            name: name.to_string(),
+            phase,
+            ts_us: self.micros_since_origin(),
+            tid: current_thread_id(),
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        };
+        self.events.lock().unwrap().push(event);
     }
 }
 
@@ -173,10 +210,18 @@ impl std::fmt::Debug for Recorder {
 }
 
 impl Recorder {
-    /// A recorder that collects spans and metrics.
+    /// A recorder that collects spans, metrics, and trace events (the event
+    /// ring is bounded at [`DEFAULT_TRACE_CAPACITY`]).
     pub fn enabled() -> Recorder {
+        Recorder::enabled_with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Like [`Recorder::enabled`], but with an explicit bound on buffered
+    /// trace events. Once full, the oldest events are evicted (counted by
+    /// [`Recorder::trace_dropped`]); a capacity of 0 keeps no events at all.
+    pub fn enabled_with_capacity(trace_capacity: usize) -> Recorder {
         Recorder {
-            inner: Some(Arc::new(Inner::new())),
+            inner: Some(Arc::new(Inner::new(trace_capacity))),
         }
     }
 
@@ -241,6 +286,116 @@ impl Recorder {
         }
     }
 
+    /// Record an instant trace event with typed key/value args.
+    ///
+    /// Note the `args` slice is built by the caller even when the recorder is
+    /// disabled; keep argument construction cheap (numbers, `&str`) on hot
+    /// paths, or gate expensive payloads on [`Recorder::is_enabled`].
+    pub fn instant(&self, name: &str, args: &[(&str, TraceValue)]) {
+        if let Some(inner) = &self.inner {
+            inner.push_event(name, TracePhase::Instant, args);
+        }
+    }
+
+    /// Open a duration trace event: a `Begin` event is recorded now and the
+    /// matching `End` when the returned guard drops. Unlike [`Recorder::span`]
+    /// this records both edges as they happen, so in-flight work is visible
+    /// and typed args ride on the `Begin` edge.
+    pub fn begin(&self, name: &str, args: &[(&str, TraceValue)]) -> TraceGuard {
+        match &self.inner {
+            None => TraceGuard { active: None },
+            Some(inner) => {
+                inner.push_event(name, TracePhase::Begin, args);
+                TraceGuard {
+                    active: Some((Arc::clone(inner), name.to_string())),
+                }
+            }
+        }
+    }
+
+    /// Snapshot of the buffered trace events, oldest first.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |inner| inner.events.lock().unwrap().snapshot())
+    }
+
+    /// Number of trace events evicted (or refused) by the bounded ring.
+    pub fn trace_dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.events.lock().unwrap().dropped())
+    }
+
+    /// Export spans and trace events as Chrome trace-event JSON, viewable in
+    /// `chrome://tracing` or <https://ui.perfetto.dev>.
+    ///
+    /// Completed spans become `"X"` (complete) events under category
+    /// `"span"`; trace events become `"B"`/`"E"`/`"i"` events under category
+    /// `"event"` with their args attached. A disabled recorder exports a
+    /// valid document with an empty `traceEvents` array.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut out: Vec<Value> = Vec::new();
+        let mut dropped = 0u64;
+        if let Some(inner) = &self.inner {
+            for s in inner.spans.lock().unwrap().iter() {
+                out.push(Value::Object(vec![
+                    ("name".to_string(), Value::Str(s.name.clone())),
+                    ("cat".to_string(), Value::Str("span".to_string())),
+                    ("ph".to_string(), Value::Str("X".to_string())),
+                    ("ts".to_string(), Value::U64(s.start_us)),
+                    ("dur".to_string(), Value::U64(s.duration_us)),
+                    ("pid".to_string(), Value::U64(1)),
+                    ("tid".to_string(), Value::U64(s.tid)),
+                    (
+                        "args".to_string(),
+                        Value::Object(vec![("path".to_string(), Value::Str(s.path.clone()))]),
+                    ),
+                ]));
+            }
+            let ring = inner.events.lock().unwrap();
+            dropped = ring.dropped();
+            for e in ring.snapshot() {
+                let mut obj = vec![
+                    ("name".to_string(), Value::Str(e.name.clone())),
+                    ("cat".to_string(), Value::Str("event".to_string())),
+                    (
+                        "ph".to_string(),
+                        Value::Str(e.phase.chrome_ph().to_string()),
+                    ),
+                    ("ts".to_string(), Value::U64(e.ts_us)),
+                    ("pid".to_string(), Value::U64(1)),
+                    ("tid".to_string(), Value::U64(e.tid)),
+                ];
+                if e.phase == TracePhase::Instant {
+                    // Thread-scoped instant marker.
+                    obj.push(("s".to_string(), Value::Str("t".to_string())));
+                }
+                if !e.args.is_empty() {
+                    obj.push((
+                        "args".to_string(),
+                        Value::Object(
+                            e.args
+                                .iter()
+                                .map(|(k, v)| (k.clone(), v.to_json()))
+                                .collect(),
+                        ),
+                    ));
+                }
+                out.push(Value::Object(obj));
+            }
+        }
+        let doc = Value::Object(vec![
+            ("traceEvents".to_string(), Value::Array(out)),
+            ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+            (
+                "otherData".to_string(),
+                Value::Object(vec![("dropped_events".to_string(), Value::U64(dropped))]),
+            ),
+        ]);
+        serde_json::to_string_pretty(&doc).expect("value trees always serialize")
+    }
+
     /// Current value of counter `name` (0 if absent or recorder disabled).
     pub fn counter(&self, name: &str) -> u64 {
         self.inner.as_ref().map_or(0, |inner| {
@@ -273,6 +428,7 @@ impl Recorder {
                 counters: Vec::new(),
                 gauges: Vec::new(),
                 histograms: Vec::new(),
+                reconfig: None,
             };
         };
         let spans = inner.spans.lock().unwrap().clone();
@@ -310,6 +466,21 @@ impl Recorder {
             counters,
             gauges,
             histograms,
+            reconfig: None,
+        }
+    }
+}
+
+/// RAII guard pairing a `Begin` trace event with its `End`, emitted on drop.
+#[must_use = "the matching End event is emitted when this guard drops; binding it to `_` ends it immediately"]
+pub struct TraceGuard {
+    active: Option<(Arc<Inner>, String)>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if let Some((inner, name)) = self.active.take() {
+            inner.push_event(&name, TracePhase::End, &[]);
         }
     }
 }
@@ -365,6 +536,7 @@ impl Drop for Span {
                 name: active.name,
                 start_us: active.start_us,
                 duration_us: active.start.elapsed().as_micros() as u64,
+                tid: current_thread_id(),
             };
             active.inner.spans.lock().unwrap().push(record);
         }
@@ -453,6 +625,106 @@ mod tests {
         rec.set_gauge("temp", 2.5);
         assert_eq!(rec.gauge("temp"), Some(2.5));
         assert_eq!(rec.report("g").gauge("temp"), Some(2.5));
+    }
+
+    #[test]
+    fn begin_end_events_pair_and_nest_in_order() {
+        let rec = Recorder::enabled();
+        {
+            let _outer = rec.begin("compile", &[("context", 0usize.into())]);
+            {
+                let _inner = rec.begin("route", &[]);
+                rec.instant("route_iteration", &[("iteration", 1usize.into())]);
+            }
+        }
+        let events = rec.trace_events();
+        let shape: Vec<(&str, TracePhase)> =
+            events.iter().map(|e| (e.name.as_str(), e.phase)).collect();
+        assert_eq!(
+            shape,
+            vec![
+                ("compile", TracePhase::Begin),
+                ("route", TracePhase::Begin),
+                ("route_iteration", TracePhase::Instant),
+                ("route", TracePhase::End),
+                ("compile", TracePhase::End),
+            ]
+        );
+        assert_eq!(events[0].arg_u64("context"), Some(0));
+        // Timestamps are monotone within the single emitting thread.
+        assert!(events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+    }
+
+    #[test]
+    fn disabled_recorder_emits_no_events() {
+        let rec = Recorder::disabled();
+        rec.instant("x", &[("k", 1u64.into())]);
+        let _g = rec.begin("y", &[]);
+        drop(_g);
+        assert!(rec.trace_events().is_empty());
+        assert_eq!(rec.trace_dropped(), 0);
+        let doc = serde_json::parse(&rec.chrome_trace_json()).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn ring_capacity_bounds_recorded_events() {
+        let rec = Recorder::enabled_with_capacity(3);
+        for i in 0..10u64 {
+            rec.instant("tick", &[("i", i.into())]);
+        }
+        let events = rec.trace_events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(rec.trace_dropped(), 7);
+        assert_eq!(events[0].arg_u64("i"), Some(7));
+    }
+
+    #[test]
+    fn concurrent_events_carry_distinct_thread_ids() {
+        let rec = Recorder::enabled();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let rec = rec.clone();
+                thread::spawn(move || {
+                    rec.instant("worker_tick", &[]);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let tids: std::collections::BTreeSet<u64> =
+            rec.trace_events().iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 4, "each thread must get its own tid");
+    }
+
+    #[test]
+    fn chrome_trace_json_is_valid_and_carries_spans_events_and_args() {
+        let rec = Recorder::enabled();
+        {
+            let _s = rec.span("flow");
+            rec.instant(
+                "context_switch",
+                &[("from", 0usize.into()), ("change_rate", 0.25.into())],
+            );
+        }
+        let doc = serde_json::parse(&rec.chrome_trace_json()).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(events.len(), 2);
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X"))
+            .expect("span event");
+        assert_eq!(span.get("name").and_then(|v| v.as_str()), Some("flow"));
+        assert!(span.get("dur").is_some());
+        let inst = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|v| v.as_str()) == Some("i"))
+            .expect("instant event");
+        let args = inst.get("args").expect("args object");
+        assert_eq!(args.get("from").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(args.get("change_rate").and_then(|v| v.as_f64()), Some(0.25));
     }
 
     #[test]

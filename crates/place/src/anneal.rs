@@ -219,6 +219,15 @@ pub fn place_with(problem: &PlacementProblem, opts: &AnnealOptions, rec: &Record
         rec.incr("place.moves_attempted", moves_per_t as u64);
         rec.observe("place.acceptance_rate", rate);
         rec.set_gauge("anneal.temperature", t);
+        rec.instant(
+            "anneal_step",
+            &[
+                ("temperature", t.into()),
+                ("acceptance_rate", rate.into()),
+                ("moves_accepted", (accepted as u64).into()),
+                ("cost", cost.into()),
+            ],
+        );
         let alpha = if rate > 0.96 {
             0.5
         } else if rate > 0.8 {

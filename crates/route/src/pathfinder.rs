@@ -277,6 +277,14 @@ pub fn route_context_with(
         }
         rec.incr("route.iterations", 1);
         rec.observe("route.overuse_per_iteration", overused as f64);
+        rec.instant(
+            "route_iteration",
+            &[
+                ("iteration", iteration.into()),
+                ("nets_rerouted", reroute.len().into()),
+                ("overused_edges", overused.into()),
+            ],
+        );
         if overused == 0 {
             return Ok(finish(graph, nets, trees, iteration + 1, 0));
         }
@@ -636,6 +644,18 @@ mod tests {
         assert_eq!(report.counter("route.nonconverged_contexts"), 0);
         assert!(report.counter("route.nets_rerouted") >= nets.len() as u64);
         assert!(report.span_total_us("route") > 0 || report.spans.len() == 1);
+        // One instant trace event per PathFinder iteration, with the
+        // iteration's congestion state attached.
+        let iters: Vec<_> = rec
+            .trace_events()
+            .into_iter()
+            .filter(|e| e.name == "route_iteration")
+            .collect();
+        assert_eq!(iters.len(), routed.iterations);
+        assert_eq!(iters[0].arg_u64("iteration"), Some(0));
+        assert!(iters[0].arg_u64("nets_rerouted").unwrap() >= nets.len() as u64);
+        // The run converged, so the final iteration saw no overuse.
+        assert_eq!(iters.last().unwrap().arg_u64("overused_edges"), Some(0));
     }
 
     #[test]

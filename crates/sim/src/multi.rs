@@ -48,6 +48,20 @@ impl Default for CompileOptions {
     }
 }
 
+impl CompileOptions {
+    /// Worker threads the compile pipeline will actually use for `n_tasks`
+    /// independent per-context jobs: 1 when serial, otherwise capped by both
+    /// the machine's available parallelism and the task count. The
+    /// `flow.parallelism` gauge reports exactly this value.
+    pub fn resolved_workers(&self, n_tasks: usize) -> usize {
+        if self.parallel {
+            effective_workers(n_tasks)
+        } else {
+            1
+        }
+    }
+}
+
 /// Runtime failure of the compiled-device serving API ([`MultiDevice::try_step`]
 /// and friends): bad caller input reported in-band instead of aborting the
 /// process.
@@ -107,28 +121,33 @@ fn effective_workers(n_tasks: usize) -> usize {
         .min(n_tasks)
 }
 
-/// Run `f(0..n)` across up to `workers` scoped threads via an atomic work
-/// queue. Workers claim indices in nondeterministic order, but the returned
-/// `Vec` is slot-indexed by task id, so callers always see results in task
-/// order — the basis of the parallel compile's bit-for-bit determinism.
-/// With `workers <= 1` this is a plain serial loop (no threads spawned).
-fn fan_out<T: Send>(n: usize, workers: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+/// Run `f(worker, task)` for every task `0..n` across up to `workers` scoped
+/// threads via an atomic work queue. Workers claim tasks in nondeterministic
+/// order, but the returned `Vec` is slot-indexed by task id, so callers
+/// always see results in task order — the basis of the parallel compile's
+/// bit-for-bit determinism. The `worker` argument is the stable index of the
+/// claiming thread (0 on the serial path), so instrumentation can attribute
+/// work to pool members. With `workers <= 1` this is a plain serial loop
+/// (no threads spawned).
+fn fan_out<T: Send>(n: usize, workers: usize, f: impl Fn(usize, usize) -> T + Sync) -> Vec<T> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
     if workers <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n).map(|c| f(0, c)).collect();
     }
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let f = &f;
     std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
+        let slots = &slots;
+        let next = &next;
+        for w in 0..workers {
+            s.spawn(move || loop {
                 let c = next.fetch_add(1, Ordering::Relaxed);
                 if c >= n {
                     break;
                 }
-                let value = f(c);
+                let value = f(w, c);
                 *slots[c].lock().unwrap() = Some(value);
             });
         }
@@ -141,6 +160,46 @@ fn fan_out<T: Send>(n: usize, workers: usize, f: impl Fn(usize) -> T + Sync) -> 
                 .expect("every slot filled once the scope joins")
         })
         .collect()
+}
+
+/// Paper-grounded quantities attached to each `context_switch` trace event:
+/// per-context switch bitstreams (for bit-flip counts and measured change
+/// rate), the pattern-class census of the switch columns (Figs. 3–5), and
+/// the total SE decoder cost of realising them in the RCM (Fig. 9).
+///
+/// Built once per device, and only when the recorder is enabled, so the
+/// uninstrumented `switch_context` path stays cheap.
+struct ReconfigMeta {
+    /// Per context: every routing switch's on/off state, in the
+    /// deterministic order of [`SwitchUsage::columns`].
+    state_bits: Vec<Vec<bool>>,
+    n_columns: usize,
+    n_constant: usize,
+    n_single_bit: usize,
+    n_general: usize,
+    se_cost_total: u64,
+}
+
+impl ReconfigMeta {
+    fn build(usage: &SwitchUsage, ctx: ContextId) -> ReconfigMeta {
+        let columns = usage.columns();
+        let stats = mcfpga_config::ColumnSetStats::measure(&columns, ctx);
+        let se_cost_total = columns
+            .iter()
+            .map(|&col| mcfpga_rcm::synthesize(col, ctx).cost().n_ses as u64)
+            .sum();
+        let state_bits = (0..ctx.n_contexts())
+            .map(|c| columns.iter().map(|col| col.value_in(c)).collect())
+            .collect();
+        ReconfigMeta {
+            state_bits,
+            n_columns: stats.n_columns,
+            n_constant: stats.n_constant,
+            n_single_bit: stats.n_single_bit,
+            n_general: stats.n_general,
+            se_cost_total,
+        }
+    }
 }
 
 /// A compiled heterogeneous device.
@@ -163,6 +222,9 @@ pub struct MultiDevice {
     active: usize,
     /// Observability sink; disabled (no-op) unless compiled via `*_with`.
     recorder: Recorder,
+    /// Lazily built on the first traced context switch (enabled recorders
+    /// only); `None` forever on the uninstrumented path.
+    reconfig_meta: Option<ReconfigMeta>,
 }
 
 impl MultiDevice {
@@ -196,15 +258,11 @@ impl MultiDevice {
         let k = arch.lut.min_inputs;
         let mapped: Vec<MappedNetlist> = {
             let _span = rec.span("map");
-            let workers = if opts.parallel {
-                effective_workers(circuits.len())
-            } else {
-                1
-            };
+            let workers = opts.resolved_workers(circuits.len());
             // Mapping is per-circuit independent; fan it out and merge
             // results in context order (first in-order error wins, exactly
             // as the serial collect would report).
-            fan_out(circuits.len(), workers, |c| map_netlist(&circuits[c], k))
+            fan_out(circuits.len(), workers, |_, c| map_netlist(&circuits[c], k))
                 .into_iter()
                 .collect::<Result<_, _>>()?
         };
@@ -265,7 +323,15 @@ impl MultiDevice {
             assert_eq!(m.k, k, "pre-mapped netlists must use the fabric's k");
         }
         let per_context =
-            |c: usize| -> Result<(PlacementProblem, Placement, RoutedContext), CompileError> {
+            |worker: usize,
+             c: usize|
+             -> Result<(PlacementProblem, Placement, RoutedContext), CompileError> {
+                // Begin/End trace events make the pool's fan-out visible in the
+                // trace viewer, attributed to the claiming worker.
+                let _ev = rec.begin(
+                    "compile_context",
+                    &[("context", c.into()), ("worker", worker.into())],
+                );
                 let problem = PlacementProblem::from_mapped(&circuits[c], arch)?;
                 let placement = place_with(
                     &problem,
@@ -283,11 +349,7 @@ impl MultiDevice {
         let mut problems = Vec::with_capacity(circuits.len());
         let mut placements = Vec::with_capacity(circuits.len());
         let mut routed = Vec::with_capacity(circuits.len());
-        let workers = if opts.parallel {
-            effective_workers(circuits.len())
-        } else {
-            1
-        };
+        let workers = opts.resolved_workers(circuits.len());
         rec.set_gauge("flow.parallelism", workers as f64);
         if workers > 1 {
             for result in fan_out(circuits.len(), workers, per_context) {
@@ -301,7 +363,7 @@ impl MultiDevice {
             // of computing the rest (the parallel path reports the same
             // first-in-order error, it just can't avoid the extra work).
             for c in 0..circuits.len() {
-                let (problem, placement, r) = per_context(c)?;
+                let (problem, placement, r) = per_context(0, c)?;
                 problems.push(problem);
                 placements.push(placement);
                 routed.push(r);
@@ -402,6 +464,7 @@ impl MultiDevice {
             states,
             active: 0,
             recorder: rec.clone(),
+            reconfig_meta: None,
         })
     }
 
@@ -437,6 +500,30 @@ impl MultiDevice {
         }
         if context != self.active {
             self.recorder.incr("sim.context_switches", 1);
+            if self.recorder.is_enabled() {
+                let from = self.active;
+                let meta = self
+                    .reconfig_meta
+                    .get_or_insert_with(|| ReconfigMeta::build(&self.usage, self.ctx));
+                let a = &meta.state_bits[from];
+                let b = &meta.state_bits[context];
+                let bits_flipped = a.iter().zip(b).filter(|(x, y)| x != y).count();
+                let change_rate = mcfpga_config::measure_change_rate(a, b);
+                self.recorder.instant(
+                    "context_switch",
+                    &[
+                        ("from", from.into()),
+                        ("to", context.into()),
+                        ("bits_flipped", bits_flipped.into()),
+                        ("change_rate", change_rate.into()),
+                        ("n_columns", meta.n_columns.into()),
+                        ("n_constant", meta.n_constant.into()),
+                        ("n_single_bit", meta.n_single_bit.into()),
+                        ("n_general", meta.n_general.into()),
+                        ("se_cost_total", meta.se_cost_total.into()),
+                    ],
+                );
+            }
         }
         self.active = context;
         Ok(())
@@ -542,6 +629,19 @@ impl MultiDevice {
     /// Per-switch usage across contexts (real mixed columns).
     pub fn switch_usage(&self) -> &SwitchUsage {
         &self.usage
+    }
+
+    /// On/off state of every routing switch when `context` is active, in the
+    /// deterministic order of [`SwitchUsage::columns`]. The `context_switch`
+    /// trace events measure `bits_flipped` and `change_rate` between exactly
+    /// these vectors, so tests can recompute the payloads independently via
+    /// `mcfpga_config::measure_change_rate`.
+    pub fn switch_state_bits(&self, context: usize) -> Vec<bool> {
+        self.usage
+            .columns()
+            .iter()
+            .map(|col| col.value_in(context))
+            .collect()
     }
 
     /// The routing-switch bitstream.
@@ -754,30 +854,110 @@ mod tests {
     }
 
     #[test]
-    fn parallel_compile_records_parallelism_gauge() {
+    fn parallelism_gauge_matches_resolved_workers() {
+        let rec = Recorder::enabled();
+        let circuits = vec![library::adder(4), library::parity(8)];
+        let opts = CompileOptions::default();
+        MultiDevice::compile_opts(&arch(), &circuits, &opts, &rec).unwrap();
+        // The gauge must report the worker count the options actually
+        // resolve to (capped by the machine and the task count), not a
+        // recomputation that can drift.
+        let expected = opts.resolved_workers(circuits.len());
+        assert!(expected >= 1 && expected <= circuits.len());
+        assert_eq!(rec.gauge("flow.parallelism"), Some(expected as f64));
+        // Serial compile always resolves to (and reports) 1.
+        let serial = CompileOptions {
+            parallel: false,
+            ..Default::default()
+        };
+        assert_eq!(serial.resolved_workers(circuits.len()), 1);
+        let rec = Recorder::enabled();
+        MultiDevice::compile_opts(&arch(), &circuits, &serial, &rec).unwrap();
+        assert_eq!(rec.gauge("flow.parallelism"), Some(1.0));
+    }
+
+    #[test]
+    fn compile_emits_worker_tagged_events_per_context() {
+        use mcfpga_obs::TracePhase;
         let rec = Recorder::enabled();
         let circuits = vec![library::adder(4), library::parity(8)];
         MultiDevice::compile_with(&arch(), &circuits, &rec).unwrap();
-        // Fan-out is capped at the machine's available parallelism, so the
-        // effective worker count is what the gauge must report.
-        let expected = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(circuits.len()) as f64;
-        assert_eq!(rec.gauge("flow.parallelism"), Some(expected));
-        // Serial compile always reports 1.
+        let events = rec.trace_events();
+        let begins: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "compile_context" && e.phase == TracePhase::Begin)
+            .collect();
+        let ends = events
+            .iter()
+            .filter(|e| e.name == "compile_context" && e.phase == TracePhase::End)
+            .count();
+        assert_eq!(begins.len(), circuits.len());
+        assert_eq!(ends, circuits.len());
+        let contexts: std::collections::BTreeSet<u64> = begins
+            .iter()
+            .map(|e| e.arg_u64("context").expect("context arg"))
+            .collect();
+        assert_eq!(contexts, (0..circuits.len() as u64).collect());
+        let workers = CompileOptions::default().resolved_workers(circuits.len());
+        for b in &begins {
+            let w = b.arg_u64("worker").expect("worker arg") as usize;
+            assert!(w < workers, "worker {w} out of pool of {workers}");
+        }
+    }
+
+    #[test]
+    fn context_switch_events_carry_paper_grounded_payloads() {
         let rec = Recorder::enabled();
-        MultiDevice::compile_opts(
-            &arch(),
-            &circuits,
-            &CompileOptions {
-                parallel: false,
-                ..Default::default()
-            },
-            &rec,
-        )
-        .unwrap();
-        assert_eq!(rec.gauge("flow.parallelism"), Some(1.0));
+        let circuits = vec![
+            library::adder(4),
+            library::parity(8),
+            library::comparator(4),
+        ];
+        let mut dev = MultiDevice::compile_with(&arch(), &circuits, &rec).unwrap();
+        dev.switch_context(1);
+        dev.switch_context(2);
+        dev.switch_context(2); // same context: no switch, no event
+        let events: Vec<_> = rec
+            .trace_events()
+            .into_iter()
+            .filter(|e| e.name == "context_switch")
+            .collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].arg_u64("from"), Some(1));
+        assert_eq!(events[1].arg_u64("to"), Some(2));
+
+        // The traced change rate and flip count must agree with a direct
+        // measurement on the device's own switch bitstreams.
+        let ev = &events[0];
+        assert_eq!(ev.arg_u64("from"), Some(0));
+        assert_eq!(ev.arg_u64("to"), Some(1));
+        let a = dev.switch_state_bits(0);
+        let b = dev.switch_state_bits(1);
+        let flipped = a.iter().zip(&b).filter(|(x, y)| x != y).count() as u64;
+        assert!(flipped > 0, "distinct circuits must flip some switches");
+        assert_eq!(ev.arg_u64("bits_flipped"), Some(flipped));
+        assert_eq!(
+            ev.arg_f64("change_rate"),
+            Some(mcfpga_config::measure_change_rate(&a, &b))
+        );
+
+        // Pattern classes partition the columns, and the SE decoder cost
+        // agrees with synthesizing each column directly.
+        let n_columns = ev.arg_u64("n_columns").expect("n_columns");
+        assert_eq!(n_columns as usize, dev.switch_usage().columns().len());
+        assert_eq!(
+            ev.arg_u64("n_constant").unwrap()
+                + ev.arg_u64("n_single_bit").unwrap()
+                + ev.arg_u64("n_general").unwrap(),
+            n_columns
+        );
+        let se: u64 = dev
+            .switch_usage()
+            .columns()
+            .iter()
+            .map(|&col| mcfpga_rcm::synthesize(col, dev.ctx).cost().n_ses as u64)
+            .sum();
+        assert_eq!(ev.arg_u64("se_cost_total"), Some(se));
     }
 
     #[test]

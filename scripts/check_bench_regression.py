@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_flow.json against the committed BENCH_baseline.json.
+
+The flow is fully seeded, so the *quality* numbers (area ratios, measured
+change rate, counter-derived statistics) must reproduce near-exactly; only
+floating-point noise across platforms is tolerated. Wall-clock numbers vary
+with the runner, so phase timings only fail on order-of-magnitude blowups,
+and sub-millisecond phases are skipped entirely (they are all noise).
+
+Usage: check_bench_regression.py [fresh] [baseline]
+Exits non-zero listing every regression found.
+"""
+
+import json
+import sys
+
+# Deterministic quality metrics: relative tolerance for float noise only.
+RATIO_REL_TOL = 0.02
+# Timings: fail only when a phase gets this many times slower...
+TIME_BLOWUP = 20.0
+# ...and the baseline phase was big enough to be signal, not noise.
+TIME_FLOOR_US = 1_000
+
+
+def main() -> int:
+    fresh_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_flow.json"
+    base_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_baseline.json"
+    fresh = json.load(open(fresh_path))
+    base = json.load(open(base_path))
+    errors = []
+
+    def check_ratio(label, got, want):
+        if want == 0:
+            ok = abs(got) < 1e-9
+        else:
+            ok = abs(got - want) <= RATIO_REL_TOL * abs(want)
+        if not ok:
+            errors.append(f"{label}: {got:.6f} vs baseline {want:.6f} "
+                          f"(> {RATIO_REL_TOL:.0%} relative)")
+
+    for key in ["cmos_ratio", "fepg_ratio", "headline_cmos_ratio",
+                "headline_fepg_ratio", "change_rate"]:
+        check_ratio(key, fresh[key], base[key])
+
+    base_points = {p["label"]: p for p in base["area_points"]}
+    for p in fresh["area_points"]:
+        b = base_points.get(p["label"])
+        if b is None:
+            errors.append(f"area point {p['label']!r} missing from baseline")
+            continue
+        for key in ["cmos_ratio", "fepg_ratio", "change_rate"]:
+            check_ratio(f"area_points[{p['label']}].{key}", p[key], b[key])
+    for label in base_points:
+        if label not in {p["label"] for p in fresh["area_points"]}:
+            errors.append(f"area point {label!r} disappeared")
+
+    base_phases = {p["phase"]: p["total_us"] for p in base["phase_totals_us"]}
+    for p in fresh["phase_totals_us"]:
+        want = base_phases.get(p["phase"])
+        if want is None:
+            errors.append(f"phase {p['phase']!r} missing from baseline")
+        elif want >= TIME_FLOOR_US and p["total_us"] > TIME_BLOWUP * want:
+            errors.append(f"phase {p['phase']}: {p['total_us']} us vs "
+                          f"baseline {want} us (> {TIME_BLOWUP:.0f}x)")
+    for phase in base_phases:
+        if phase not in {p["phase"] for p in fresh["phase_totals_us"]}:
+            errors.append(f"phase {phase!r} disappeared")
+
+    for key in ["compile_serial_us", "compile_parallel_us"]:
+        want = base[key]
+        if want >= TIME_FLOOR_US and fresh[key] > TIME_BLOWUP * want:
+            errors.append(f"{key}: {fresh[key]} us vs baseline {want} us "
+                          f"(> {TIME_BLOWUP:.0f}x)")
+
+    if fresh["parallelism"] < 1:
+        errors.append(f"parallelism {fresh['parallelism']} < 1")
+
+    if errors:
+        print(f"BENCH regression vs {base_path}:")
+        for e in errors:
+            print(f"  - {e}")
+        return 1
+    print(f"BENCH_flow.json within tolerance of {base_path} "
+          f"({len(base_points)} area points, {len(base_phases)} phases).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,6 +100,171 @@ fn flow_report_round_trips_through_json() {
 }
 
 #[test]
+fn flow_trace_exports_valid_chrome_json() {
+    use mcfpga::obs::TracePhase;
+    let (_outcome, rec) = run_instrumented_flow();
+
+    // The raw event stream pairs every Begin with an End on the same thread
+    // (per-thread stacks can only close in LIFO order).
+    let events = rec.trace_events();
+    assert!(!events.is_empty(), "instrumented flow must emit events");
+    let mut open: std::collections::HashMap<u64, Vec<&str>> = std::collections::HashMap::new();
+    for e in &events {
+        match e.phase {
+            TracePhase::Begin => open.entry(e.tid).or_default().push(&e.name),
+            TracePhase::End => {
+                let top = open
+                    .get_mut(&e.tid)
+                    .and_then(Vec::pop)
+                    .expect("End without matching Begin");
+                assert_eq!(top, e.name, "mis-nested Begin/End on tid {}", e.tid);
+            }
+            TracePhase::Instant => {}
+        }
+    }
+    assert!(open.values().all(Vec::is_empty), "unclosed Begin events");
+    // Every compile_context event is tagged with an in-range worker id.
+    let workers = mcfpga::sim::CompileOptions::default().resolved_workers(3);
+    let compile_begins: Vec<_> = events
+        .iter()
+        .filter(|e| e.name == "compile_context" && e.phase == TracePhase::Begin)
+        .collect();
+    assert_eq!(compile_begins.len(), 3, "one per context");
+    for e in &compile_begins {
+        assert!((e.arg_u64("worker").expect("worker arg") as usize) < workers);
+    }
+
+    // The Chrome export parses as JSON and carries spans ("X"), events, and
+    // the context-switch payloads with every required key.
+    let doc = serde_json::parse(&rec.chrome_trace_json()).expect("valid trace JSON");
+    let trace_events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(trace_events.len() >= events.len());
+    let phases: std::collections::BTreeSet<&str> = trace_events
+        .iter()
+        .filter_map(|e| e.get("ph").and_then(|v| v.as_str()))
+        .collect();
+    for ph in ["X", "B", "E", "i"] {
+        assert!(phases.contains(ph), "missing phase {ph} in export");
+    }
+    let switch = trace_events
+        .iter()
+        .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("context_switch"))
+        .expect("context_switch event exported");
+    let args = switch.get("args").expect("args object");
+    for key in [
+        "from",
+        "to",
+        "bits_flipped",
+        "change_rate",
+        "n_columns",
+        "n_constant",
+        "n_single_bit",
+        "n_general",
+        "se_cost_total",
+    ] {
+        assert!(args.get(key).is_some(), "context_switch missing {key}");
+    }
+}
+
+#[test]
+fn concurrent_recorder_clones_get_distinct_thread_ids() {
+    // The parallel compile pool reuses one recorder clone per worker thread;
+    // this pins down the property it relies on — every emitting thread gets
+    // its own tid — independent of how many cores the test machine has.
+    let rec = Recorder::enabled();
+    let handles: Vec<_> = (0..4)
+        .map(|w| {
+            let rec = rec.clone();
+            std::thread::spawn(move || {
+                let _g = rec.begin("worker", &[("worker", (w as u64).into())]);
+                rec.instant("tick", &[]);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let events = rec.trace_events();
+    let tids: std::collections::BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
+    assert_eq!(tids.len(), 4, "4 threads must appear as 4 distinct tids");
+    // Each thread's Begin, Instant, and End share that thread's tid.
+    for tid in tids {
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.tid == tid)
+            .map(|e| e.name.as_str())
+            .collect();
+        assert_eq!(names, ["worker", "tick", "worker"]);
+    }
+}
+
+#[test]
+fn reconfig_telemetry_matches_direct_measurement() {
+    let (outcome, rec) = run_instrumented_flow();
+    let telemetry = outcome
+        .report
+        .reconfig
+        .as_ref()
+        .expect("instrumented flow attaches reconfig telemetry");
+    assert_eq!(
+        telemetry.n_switches as u64,
+        outcome.report.counter("sim.context_switches")
+    );
+    assert_eq!(telemetry.switches.len(), telemetry.n_switches);
+
+    // Every per-switch payload agrees with measure_change_rate computed
+    // directly on the device's own switch bitstreams.
+    let device = &outcome.device;
+    for s in &telemetry.switches {
+        let a = device.switch_state_bits(s.from_context);
+        let b = device.switch_state_bits(s.to_context);
+        assert_eq!(
+            s.change_rate,
+            mcfpga::config::measure_change_rate(&a, &b),
+            "switch {} -> {}",
+            s.from_context,
+            s.to_context
+        );
+        let flipped = a.iter().zip(&b).filter(|(x, y)| x != y).count() as u64;
+        assert_eq!(s.bits_flipped, flipped);
+    }
+    assert_eq!(
+        telemetry.total_bits_flipped,
+        telemetry
+            .switches
+            .iter()
+            .map(|s| s.bits_flipped)
+            .sum::<u64>()
+    );
+
+    // The pattern-class census partitions the device's columns, and the SE
+    // cost agrees with synthesizing every column directly.
+    let columns = device.switch_usage().columns();
+    let ctx = device.arch().context_id();
+    assert_eq!(telemetry.n_columns, columns.len());
+    assert_eq!(
+        telemetry.n_constant + telemetry.n_single_bit + telemetry.n_general,
+        telemetry.n_columns,
+        "pattern classes must sum to the column total"
+    );
+    let se: u64 = columns
+        .iter()
+        .map(|&col| mcfpga::rcm::synthesize(col, ctx).cost().n_ses as u64)
+        .sum();
+    assert_eq!(telemetry.se_cost_total, se);
+
+    // The summary survives the report's JSON round trip (it rides inside
+    // BENCH_flow.json).
+    let json = serde_json::to_string(&outcome.report).expect("serialize");
+    let back: RunReport = serde_json::from_str(&json).expect("parse");
+    assert_eq!(back.reconfig.as_ref(), Some(telemetry));
+    let _ = rec;
+}
+
+#[test]
 fn disabled_recorder_flow_is_equivalent_and_silent() {
     let arch = ArchSpec::paper_default();
     let circuits = vec![library::adder(4)];
@@ -107,6 +272,8 @@ fn disabled_recorder_flow_is_equivalent_and_silent() {
     let outcome = mcfpga::flow::run_flow_with(&arch, &circuits, 5, &rec).expect("flow compiles");
     assert!(outcome.report.spans.is_empty());
     assert!(outcome.report.counters.is_empty());
+    assert!(rec.trace_events().is_empty(), "disabled recorder traced");
+    assert!(outcome.report.reconfig.is_none());
     // Identical compile result to the instrumented run (determinism).
     let rec2 = Recorder::enabled();
     let outcome2 = mcfpga::flow::run_flow_with(&arch, &circuits, 5, &rec2).expect("flow compiles");

@@ -55,6 +55,37 @@ impl Value {
             .find(|(k, _)| k == key)
             .map(|(_, v)| v)
     }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: integers widen to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// Deserialization failure: a message plus nothing else.
@@ -227,6 +258,21 @@ macro_rules! signed_impls {
 
 unsigned_impls!(u8, u16, u32, u64, usize);
 signed_impls!(i8, i16, i32, i64, isize);
+
+/// `Value` serializes as itself, so hand-built value trees (e.g. the
+/// Chrome-trace exporter's `args` objects, which must be real JSON objects
+/// rather than the map-as-pairs encoding) can be printed by `serde_json`.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
 
 impl Serialize for bool {
     fn to_value(&self) -> Value {
