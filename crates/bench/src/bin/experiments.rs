@@ -7,7 +7,7 @@
 //!
 //! Experiment ids (see DESIGN.md's experiment index):
 //! `table1 table2 fig3_5 fig9 fig12 fig13_14 area45 area37 sweep_change
-//!  sweep_contexts delay power flow all`
+//!  sweep_contexts delay power flow sim all`
 
 use mcfpga::area::{
     area_comparison, context_switch_delay, routing_delay, static_power, AreaParams,
@@ -53,11 +53,13 @@ fn main() {
     run!("ablations", ablations);
     run!("temporal", temporal);
     run!("channel_width", channel_width);
+    run!("sim", sim);
     if !ran {
         eprintln!(
             "unknown experiment {which:?}; try: table1 table2 fig3_5 fig9 fig12 \
              fig12_adaptive fig13_14 area45 area37 sweep_change sweep_contexts \
-             delay power flow reconfig faults ablations temporal channel_width all"
+             delay power flow reconfig faults ablations temporal channel_width \
+             sim all"
         );
         std::process::exit(2);
     }
@@ -865,6 +867,198 @@ fn faults() {
     println!("\nupsets in RCM decoders or routing state are structural: the");
     println!("connectivity re-derivation (Device::check_routing) finds them");
     println!("without stimulus.");
+}
+
+/// Bit-parallel compiled simulation: 64 vectors per word through the fabric
+/// model, measured against the scalar interpreter (`BENCH_sim.json`).
+fn sim() {
+    use mcfpga::sim::{lut_fault_campaign, LANES};
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    header("sim: bit-parallel compiled kernel (64 vectors per word)");
+    let arch = ArchSpec::paper_default();
+    let circuits = mixed_contexts();
+    // The scalar pass below packs a single register file's outputs into
+    // lanes, which is only meaningful when the suite carries no state.
+    for c in &circuits {
+        assert!(
+            c.initial_state().bits.is_empty(),
+            "mixed suite must be combinational"
+        );
+    }
+    let rec = Recorder::enabled();
+    let mut dev = MultiDevice::compile_with(&arch, &circuits, &rec).expect("compile");
+    let n_ctx = circuits.len();
+    let arity: Vec<usize> = circuits.iter().map(|c| c.inputs().len()).collect();
+
+    // One deterministic schedule drives both paths: context switches at
+    // word boundaries, 64 independent random vectors per word.
+    let words = 512usize;
+    let mut rng = StdRng::seed_from_u64(2027);
+    let mut context = 0usize;
+    let schedule: Vec<(usize, Vec<u64>)> = (0..words)
+        .map(|_| {
+            if rng.gen_bool(0.3) {
+                context = rng.gen_range(0..n_ctx);
+            }
+            (
+                context,
+                (0..arity[context]).map(|_| rng.next_u64()).collect(),
+            )
+        })
+        .collect();
+
+    // Scalar pass: every lane of every word, one vector per interpreted
+    // step. The per-lane outputs are packed back into words so the batched
+    // pass can be checked bit-for-bit against them.
+    dev.reset();
+    let mut bits: Vec<bool> = Vec::new();
+    let scalar_start = std::time::Instant::now();
+    let scalar_words: Vec<Vec<u64>> = schedule
+        .iter()
+        .map(|(c, inputs)| {
+            dev.switch_context(*c);
+            let mut packed: Vec<u64> = Vec::new();
+            for lane in 0..LANES {
+                bits.clear();
+                bits.extend(inputs.iter().map(|w| (w >> lane) & 1 == 1));
+                let out = dev.step(&bits);
+                if lane == 0 {
+                    packed = vec![0u64; out.len()];
+                }
+                for (w, &b) in packed.iter_mut().zip(&out) {
+                    *w |= (b as u64) << lane;
+                }
+            }
+            packed
+        })
+        .collect();
+    let scalar_us = scalar_start.elapsed().as_micros().max(1) as u64;
+
+    // Batched passes over the same words. The first pass is cross-checked
+    // against the packed scalar outputs; the repeats amortise timer
+    // resolution (a single kernel pass is clock noise).
+    let repeats = 16usize;
+    dev.reset();
+    let batched_start = std::time::Instant::now();
+    for rep in 0..repeats {
+        for (word, (c, inputs)) in schedule.iter().enumerate() {
+            dev.switch_context(*c);
+            let out = dev.step_batch(inputs);
+            if rep == 0 {
+                assert_eq!(
+                    out, scalar_words[word],
+                    "batched output diverged from packed scalar lanes at word {word}"
+                );
+            }
+        }
+    }
+    let batched_us = batched_start.elapsed().as_micros().max(1) as u64;
+
+    let vectors = (words * LANES) as u64;
+    let scalar_vectors_per_sec = vectors as f64 / (scalar_us as f64 / 1e6);
+    let batched_vectors_per_sec = (vectors * repeats as u64) as f64 / (batched_us as f64 / 1e6);
+    let batched_words_per_sec = batched_vectors_per_sec / LANES as f64;
+    let speedup = batched_vectors_per_sec / scalar_vectors_per_sec;
+    rec.set_gauge("sim.scalar_vectors_per_sec", scalar_vectors_per_sec);
+    rec.set_gauge("sim.batched_vectors_per_sec", batched_vectors_per_sec);
+    rec.set_gauge("sim.batch_speedup", speedup);
+
+    println!("mixed 4-context workload, {words} words x {LANES} lanes = {vectors} vectors:");
+    println!(
+        "  scalar:  {:>10.3} ms  {:>14.0} vectors/s  ({:.0} cycles/s)",
+        scalar_us as f64 / 1e3,
+        scalar_vectors_per_sec,
+        scalar_vectors_per_sec,
+    );
+    println!(
+        "  batched: {:>10.3} ms  {:>14.0} vectors/s  ({:.0} words/s, {repeats} passes)",
+        batched_us as f64 / 1e3 / repeats as f64,
+        batched_vectors_per_sec,
+        batched_words_per_sec,
+    );
+    println!("  speedup: {speedup:.1}x  (first batched pass verified against scalar lanes)");
+
+    // Fault-campaign wall time: the `faults` experiment's exact campaign,
+    // now running on per-fault kernel clones fanned across the worker pool.
+    let w = workload(
+        RandomNetlistParams {
+            n_inputs: 6,
+            n_gates: 40,
+            n_outputs: 6,
+            dff_fraction: 0.0,
+        },
+        4,
+        0.1,
+        77,
+    );
+    let mut fault_dev = Device::compile(&arch, &w).expect("compile");
+    fault_dev.attach_recorder(&rec);
+    let campaign_start = std::time::Instant::now();
+    let campaign = lut_fault_campaign(&mut fault_dev, &w, 60, 150, 42);
+    let fault_campaign_ms = campaign_start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "\nfault campaign: {} upsets x {} words ({} vectors each) in {:.1} ms, \
+         {:.0}% detected",
+        campaign.injected,
+        150,
+        150 * LANES,
+        fault_campaign_ms,
+        100.0 * campaign.detection_rate()
+    );
+
+    let bench = SimBench {
+        experiment: "sim".into(),
+        words,
+        lanes: LANES,
+        vectors,
+        batched_repeats: repeats,
+        scalar_us,
+        batched_us,
+        scalar_vectors_per_sec,
+        batched_vectors_per_sec,
+        batched_words_per_sec,
+        speedup,
+        fault_campaign_ms,
+        fault_injected: campaign.injected,
+        fault_detected: campaign.detected,
+        fault_silent: campaign.silent,
+        fault_detection_rate: campaign.detection_rate(),
+        report: rec.report("sim"),
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("serialize sim bench");
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("\nwrote BENCH_sim.json ({} bytes)", json.len());
+}
+
+/// Machine-readable record of the batched-simulation benchmark
+/// (`BENCH_sim.json`): scalar vs 64-lane kernel throughput on the mixed
+/// 4-context workload, plus the kernel-based fault-campaign wall time.
+#[derive(serde::Serialize)]
+struct SimBench {
+    experiment: String,
+    /// Word-steps in the shared schedule; each word carries `lanes` vectors.
+    words: usize,
+    lanes: usize,
+    vectors: u64,
+    /// Timed batched passes over the schedule (the first is verified
+    /// bit-for-bit against the scalar outputs).
+    batched_repeats: usize,
+    scalar_us: u64,
+    batched_us: u64,
+    /// Scalar steps are one vector per cycle, so this is also cycles/sec.
+    scalar_vectors_per_sec: f64,
+    batched_vectors_per_sec: f64,
+    /// Kernel word-steps per second (vectors/sec divided by the lane count).
+    batched_words_per_sec: f64,
+    speedup: f64,
+    fault_campaign_ms: f64,
+    fault_injected: usize,
+    fault_detected: usize,
+    fault_silent: usize,
+    fault_detection_rate: f64,
+    report: RunReport,
 }
 
 /// Ablations: switch off each design ingredient and show what it bought.

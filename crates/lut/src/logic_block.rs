@@ -84,16 +84,49 @@ impl AdaptiveLogicBlock {
 
     /// Combinational outputs for the active context, *without* clocking.
     pub fn outputs(&self, ctx: ContextId, context: usize, inputs: &[bool]) -> Vec<bool> {
+        let mut out = vec![false; self.lut.geometry().outputs];
+        self.outputs_into(ctx, context, inputs, &mut out);
+        out
+    }
+
+    /// As [`AdaptiveLogicBlock::outputs`], written into a caller-provided
+    /// buffer (length = the geometry's output count) — the allocation-free
+    /// form the simulator's hot path uses.
+    pub fn outputs_into(&self, ctx: ContextId, context: usize, inputs: &[bool], out: &mut [bool]) {
         let plane = self.control.plane(ctx, context, self.lut.mode());
-        (0..self.lut.geometry().outputs)
-            .map(|o| {
-                if self.registered[o] {
-                    self.ff_state[o]
-                } else {
-                    self.lut.eval(o, plane, inputs)
-                }
-            })
-            .collect()
+        assert_eq!(out.len(), self.lut.geometry().outputs, "output buffer size");
+        for (o, slot) in out.iter_mut().enumerate() {
+            *slot = if self.registered[o] {
+                self.ff_state[o]
+            } else {
+                self.lut.eval(o, plane, inputs)
+            };
+        }
+    }
+
+    /// One combinational output for the active context, *without* clocking
+    /// and without materialising the full output vector.
+    pub fn output(&self, ctx: ContextId, context: usize, inputs: &[bool], output: usize) -> bool {
+        if self.registered[output] {
+            self.ff_state[output]
+        } else {
+            let plane = self.control.plane(ctx, context, self.lut.mode());
+            self.lut.eval(output, plane, inputs)
+        }
+    }
+
+    /// The configuration plane this block selects in `context` — resolved
+    /// through the size controller, exactly as every evaluation path does.
+    pub fn active_plane(&self, ctx: ContextId, context: usize) -> usize {
+        self.control.plane(ctx, context, self.lut.mode())
+    }
+
+    /// One plane of one output as a packed `u64` truth table (bit `a` =
+    /// value at assignment `a`): what the compiled simulation kernel folds
+    /// into its instruction masks. Reads the current memory, faults
+    /// included.
+    pub fn plane_packed(&self, output: usize, plane: usize) -> u64 {
+        self.lut.plane_packed(output, plane)
     }
 
     /// One clock edge: capture every registered output's LUT value.

@@ -72,6 +72,18 @@ impl TruthTable {
     pub fn bits(&self) -> &[bool] {
         &self.bits
     }
+
+    /// The table folded into a packed `u64` (bit `a` = output for assignment
+    /// `a`), the mapper's native format and the word the bit-parallel
+    /// simulation kernel evaluates with shifts and masks. Only defined for
+    /// k <= 6, which every fabric mode satisfies.
+    pub fn packed(&self) -> u64 {
+        assert!(self.inputs <= 6, "packed form covers k <= 6");
+        self.bits
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (a, &b)| acc | ((b as u64) << a))
+    }
 }
 
 /// An MCMG-LUT: the bit pool of one logic-block output, organised under a
@@ -139,6 +151,22 @@ impl McmgLut {
             self.mode.inputs,
             self.memory[output][base..base + k].to_vec(),
         )
+    }
+
+    /// Read one plane back as a packed `u64` table (bit `a` = output for
+    /// assignment `a`), without materialising a [`TruthTable`]. This is the
+    /// word the compiled simulation kernel folds its instruction masks from,
+    /// so it always reflects the *current* memory — including injected
+    /// faults.
+    pub fn plane_packed(&self, output: usize, plane: usize) -> u64 {
+        assert!(plane < self.mode.planes, "plane {plane} out of range");
+        assert!(self.mode.inputs <= 6, "packed form covers k <= 6");
+        let k = 1usize << self.mode.inputs;
+        let base = plane * k;
+        self.memory[output][base..base + k]
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (a, &b)| acc | ((b as u64) << a))
     }
 
     /// Evaluate an output under an active plane.

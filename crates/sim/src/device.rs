@@ -7,11 +7,16 @@ use mcfpga_map::{
     map_workload, share_workload, MapError, MappedNetlist, MappedSource, SharedDesign,
 };
 use mcfpga_netlist::Netlist;
+use mcfpga_obs::Recorder;
 use mcfpga_place::{lb_of_lut, place, AnnealOptions, PlaceError, Placement, PlacementProblem};
 use mcfpga_route::{
     nets_from_placement, route_context, switch_columns, RouteError, RouteOptions, RoutedContext,
     RoutingGraph, SwitchUsage,
 };
+
+use crate::faults::LutFault;
+use crate::kernel::{self, CompiledKernel, KernelScratch, LANES};
+use crate::multi::SimError;
 
 /// Compile-flow failure.
 #[derive(Debug)]
@@ -83,6 +88,21 @@ pub struct CompileReport {
     pub critical_delay: f64,
 }
 
+/// Word-level (64-lane) simulation state carried alongside the scalar
+/// state. Lane 0 always mirrors the scalar registers; the remaining lanes
+/// are independent stimulus streams that exist only between batched steps.
+#[derive(Default)]
+struct BatchLanes {
+    /// Lane-parallel register words.
+    regs: Vec<u64>,
+    /// Lane-parallel previous LUT values (toggle accounting).
+    prev_lut_words: Vec<u64>,
+    scratch: KernelScratch,
+    /// False whenever the scalar state has moved since the last batched
+    /// step; the next batched step re-broadcasts it to every lane.
+    synced: bool,
+}
+
 /// A compiled, runnable multi-context device.
 pub struct Device {
     arch: ArchSpec,
@@ -106,6 +126,19 @@ pub struct Device {
     graph: RoutingGraph,
     routed: RoutedContext,
     usage: SwitchUsage,
+    /// Per-context compiled kernels tagged with the configuration epoch
+    /// they snapshot; rebuilt lazily when stale.
+    kernels: Vec<Option<(u64, CompiledKernel)>>,
+    /// Bumped on every configuration mutation (fault injection,
+    /// reprogramming) so cached kernels invalidate.
+    config_epoch: u64,
+    batch: BatchLanes,
+    /// Scalar hot-path scratch, persistent across cycles.
+    scratch_lut_vals: Vec<bool>,
+    scratch_in_bits: Vec<bool>,
+    scratch_next: Vec<bool>,
+    /// Observability sink; disabled (no-op) unless attached.
+    recorder: Recorder,
 }
 
 impl Device {
@@ -254,7 +287,20 @@ impl Device {
             prev_lut_vals: vec![false; n_positions],
             toggles: 0,
             cycles: 0,
+            kernels: vec![None; n_contexts],
+            config_epoch: 0,
+            batch: BatchLanes::default(),
+            scratch_lut_vals: Vec::new(),
+            scratch_in_bits: Vec::new(),
+            scratch_next: Vec::new(),
+            recorder: Recorder::disabled(),
         })
+    }
+
+    /// Route simulation telemetry (`sim_kernel_build` spans, `sim.cycles` /
+    /// `sim.words` counters) into `rec` for all later stepping.
+    pub fn attach_recorder(&mut self, rec: &Recorder) {
+        self.recorder = rec.clone();
     }
 
     /// The architecture this device was compiled for.
@@ -269,39 +315,75 @@ impl Device {
 
     /// Switch the active context (takes effect on the next evaluation —
     /// fast context switching is the MC-FPGA's raison d'être).
+    ///
+    /// Panicking convenience over [`Device::try_switch_context`]; use the
+    /// checked variant on serving paths that must survive bad input.
     pub fn switch_context(&mut self, context: usize) {
-        assert!(context < self.ctx.n_contexts(), "context out of range");
+        self.try_switch_context(context)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Switch the active context, reporting an out-of-range index in-band.
+    pub fn try_switch_context(&mut self, context: usize) -> Result<(), SimError> {
+        if context >= self.ctx.n_contexts() {
+            return Err(SimError::ContextNotProgrammed {
+                context,
+                programmed: self.ctx.n_contexts(),
+            });
+        }
         self.active = context;
+        Ok(())
     }
 
     /// One clock cycle in the active context.
+    ///
+    /// Panicking convenience over [`Device::try_step`]; use the checked
+    /// variant on serving paths that must survive bad input.
     pub fn step(&mut self, inputs: &[bool]) -> Vec<bool> {
-        let m = &self.mapped[self.active];
-        assert_eq!(inputs.len(), m.n_inputs, "input arity");
+        self.try_step(inputs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// One clock cycle in the active context, reporting an input-arity
+    /// mismatch in-band instead of aborting the process.
+    pub fn try_step(&mut self, inputs: &[bool]) -> Result<Vec<bool>, SimError> {
+        if inputs.len() != self.mapped[self.active].n_inputs {
+            return Err(SimError::InputArity {
+                context: self.active,
+                expected: self.mapped[self.active].n_inputs,
+                got: inputs.len(),
+            });
+        }
         // Evaluate LUT positions in topological (emission) order, but pull
-        // each value through the physical logic block hardware model.
-        let mut lut_vals = vec![false; self.shared.luts.len()];
+        // each value through the physical logic block hardware model. All
+        // scratch is persistent — the only allocation left on this path is
+        // the returned output vector.
+        let mut lut_vals = std::mem::take(&mut self.scratch_lut_vals);
+        let mut in_bits = std::mem::take(&mut self.scratch_in_bits);
+        lut_vals.clear();
+        lut_vals.resize(self.shared.luts.len(), false);
         for i in 0..self.shared.luts.len() {
             let srcs = &self.shared.luts[i].inputs;
-            let in_bits: Vec<bool> = srcs
-                .iter()
-                .map(|s| self.resolve(*s, inputs, &lut_vals))
-                .collect();
+            in_bits.clear();
+            in_bits.extend(srcs.iter().map(|s| self.resolve(*s, inputs, &lut_vals)));
             let (lb, slot) = self.slot_of[i];
-            let out = self.lbs[lb].outputs(self.ctx, self.active, &in_bits);
-            lut_vals[i] = out[slot];
+            lut_vals[i] = self.lbs[lb].output(self.ctx, self.active, &in_bits, slot);
         }
+        let m = &self.mapped[self.active];
         let outs: Vec<bool> = m
             .outputs
             .iter()
             .map(|(_, s)| self.resolve(*s, inputs, &lut_vals))
             .collect();
-        let next: Vec<bool> = m
-            .dffs
-            .iter()
-            .map(|d| self.resolve(d.d, inputs, &lut_vals))
-            .collect();
-        self.state = next;
+        let mut next = std::mem::take(&mut self.scratch_next);
+        next.clear();
+        next.extend(
+            self.mapped[self.active]
+                .dffs
+                .iter()
+                .map(|d| self.resolve(d.d, inputs, &lut_vals)),
+        );
+        std::mem::swap(&mut self.state, &mut next);
+        self.scratch_next = next;
         // Signal-activity accounting (dynamic-power proxy): LUT-output
         // toggles against the previous cycle, context switches included.
         self.toggles += lut_vals
@@ -309,9 +391,165 @@ impl Device {
             .zip(&self.prev_lut_vals)
             .filter(|(a, b)| a != b)
             .count() as u64;
-        self.prev_lut_vals = lut_vals;
+        std::mem::swap(&mut self.prev_lut_vals, &mut lut_vals);
+        self.scratch_lut_vals = lut_vals;
+        self.scratch_in_bits = in_bits;
         self.cycles += 1;
-        outs
+        self.recorder.incr("sim.cycles", 1);
+        self.batch.synced = false;
+        Ok(outs)
+    }
+
+    /// One clock edge over [`LANES`] independent stimulus lanes: bit `l` of
+    /// every input, output, and register word is one complete stimulus
+    /// stream. Lane 0 is bit-for-bit the scalar path (and is written back to
+    /// the scalar state after every batched step, so scalar and batched
+    /// stepping interleave coherently).
+    ///
+    /// Panicking convenience over [`Device::try_step_batch`].
+    pub fn step_batch(&mut self, inputs: &[u64]) -> Vec<u64> {
+        self.try_step_batch(inputs)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// As [`Device::step_batch`], reporting an input-arity mismatch in-band.
+    pub fn try_step_batch(&mut self, inputs: &[u64]) -> Result<Vec<u64>, SimError> {
+        let mut out = Vec::new();
+        self.try_step_batch_into(inputs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free batched step: `out` is cleared and refilled with one
+    /// word per primary output.
+    pub fn try_step_batch_into(
+        &mut self,
+        inputs: &[u64],
+        out: &mut Vec<u64>,
+    ) -> Result<(), SimError> {
+        let c = self.active;
+        let n_inputs = self.mapped[c].n_inputs;
+        if inputs.len() != n_inputs {
+            return Err(SimError::InputArity {
+                context: c,
+                expected: n_inputs,
+                got: inputs.len(),
+            });
+        }
+        self.ensure_kernel(c);
+        if !self.batch.synced {
+            // The scalar state moved since the last batched step: every
+            // lane resumes from the same (scalar) registers.
+            kernel::broadcast(&self.state, &mut self.batch.regs);
+            kernel::broadcast(&self.prev_lut_vals, &mut self.batch.prev_lut_words);
+            self.batch.synced = true;
+        }
+        let kernel = &self.kernels[c].as_ref().expect("kernel built above").1;
+        kernel.step(inputs, &mut self.batch.regs, &mut self.batch.scratch, out);
+        // Toggle accounting across all lanes: popcount of per-word XORs, so
+        // a batched run counts exactly the sum of its lanes' scalar toggles.
+        let cur = &self.batch.scratch.lut_words;
+        for (p, &w) in self.batch.prev_lut_words.iter_mut().zip(cur) {
+            self.toggles += (*p ^ w).count_ones() as u64;
+            *p = w;
+        }
+        self.cycles += LANES as u64;
+        // Lane 0 writes back so the scalar view stays coherent.
+        kernel::extract_lane(&self.batch.regs, 0, &mut self.state);
+        kernel::extract_lane(&self.batch.prev_lut_words, 0, &mut self.prev_lut_vals);
+        self.recorder.incr("sim.words", 1);
+        self.recorder.incr("sim.cycles", LANES as u64);
+        Ok(())
+    }
+
+    /// Build (or reuse) the compiled kernel for `context`. Kernels snapshot
+    /// the configuration: any mutation through [`Device::lb_mut`] bumps the
+    /// epoch, and stale kernels rebuild here before their next use.
+    fn ensure_kernel(&mut self, context: usize) {
+        if let Some((epoch, _)) = &self.kernels[context] {
+            if *epoch == self.config_epoch {
+                return;
+            }
+        }
+        let _span = self.recorder.span("sim_kernel_build");
+        let kernel = self.build_kernel(context);
+        self.kernels[context] = Some((self.config_epoch, kernel));
+    }
+
+    /// Lower `context` to a fresh instruction stream: the mapped netlist
+    /// gives sources and emission (= topological) order, the logic blocks
+    /// give each position's active plane and its packed truth table as the
+    /// hardware currently holds it — faults included.
+    pub(crate) fn build_kernel(&self, context: usize) -> CompiledKernel {
+        let m = &self.mapped[context];
+        CompiledKernel::build(
+            m.n_inputs,
+            self.state.len(),
+            self.shared.luts.iter().enumerate().map(|(i, l)| {
+                let (lb, slot) = self.slot_of[i];
+                let block = &self.lbs[lb];
+                let plane = block.active_plane(self.ctx, context);
+                (l.inputs.as_slice(), block.plane_packed(slot, plane))
+            }),
+            m.outputs.iter().map(|(_, s)| *s),
+            m.dffs.iter().map(|d| d.d),
+        )
+    }
+
+    /// Clone every context's compiled kernel (building stale ones), for
+    /// consumers that run many configuration variants in parallel — the
+    /// fault campaign flips table bits on clones instead of mutating the
+    /// device.
+    pub(crate) fn compiled_kernels(&mut self) -> Vec<CompiledKernel> {
+        (0..self.ctx.n_contexts())
+            .map(|c| {
+                self.ensure_kernel(c);
+                self.kernels[c]
+                    .as_ref()
+                    .expect("kernel built above")
+                    .1
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// Every `(context, LUT position)` whose compiled-kernel table images
+    /// the given LUT-memory fault: positions mapped onto
+    /// (`fault.lb`, `fault.output`) in contexts whose active plane is
+    /// `fault.plane`.
+    pub(crate) fn fault_kernel_sites(&self, fault: &LutFault) -> Vec<(usize, usize)> {
+        let mut sites = Vec::new();
+        for (i, &(lb, slot)) in self.slot_of.iter().enumerate() {
+            if lb != fault.lb || slot != fault.output {
+                continue;
+            }
+            for c in 0..self.ctx.n_contexts() {
+                if self.lbs[lb].active_plane(self.ctx, c) == fault.plane {
+                    sites.push((c, i));
+                }
+            }
+        }
+        sites
+    }
+
+    /// Number of device contexts (programmed or padded).
+    pub fn n_contexts(&self) -> usize {
+        self.ctx.n_contexts()
+    }
+
+    /// The current register values (lane 0 of a batched run).
+    pub fn registers(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// Lane-cycles simulated since the last reset (a batched word counts
+    /// [`LANES`]).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total LUT-output toggles since the last reset, summed over lanes.
+    pub fn toggles(&self) -> u64 {
+        self.toggles
     }
 
     /// Mean LUT-output toggles per signal per cycle since the last reset —
@@ -349,6 +587,7 @@ impl Device {
         self.prev_lut_vals.iter_mut().for_each(|b| *b = false);
         self.toggles = 0;
         self.cycles = 0;
+        self.batch.synced = false;
     }
 
     /// Verify that every placed net is connected through switch state in
@@ -426,8 +665,10 @@ impl Device {
         })
     }
 
-    /// Mutable logic-block access (fault injection).
+    /// Mutable logic-block access (fault injection). Any access is assumed
+    /// to mutate configuration, so cached compiled kernels invalidate.
     pub(crate) fn lb_mut(&mut self, lb: usize) -> &mut AdaptiveLogicBlock {
+        self.config_epoch += 1;
         &mut self.lbs[lb]
     }
 

@@ -5,18 +5,30 @@
 //! netlists with the same stimulus — including context switches at
 //! arbitrary cycles — and require bit-exact agreement on every output of
 //! every cycle.
+//!
+//! Two drivers share that contract: the scalar [`check_device_equivalence`]
+//! (one vector per cycle, the original stimulus distribution) and the
+//! batched [`check_device_equivalence_batch`], which pushes
+//! [`LANES`](crate::kernel::LANES) independent stimulus streams per word
+//! through the compiled kernel, with context switches applied at word
+//! boundaries (all lanes switch together) and every lane replayed against
+//! its own reference state.
 
-use mcfpga_netlist::{Netlist, State};
+use mcfpga_netlist::{Netlist, NetlistError, State};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 use crate::device::Device;
+use crate::kernel::LANES;
+use crate::multi::SimError;
 
-/// An observed divergence.
+/// An observed divergence. `lane` is the stimulus stream that diverged —
+/// always 0 on the scalar path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EquivalenceError {
     pub cycle: usize,
     pub context: usize,
+    pub lane: usize,
     pub inputs: Vec<bool>,
     pub device: Vec<bool>,
     pub reference: Vec<bool>,
@@ -26,13 +38,71 @@ impl std::fmt::Display for EquivalenceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "divergence at cycle {} (context {}): device {:?} vs reference {:?}",
-            self.cycle, self.context, self.device, self.reference
+            "divergence at cycle {} (context {}, lane {}): device {:?} vs reference {:?}",
+            self.cycle, self.context, self.lane, self.device, self.reference
         )
     }
 }
 
 impl std::error::Error for EquivalenceError {}
+
+/// Failure of an equivalence run, divergence and infrastructure separated:
+/// a campaign must not confuse "the fault was caught" with "the golden
+/// netlist could not be evaluated".
+#[derive(Debug, Clone, PartialEq)]
+pub enum EquivalenceCheckError {
+    /// Device and reference disagreed (the signal the campaigns count).
+    Divergence(EquivalenceError),
+    /// The golden netlist itself failed to evaluate.
+    Reference {
+        cycle: usize,
+        context: usize,
+        error: NetlistError,
+    },
+    /// The device rejected the stimulus.
+    Sim(SimError),
+}
+
+impl EquivalenceCheckError {
+    /// The divergence record, if this failure is one.
+    pub fn divergence(&self) -> Option<&EquivalenceError> {
+        match self {
+            EquivalenceCheckError::Divergence(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EquivalenceCheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EquivalenceCheckError::Divergence(e) => write!(f, "{e}"),
+            EquivalenceCheckError::Reference {
+                cycle,
+                context,
+                error,
+            } => write!(
+                f,
+                "reference evaluation failed at cycle {cycle} (context {context}): {error:?}"
+            ),
+            EquivalenceCheckError::Sim(e) => write!(f, "device rejected stimulus: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EquivalenceCheckError {}
+
+impl From<EquivalenceError> for EquivalenceCheckError {
+    fn from(e: EquivalenceError) -> Self {
+        EquivalenceCheckError::Divergence(e)
+    }
+}
+
+impl From<SimError> for EquivalenceCheckError {
+    fn from(e: SimError) -> Self {
+        EquivalenceCheckError::Sim(e)
+    }
+}
 
 /// Run `cycles` random cycles with random context switches; compare the
 /// device against the per-context reference netlists sharing one register
@@ -43,32 +113,100 @@ pub fn check_device_equivalence(
     references: &[Netlist],
     cycles: usize,
     seed: u64,
-) -> Result<(), EquivalenceError> {
+) -> Result<(), EquivalenceCheckError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let n_inputs = references[0].inputs().len();
     device.reset();
-    device.switch_context(0);
+    device.try_switch_context(0)?;
     let mut ref_state: State = references[0].initial_state();
     let mut context = 0usize;
     for cycle in 0..cycles {
         // Occasionally switch contexts (the defining operation).
         if rng.gen_bool(0.3) {
             context = rng.gen_range(0..references.len());
-            device.switch_context(context);
+            device.try_switch_context(context)?;
         }
         let inputs: Vec<bool> = (0..n_inputs).map(|_| rng.gen_bool(0.5)).collect();
-        let dev_out = device.step(&inputs);
+        let dev_out = device.try_step(&inputs)?;
         let ref_out = references[context]
             .step(&inputs, &mut ref_state)
-            .expect("reference evaluation");
+            .map_err(|error| EquivalenceCheckError::Reference {
+                cycle,
+                context,
+                error,
+            })?;
         if dev_out != ref_out {
             return Err(EquivalenceError {
                 cycle,
                 context,
+                lane: 0,
                 inputs,
                 device: dev_out,
                 reference: ref_out,
-            });
+            }
+            .into());
+        }
+    }
+    Ok(())
+}
+
+/// The batched counterpart: `words` word-steps of [`LANES`] independent
+/// random stimulus streams each, with random context switches at word
+/// boundaries. Every lane is replayed scalar-wise against its own reference
+/// state, so one call covers `words * LANES` vector-cycles.
+pub fn check_device_equivalence_batch(
+    device: &mut Device,
+    references: &[Netlist],
+    words: usize,
+    seed: u64,
+) -> Result<(), EquivalenceCheckError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_inputs = references[0].inputs().len();
+    device.reset();
+    device.try_switch_context(0)?;
+    let mut ref_states: Vec<State> = (0..LANES).map(|_| references[0].initial_state()).collect();
+    let mut context = 0usize;
+    let mut in_words = vec![0u64; n_inputs];
+    let mut out_words: Vec<u64> = Vec::new();
+    let mut lane_inputs = vec![false; n_inputs];
+    for word in 0..words {
+        if rng.gen_bool(0.3) {
+            context = rng.gen_range(0..references.len());
+            device.try_switch_context(context)?;
+        }
+        for w in in_words.iter_mut() {
+            *w = rng.next_u64();
+        }
+        device.try_step_batch_into(&in_words, &mut out_words)?;
+        for (lane, ref_state) in ref_states.iter_mut().enumerate() {
+            for (b, w) in lane_inputs.iter_mut().zip(&in_words) {
+                *b = (w >> lane) & 1 == 1;
+            }
+            let ref_out = references[context]
+                .step(&lane_inputs, ref_state)
+                .map_err(|error| EquivalenceCheckError::Reference {
+                    cycle: word,
+                    context,
+                    error,
+                })?;
+            let diverged = ref_out
+                .iter()
+                .enumerate()
+                .any(|(o, &r)| ((out_words[o] >> lane) & 1 == 1) != r);
+            if diverged {
+                let device_bits = (0..ref_out.len())
+                    .map(|o| (out_words[o] >> lane) & 1 == 1)
+                    .collect();
+                return Err(EquivalenceError {
+                    cycle: word,
+                    context,
+                    lane,
+                    inputs: lane_inputs.clone(),
+                    device: device_bits,
+                    reference: ref_out,
+                }
+                .into());
+            }
         }
     }
     Ok(())
@@ -100,6 +238,7 @@ mod tests {
             );
             let mut dev = Device::compile(&arch(), &w).unwrap();
             check_device_equivalence(&mut dev, &w, 60, seed).unwrap();
+            check_device_equivalence_batch(&mut dev, &w, 10, seed).unwrap();
         }
     }
 
@@ -118,6 +257,7 @@ mod tests {
         );
         let mut dev = Device::compile(&arch(), &w).unwrap();
         check_device_equivalence(&mut dev, &w, 80, 11).unwrap();
+        check_device_equivalence_batch(&mut dev, &w, 20, 11).unwrap();
     }
 
     #[test]
@@ -127,7 +267,25 @@ mod tests {
             let contexts = vec![circuit.clone(), circuit.clone(), circuit.clone(), circuit];
             let mut dev = Device::compile(&arch(), &contexts).unwrap();
             check_device_equivalence(&mut dev, &contexts, 40, 3).unwrap();
+            check_device_equivalence_batch(&mut dev, &contexts, 8, 3).unwrap();
         }
+    }
+
+    #[test]
+    fn batch_checker_catches_an_injected_fault_with_lane_attribution() {
+        let contexts = vec![library::parity(8); 4];
+        let mut dev = Device::compile(&arch(), &contexts).unwrap();
+        dev.inject_lut_fault(crate::faults::LutFault {
+            lb: 0,
+            output: 0,
+            plane: 0,
+            assignment: 3,
+        });
+        let err = check_device_equivalence_batch(&mut dev, &contexts, 20, 5)
+            .expect_err("XOR-table upset must be visible to the batched checker");
+        let div = err.divergence().expect("divergence, not infrastructure");
+        assert!(div.lane < LANES);
+        assert_ne!(div.device, div.reference);
     }
 
     #[test]
@@ -136,6 +294,7 @@ mod tests {
         let e = EquivalenceError {
             cycle: 5,
             context: 2,
+            lane: 17,
             inputs: vec![true],
             device: vec![false],
             reference: vec![true],
@@ -143,5 +302,9 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("cycle 5"));
         assert!(s.contains("context 2"));
+        assert!(s.contains("lane 17"));
+        let wrapped: EquivalenceCheckError = e.into();
+        assert!(wrapped.divergence().is_some());
+        assert!(wrapped.to_string().contains("cycle 5"));
     }
 }

@@ -11,16 +11,26 @@
 //!   re-derivation finds these *structurally*, without stimulus.
 //!
 //! The campaign utilities below quantify detection: how many random upsets
-//! the randomized equivalence run catches. Bits on *unused* planes or
-//! don't-care assignments are genuinely silent — the reported coverage
-//! separates activated from dormant faults.
+//! the randomized stimulus catches. Bits on *unused* planes or don't-care
+//! assignments are genuinely silent — the reported coverage separates
+//! activated from dormant faults.
+//!
+//! The campaign runs on the compiled bit-parallel kernel: one shared
+//! stimulus schedule (context switches at word boundaries, 64 independent
+//! vector streams per word) is evaluated once against the golden netlists,
+//! then each fault gets a *clone* of the healthy per-context kernels with
+//! the affected folded table bit flipped ([`crate::kernel`]), and its whole
+//! vector set is replayed in words and compared against the golden output
+//! words with early exit. Faults fan out across the same scoped worker pool
+//! the compile pipeline uses, and the device itself is never mutated.
 
 use mcfpga_netlist::Netlist;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 use crate::device::Device;
-use crate::equivalence::check_device_equivalence;
+use crate::kernel::{extract_lane, KernelScratch, LANES};
+use crate::multi::{effective_workers, fan_out};
 
 /// One injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +45,7 @@ pub struct LutFault {
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignReport {
     pub injected: usize,
-    /// Faults the randomized equivalence run caught.
+    /// Faults the randomized stimulus caught.
     pub detected: usize,
     /// Faults that stayed silent over the stimulus budget.
     pub silent: usize,
@@ -65,9 +75,16 @@ impl Device {
     }
 }
 
+/// One word-step of the shared campaign stimulus.
+struct ScheduleStep {
+    context: usize,
+    inputs: Vec<u64>,
+}
+
 /// Run a single-fault campaign: inject `n_faults` random LUT upsets one at a
-/// time and test each with `cycles` randomized cycles (with context
-/// switches) against the golden netlists.
+/// time and test each against the golden netlists with `cycles` word-steps
+/// of randomized stimulus (64 vector streams per word, context switches at
+/// word boundaries) — `cycles * 64` vectors per fault.
 pub fn lut_fault_campaign(
     device: &mut Device,
     references: &[Netlist],
@@ -79,23 +96,86 @@ pub fn lut_fault_campaign(
     let n_lbs = device.n_lbs();
     let outs = device.arch().lut.outputs;
     let mode = device.lb_mode();
-    let mut detected = 0usize;
-    for i in 0..n_faults {
-        let fault = LutFault {
+    let faults: Vec<LutFault> = (0..n_faults)
+        .map(|_| LutFault {
             lb: rng.gen_range(0..n_lbs),
             output: rng.gen_range(0..outs),
             plane: rng.gen_range(0..mode.planes),
             assignment: rng.gen_range(0..1usize << mode.inputs),
-        };
-        device.inject_lut_fault(fault);
-        let caught =
-            check_device_equivalence(device, references, cycles, seed ^ (i as u64) << 16).is_err();
-        if caught {
-            detected += 1;
+        })
+        .collect();
+
+    // The shared stimulus schedule: every fault sees the same words, so the
+    // fault-free reference outputs are computed exactly once.
+    let n_inputs = references[0].inputs().len();
+    let mut sched_rng = StdRng::seed_from_u64(seed ^ 0x05EE_DFA0_7CA3_D1D0_u64);
+    let mut context = 0usize;
+    let schedule: Vec<ScheduleStep> = (0..cycles)
+        .map(|_| {
+            if sched_rng.gen_bool(0.3) {
+                context = sched_rng.gen_range(0..references.len());
+            }
+            ScheduleStep {
+                context,
+                inputs: (0..n_inputs).map(|_| sched_rng.next_u64()).collect(),
+            }
+        })
+        .collect();
+
+    // Golden output words: each lane is an independent reference replay.
+    let mut ref_states: Vec<_> = (0..LANES).map(|_| references[0].initial_state()).collect();
+    let mut lane_inputs = vec![false; n_inputs];
+    let expected: Vec<Vec<u64>> = schedule
+        .iter()
+        .map(|step| {
+            let mut words: Vec<u64> = Vec::new();
+            for (lane, state) in ref_states.iter_mut().enumerate() {
+                extract_lane(&step.inputs, lane, &mut lane_inputs);
+                let out = references[step.context]
+                    .step(&lane_inputs, state)
+                    .expect("reference evaluation");
+                if lane == 0 {
+                    words = vec![0u64; out.len()];
+                }
+                for (w, &b) in words.iter_mut().zip(&out) {
+                    *w |= (b as u64) << lane;
+                }
+            }
+            words
+        })
+        .collect();
+
+    // Healthy per-context kernels and the lane-broadcast initial registers;
+    // each fault flips its folded table bits on a clone.
+    device.reset();
+    let kernels = device.compiled_kernels();
+    let init_regs: Vec<u64> = device
+        .registers()
+        .iter()
+        .map(|&b| if b { !0u64 } else { 0 })
+        .collect();
+    let fault_sites: Vec<Vec<(usize, usize)>> = faults
+        .iter()
+        .map(|f| device.fault_kernel_sites(f))
+        .collect();
+
+    let caught = fan_out(n_faults, effective_workers(n_faults), |_worker, f| {
+        let mut kernels = kernels.clone();
+        for &(c, position) in &fault_sites[f] {
+            kernels[c].flip_table_bit(position, faults[f].assignment);
         }
-        device.clear_lut_fault(fault);
-        device.reset();
-    }
+        let mut regs = init_regs.clone();
+        let mut scratch = KernelScratch::new();
+        let mut out: Vec<u64> = Vec::new();
+        for (step, want) in schedule.iter().zip(&expected) {
+            kernels[step.context].step(&step.inputs, &mut regs, &mut scratch, &mut out);
+            if out != *want {
+                return true;
+            }
+        }
+        false
+    });
+    let detected = caught.iter().filter(|&&c| c).count();
     CampaignReport {
         injected: n_faults,
         detected,
@@ -106,6 +186,7 @@ pub fn lut_fault_campaign(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::equivalence::check_device_equivalence;
     use mcfpga_arch::ArchSpec;
     use mcfpga_netlist::{library, workload, RandomNetlistParams};
 
@@ -160,8 +241,57 @@ mod tests {
             "detection rate {:.2}",
             report.detection_rate()
         );
-        // After the campaign the device is fault-free again.
+        // After the campaign the device is fault-free again (the campaign
+        // runs on kernel clones and never mutates the device).
         check_device_equivalence(&mut dev, &w, 60, 1).unwrap();
+    }
+
+    #[test]
+    fn campaign_agrees_with_direct_scalar_injection() {
+        // Every fault the batched campaign flags must be a real divergence:
+        // inject it scalar-wise and confirm with the scalar checker; every
+        // silent fault must survive the same scalar stimulus budget.
+        let w = workload(
+            RandomNetlistParams {
+                n_inputs: 6,
+                n_gates: 30,
+                n_outputs: 4,
+                dff_fraction: 0.1,
+            },
+            4,
+            0.1,
+            21,
+        );
+        let mut dev = Device::compile(&arch(), &w).unwrap();
+        let report = lut_fault_campaign(&mut dev, &w, 12, 60, 7);
+        // Re-derive the same fault list the campaign sampled.
+        let mut rng = StdRng::seed_from_u64(7);
+        let n_lbs = dev.n_lbs();
+        let outs = dev.arch().lut.outputs;
+        let mode = dev.lb_mode();
+        let mut scalar_detected = 0usize;
+        for _ in 0..12 {
+            let fault = LutFault {
+                lb: rng.gen_range(0..n_lbs),
+                output: rng.gen_range(0..outs),
+                plane: rng.gen_range(0..mode.planes),
+                assignment: rng.gen_range(0..1usize << mode.inputs),
+            };
+            dev.inject_lut_fault(fault);
+            if check_device_equivalence(&mut dev, &w, 120, 99).is_err() {
+                scalar_detected += 1;
+            }
+            dev.clear_lut_fault(fault);
+            dev.reset();
+        }
+        // The batched campaign pushes 64x the vectors per fault, so it can
+        // only catch at least as much as a scalar pass of similar length.
+        assert!(
+            report.detected >= scalar_detected,
+            "batched {} < scalar {}",
+            report.detected,
+            scalar_detected
+        );
     }
 
     #[test]

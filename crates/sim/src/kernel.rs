@@ -1,0 +1,356 @@
+//! The compiled, bit-parallel simulation kernel: 64 stimulus vectors per
+//! machine word through the fabric model.
+//!
+//! The scalar paths ([`crate::Device::step`] / [`crate::MultiDevice::step`])
+//! interpret the mapped netlist one bit at a time, resolving every LUT's
+//! plane through the size-controller decoders on every cycle. Everything the
+//! reproduction claims about functional correctness and fault coverage
+//! multiplies thousands of cycles by that cost, so simulation throughput is
+//! the binding constraint on how hard the architecture can be stressed.
+//!
+//! A [`CompiledKernel`] removes the interpretation entirely: per context,
+//! the mapped netlist and the logic blocks' plane selection are lowered
+//! *once* into a flat, levelized instruction stream (the emission order of
+//! the mapped LUTs is already topological), with each instruction's truth
+//! table folded into a packed `u64` mask read straight out of the MCMG-LUT
+//! memory. Evaluation then runs **64 independent stimulus vectors per
+//! word** — one bit per lane — using a constant-seeded mux-tree reduction
+//! (`2^k - 1` word-ops per LUT, ~1 bit-op per lane), with zero per-cycle
+//! allocation: all scratch lives in a reusable [`KernelScratch`].
+//!
+//! Lane semantics: lane `l` of every input, register, and output word is one
+//! complete, independent stimulus stream. Lane 0 is bit-for-bit identical to
+//! the scalar path given the same stimulus; registers are carried per lane
+//! so sequential circuits batch correctly. Context switches apply at word
+//! boundaries (all 64 lanes switch together), matching the equivalence
+//! checker's batched driver.
+//!
+//! Kernels are *configuration snapshots*: they must be rebuilt whenever LUT
+//! memory mutates (fault injection via `flip_lut_bit`, reprogramming). The
+//! devices cache kernels per context against a configuration epoch; the
+//! fault campaign instead clones a healthy kernel and flips the folded table
+//! bit directly ([`CompiledKernel::flip_table_bit`]), which is equivalent
+//! and keeps the campaign embarrassingly parallel.
+
+use mcfpga_map::MappedSource;
+
+/// Stimulus vectors carried per machine word — one per bit lane.
+pub const LANES: usize = 64;
+
+/// A compact operand reference, resolved against the word-level state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Operand {
+    /// Primary-input word `i`.
+    Input(u32),
+    /// Register word `r` (previous cycle's committed value).
+    Register(u32),
+    /// Result word of instruction `l` (strictly earlier in the stream).
+    Lut(u32),
+    /// Constant broadcast to every lane.
+    Const(bool),
+}
+
+impl Operand {
+    fn from_source(s: MappedSource) -> Operand {
+        match s {
+            MappedSource::Input(i) => Operand::Input(i as u32),
+            MappedSource::Register(r) => Operand::Register(r as u32),
+            MappedSource::Lut(l) => Operand::Lut(l as u32),
+            MappedSource::Const(c) => Operand::Const(c),
+        }
+    }
+}
+
+/// One levelized LUT instruction: up to 6 operands (the fabric's widest
+/// mode) and the truth table folded into a `u64` mask, bit `a` = output for
+/// address assignment `a` (operand 0 is the least-significant address bit).
+#[derive(Debug, Clone, Copy)]
+struct KernelInstr {
+    ops: [Operand; 6],
+    n_ops: u8,
+    table: u64,
+}
+
+/// Reusable evaluation scratch: one word per instruction plus the mux-tree
+/// reduction buffer and the next-register staging area. Creating one is
+/// cheap; reusing one across cycles makes stepping allocation-free.
+#[derive(Debug, Default, Clone)]
+pub struct KernelScratch {
+    /// Current-cycle result word per instruction (exposed crate-internally
+    /// for toggle accounting).
+    pub(crate) lut_words: Vec<u64>,
+    /// Mux-tree workspace: at most `2^(6-1)` intermediate words.
+    mux: [u64; 32],
+    /// Next register values, staged so sources still read the old state.
+    next_regs: Vec<u64>,
+}
+
+impl KernelScratch {
+    pub fn new() -> KernelScratch {
+        KernelScratch::default()
+    }
+}
+
+/// A context's netlist + configuration lowered to a flat instruction stream.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    n_inputs: usize,
+    n_regs: usize,
+    instrs: Vec<KernelInstr>,
+    outputs: Vec<Operand>,
+    dffs: Vec<Operand>,
+}
+
+impl CompiledKernel {
+    /// Lower a context: `luts` yields, in topological (emission) order, each
+    /// LUT position's input sources and its packed truth table as currently
+    /// held by the hardware model (so injected faults fold in naturally).
+    pub fn build<'a>(
+        n_inputs: usize,
+        n_regs: usize,
+        luts: impl Iterator<Item = (&'a [MappedSource], u64)>,
+        outputs: impl Iterator<Item = MappedSource>,
+        dffs: impl Iterator<Item = MappedSource>,
+    ) -> CompiledKernel {
+        let instrs = luts
+            .map(|(srcs, table)| {
+                assert!(srcs.len() <= 6, "LUT wider than the 6-input fabric mode");
+                let mut ops = [Operand::Const(false); 6];
+                for (slot, &s) in ops.iter_mut().zip(srcs) {
+                    *slot = Operand::from_source(s);
+                }
+                KernelInstr {
+                    ops,
+                    n_ops: srcs.len() as u8,
+                    table,
+                }
+            })
+            .collect();
+        CompiledKernel {
+            n_inputs,
+            n_regs,
+            instrs,
+            outputs: outputs.map(Operand::from_source).collect(),
+            dffs: dffs.map(Operand::from_source).collect(),
+        }
+    }
+
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    pub fn n_regs(&self) -> usize {
+        self.n_regs
+    }
+
+    pub fn n_instrs(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Flip one folded truth-table bit — the kernel-level image of
+    /// `flip_lut_bit` on the position's active plane. Flips at assignments
+    /// above the instruction's own address space (`2^n_ops`) are dormant,
+    /// exactly as they are on the scalar path.
+    pub(crate) fn flip_table_bit(&mut self, position: usize, assignment: usize) {
+        self.instrs[position].table ^= 1u64 << assignment;
+    }
+
+    /// One clock edge over 64 lanes: evaluate every instruction, derive the
+    /// output words, and commit the next register words. `regs` must hold
+    /// `n_regs` words; `out` is cleared and refilled (one word per primary
+    /// output). No allocation happens after the scratch's first use.
+    pub fn step(
+        &self,
+        inputs: &[u64],
+        regs: &mut [u64],
+        scratch: &mut KernelScratch,
+        out: &mut Vec<u64>,
+    ) {
+        debug_assert_eq!(inputs.len(), self.n_inputs, "input word count");
+        debug_assert_eq!(regs.len(), self.n_regs, "register word count");
+        scratch.lut_words.resize(self.instrs.len(), 0);
+        for i in 0..self.instrs.len() {
+            let instr = &self.instrs[i];
+            let w = eval_instr(instr, inputs, regs, &scratch.lut_words, &mut scratch.mux);
+            scratch.lut_words[i] = w;
+        }
+        out.clear();
+        out.extend(
+            self.outputs
+                .iter()
+                .map(|&o| resolve(o, inputs, regs, &scratch.lut_words)),
+        );
+        // Stage next-state words first: a DFF source may read another
+        // register's *old* value.
+        scratch.next_regs.clear();
+        scratch.next_regs.extend(
+            self.dffs
+                .iter()
+                .map(|&d| resolve(d, inputs, regs, &scratch.lut_words)),
+        );
+        regs.copy_from_slice(&scratch.next_regs);
+    }
+}
+
+#[inline]
+fn resolve(op: Operand, inputs: &[u64], regs: &[u64], lut_words: &[u64]) -> u64 {
+    match op {
+        Operand::Input(i) => inputs[i as usize],
+        Operand::Register(r) => regs[r as usize],
+        Operand::Lut(l) => lut_words[l as usize],
+        Operand::Const(true) => !0,
+        Operand::Const(false) => 0,
+    }
+}
+
+/// Evaluate one instruction across all 64 lanes: seed `2^(k-1)` words from
+/// the constant table paired with operand 0, then fold the remaining k-1
+/// operands mux-style. Total cost `2^k - 1` word-muxes — about one bit-op
+/// per lane per LUT.
+#[inline]
+fn eval_instr(
+    instr: &KernelInstr,
+    inputs: &[u64],
+    regs: &[u64],
+    lut_words: &[u64],
+    mux: &mut [u64; 32],
+) -> u64 {
+    let k = instr.n_ops as usize;
+    if k == 0 {
+        return if instr.table & 1 == 1 { !0 } else { 0 };
+    }
+    let x0 = resolve(instr.ops[0], inputs, regs, lut_words);
+    let half = 1usize << (k - 1);
+    for (a, slot) in mux.iter_mut().enumerate().take(half) {
+        // Table bits (2a, 2a+1) are the outputs for x0 = 0 / 1 under the
+        // remaining address bits `a`; with constant table bits the first mux
+        // level collapses to one of four words.
+        *slot = match (instr.table >> (2 * a)) & 3 {
+            0 => 0,
+            1 => !x0,
+            2 => x0,
+            _ => !0,
+        };
+    }
+    let mut width = half;
+    for j in 1..k {
+        let xj = resolve(instr.ops[j], inputs, regs, lut_words);
+        width >>= 1;
+        for a in 0..width {
+            mux[a] = (mux[2 * a] & !xj) | (mux[2 * a + 1] & xj);
+        }
+    }
+    mux[0]
+}
+
+/// Broadcast a bool slice into lane-parallel words (every lane equal).
+pub(crate) fn broadcast(bits: &[bool], words: &mut Vec<u64>) {
+    words.clear();
+    words.extend(bits.iter().map(|&b| if b { !0u64 } else { 0 }));
+}
+
+/// Extract lane `lane` of `words` into a bool buffer.
+pub(crate) fn extract_lane(words: &[u64], lane: usize, bits: &mut [bool]) {
+    debug_assert_eq!(words.len(), bits.len());
+    for (b, w) in bits.iter_mut().zip(words) {
+        *b = (w >> lane) & 1 == 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mux_tree_matches_direct_table_lookup() {
+        // Every 3-input table, every address, on a lane-striped stimulus.
+        for table in 0..256u64 {
+            let instr = KernelInstr {
+                ops: [
+                    Operand::Input(0),
+                    Operand::Input(1),
+                    Operand::Input(2),
+                    Operand::Const(false),
+                    Operand::Const(false),
+                    Operand::Const(false),
+                ],
+                n_ops: 3,
+                table,
+            };
+            // Lane l drives address l % 8.
+            let mut inputs = [0u64; 3];
+            for lane in 0..LANES {
+                let a = lane % 8;
+                for (i, w) in inputs.iter_mut().enumerate() {
+                    *w |= (((a >> i) & 1) as u64) << lane;
+                }
+            }
+            let mut mux = [0u64; 32];
+            let w = eval_instr(&instr, &inputs, &[], &[], &mut mux);
+            for lane in 0..LANES {
+                let a = lane % 8;
+                assert_eq!(
+                    (w >> lane) & 1 == 1,
+                    (table >> a) & 1 == 1,
+                    "table {table:#x} address {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_input_instruction_broadcasts_its_constant() {
+        for (table, want) in [(0u64, 0u64), (1, !0)] {
+            let instr = KernelInstr {
+                ops: [Operand::Const(false); 6],
+                n_ops: 0,
+                table,
+            };
+            let mut mux = [0u64; 32];
+            assert_eq!(eval_instr(&instr, &[], &[], &[], &mut mux), want);
+        }
+    }
+
+    #[test]
+    fn registers_commit_after_sources_are_read() {
+        // Two registers swapping each cycle: r0' = r1, r1' = r0. If commit
+        // were interleaved, both would collapse to one value.
+        let kernel = CompiledKernel::build(
+            0,
+            2,
+            std::iter::empty(),
+            std::iter::empty(),
+            [MappedSource::Register(1), MappedSource::Register(0)].into_iter(),
+        );
+        let mut regs = vec![0xAAAA_AAAA_AAAA_AAAAu64, 0x5555_5555_5555_5555];
+        let mut scratch = KernelScratch::new();
+        let mut out = Vec::new();
+        kernel.step(&[], &mut regs, &mut scratch, &mut out);
+        assert_eq!(regs[0], 0x5555_5555_5555_5555);
+        assert_eq!(regs[1], 0xAAAA_AAAA_AAAA_AAAA);
+    }
+
+    #[test]
+    fn fault_flip_changes_only_the_addressed_assignment() {
+        let mut kernel = CompiledKernel::build(
+            2,
+            0,
+            std::iter::once((
+                &[MappedSource::Input(0), MappedSource::Input(1)][..],
+                0b0110u64, // XOR
+            )),
+            std::iter::once(MappedSource::Lut(0)),
+            std::iter::empty(),
+        );
+        kernel.flip_table_bit(0, 3);
+        let mut scratch = KernelScratch::new();
+        let mut out = Vec::new();
+        // Lane a drives address a.
+        let inputs = [0b0010u64 | (0b1000), 0b1100u64];
+        kernel.step(&inputs, &mut [], &mut scratch, &mut out);
+        // XOR with bit 3 flipped: 0, 1, 1, 1 over addresses 0..4.
+        for (lane, want) in [(0usize, false), (1, true), (2, true), (3, true)] {
+            assert_eq!((out[0] >> lane) & 1 == 1, want, "lane {lane}");
+        }
+    }
+}

@@ -17,11 +17,16 @@
 pub mod device;
 pub mod equivalence;
 pub mod faults;
+pub mod kernel;
 pub mod multi;
 pub mod temporal;
 
 pub use device::{CompileError, CompileReport, Device};
-pub use equivalence::{check_device_equivalence, EquivalenceError};
+pub use equivalence::{
+    check_device_equivalence, check_device_equivalence_batch, EquivalenceCheckError,
+    EquivalenceError,
+};
 pub use faults::{lut_fault_campaign, CampaignReport, LutFault};
+pub use kernel::{CompiledKernel, KernelScratch, LANES};
 pub use multi::{CompileOptions, MultiDevice, SimError};
 pub use temporal::FabricTemporalExecutor;

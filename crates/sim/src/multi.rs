@@ -24,6 +24,7 @@ use mcfpga_route::{
 };
 
 use crate::device::CompileError;
+use crate::kernel::{self, CompiledKernel, KernelScratch, LANES};
 
 /// Compile-pipeline knobs.
 #[derive(Debug, Clone, Copy)]
@@ -114,7 +115,7 @@ impl std::error::Error for SimError {}
 
 /// Worker threads worth spawning for `n_tasks` independent jobs: never more
 /// than the machine exposes, never more than there are jobs.
-fn effective_workers(n_tasks: usize) -> usize {
+pub(crate) fn effective_workers(n_tasks: usize) -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -129,7 +130,11 @@ fn effective_workers(n_tasks: usize) -> usize {
 /// claiming thread (0 on the serial path), so instrumentation can attribute
 /// work to pool members. With `workers <= 1` this is a plain serial loop
 /// (no threads spawned).
-fn fan_out<T: Send>(n: usize, workers: usize, f: impl Fn(usize, usize) -> T + Sync) -> Vec<T> {
+pub(crate) fn fan_out<T: Send>(
+    n: usize,
+    workers: usize,
+    f: impl Fn(usize, usize) -> T + Sync,
+) -> Vec<T> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
     if workers <= 1 || n <= 1 {
@@ -220,6 +225,20 @@ pub struct MultiDevice {
     /// Per-context register state (independent circuits, independent state).
     states: Vec<Vec<bool>>,
     active: usize,
+    /// Per-context compiled bit-parallel kernels (configuration is immutable
+    /// after compile, so these never invalidate), built on first batched use.
+    kernels: Vec<Option<CompiledKernel>>,
+    /// Per-context lane-parallel register words; valid only while the
+    /// matching `batch_synced` flag holds.
+    batch_regs: Vec<Vec<u64>>,
+    /// Per context: false whenever the scalar state moved since the last
+    /// batched step, forcing a re-broadcast on the next one.
+    batch_synced: Vec<bool>,
+    batch_scratch: KernelScratch,
+    /// Scalar hot-path scratch, persistent across cycles.
+    scratch_lut_vals: Vec<bool>,
+    scratch_in_bits: Vec<bool>,
+    scratch_next: Vec<bool>,
     /// Observability sink; disabled (no-op) unless compiled via `*_with`.
     recorder: Recorder,
     /// Lazily built on the first traced context switch (enabled recorders
@@ -449,7 +468,8 @@ impl MultiDevice {
 
         drop(_lb_span);
 
-        let states = mapped.iter().map(|m| m.initial_state().bits).collect();
+        let states: Vec<Vec<bool>> = mapped.iter().map(|m| m.initial_state().bits).collect();
+        let n_programmed = mapped.len();
         Ok(MultiDevice {
             arch: arch.clone(),
             ctx,
@@ -463,6 +483,13 @@ impl MultiDevice {
             site_of,
             states,
             active: 0,
+            kernels: vec![None; n_programmed],
+            batch_regs: vec![Vec::new(); n_programmed],
+            batch_synced: vec![false; n_programmed],
+            batch_scratch: KernelScratch::new(),
+            scratch_lut_vals: Vec::new(),
+            scratch_in_bits: Vec::new(),
+            scratch_next: Vec::new(),
             recorder: rec.clone(),
             reconfig_meta: None,
         })
@@ -550,29 +577,125 @@ impl MultiDevice {
             });
         }
         self.recorder.incr("sim.steps", 1);
-        let mut lut_vals = vec![false; m.luts.len()];
-        for i in 0..m.luts.len() {
-            let in_bits: Vec<bool> = m.luts[i]
-                .inputs
-                .iter()
-                .map(|s| self.resolve(c, *s, inputs, &lut_vals))
-                .collect();
+        self.recorder.incr("sim.cycles", 1);
+        // Persistent scratch: the only allocation left is the returned
+        // output vector.
+        let n_luts = self.mapped[c].luts.len();
+        let mut lut_vals = std::mem::take(&mut self.scratch_lut_vals);
+        let mut in_bits = std::mem::take(&mut self.scratch_in_bits);
+        lut_vals.clear();
+        lut_vals.resize(n_luts, false);
+        for i in 0..n_luts {
+            in_bits.clear();
+            in_bits.extend(
+                self.mapped[c].luts[i]
+                    .inputs
+                    .iter()
+                    .map(|s| self.resolve(c, *s, inputs, &lut_vals)),
+            );
             let (site, slot) = self.site_of[c][i];
             let lb = self.lbs[site].as_ref().expect("used site has an LB");
-            lut_vals[i] = lb.outputs(self.ctx, c, &in_bits)[slot];
+            lut_vals[i] = lb.output(self.ctx, c, &in_bits, slot);
         }
+        let m = &self.mapped[c];
         let outs: Vec<bool> = m
             .outputs
             .iter()
             .map(|(_, s)| self.resolve(c, *s, inputs, &lut_vals))
             .collect();
-        let next: Vec<bool> = m
-            .dffs
-            .iter()
-            .map(|d| self.resolve(c, d.d, inputs, &lut_vals))
-            .collect();
-        self.states[c] = next;
+        let mut next = std::mem::take(&mut self.scratch_next);
+        next.clear();
+        next.extend(
+            self.mapped[c]
+                .dffs
+                .iter()
+                .map(|d| self.resolve(c, d.d, inputs, &lut_vals)),
+        );
+        std::mem::swap(&mut self.states[c], &mut next);
+        self.scratch_next = next;
+        self.scratch_lut_vals = lut_vals;
+        self.scratch_in_bits = in_bits;
+        self.batch_synced[c] = false;
         Ok(outs)
+    }
+
+    /// One clock edge over [`LANES`] independent stimulus lanes in the
+    /// active context: bit `l` of every input, output, and register word is
+    /// one complete stimulus stream. Lane 0 is bit-for-bit the scalar path
+    /// and is written back to the scalar state after every batched step.
+    ///
+    /// Panicking convenience over [`MultiDevice::try_step_batch`].
+    pub fn step_batch(&mut self, inputs: &[u64]) -> Vec<u64> {
+        self.try_step_batch(inputs)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// As [`MultiDevice::step_batch`], reporting an input-arity mismatch
+    /// in-band.
+    pub fn try_step_batch(&mut self, inputs: &[u64]) -> Result<Vec<u64>, SimError> {
+        let mut out = Vec::new();
+        self.try_step_batch_into(inputs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free batched step: `out` is cleared and refilled with one
+    /// word per primary output of the active context.
+    pub fn try_step_batch_into(
+        &mut self,
+        inputs: &[u64],
+        out: &mut Vec<u64>,
+    ) -> Result<(), SimError> {
+        let c = self.active;
+        let n_inputs = self.mapped[c].n_inputs;
+        if inputs.len() != n_inputs {
+            return Err(SimError::InputArity {
+                context: c,
+                expected: n_inputs,
+                got: inputs.len(),
+            });
+        }
+        if self.kernels[c].is_none() {
+            let _span = self.recorder.span("sim_kernel_build");
+            let kernel = self.build_kernel(c);
+            self.kernels[c] = Some(kernel);
+        }
+        if !self.batch_synced[c] {
+            // The context's scalar state moved since its last batched step:
+            // every lane resumes from the same registers.
+            kernel::broadcast(&self.states[c], &mut self.batch_regs[c]);
+            self.batch_synced[c] = true;
+        }
+        let kernel = self.kernels[c].as_ref().expect("kernel built above");
+        kernel.step(
+            inputs,
+            &mut self.batch_regs[c],
+            &mut self.batch_scratch,
+            out,
+        );
+        // Lane 0 writes back so the scalar view stays coherent.
+        kernel::extract_lane(&self.batch_regs[c], 0, &mut self.states[c]);
+        self.recorder.incr("sim.words", 1);
+        self.recorder.incr("sim.cycles", LANES as u64);
+        Ok(())
+    }
+
+    /// Lower `context` to a fresh instruction stream: the mapped netlist
+    /// gives sources and emission (= topological) order, the logic blocks
+    /// give each position's active plane and packed truth table.
+    fn build_kernel(&self, context: usize) -> CompiledKernel {
+        let m = &self.mapped[context];
+        CompiledKernel::build(
+            m.n_inputs,
+            m.dffs.len(),
+            m.luts.iter().enumerate().map(|(i, lut)| {
+                let (site, slot) = self.site_of[context][i];
+                let lb = self.lbs[site].as_ref().expect("used site has an LB");
+                let plane = lb.active_plane(self.ctx, context);
+                (lut.inputs.as_slice(), lb.plane_packed(slot, plane))
+            }),
+            m.outputs.iter().map(|(_, s)| *s),
+            m.dffs.iter().map(|d| d.d),
+        )
     }
 
     fn resolve(&self, c: usize, src: MappedSource, inputs: &[bool], lut_vals: &[bool]) -> bool {
@@ -616,6 +739,7 @@ impl MultiDevice {
             });
         }
         self.states[context].copy_from_slice(bits);
+        self.batch_synced[context] = false;
         Ok(())
     }
 
@@ -624,6 +748,7 @@ impl MultiDevice {
         for (m, s) in self.mapped.iter().zip(&mut self.states) {
             *s = m.initial_state().bits;
         }
+        self.batch_synced.iter_mut().for_each(|b| *b = false);
     }
 
     /// Per-switch usage across contexts (real mixed columns).

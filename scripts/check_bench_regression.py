@@ -7,7 +7,13 @@ floating-point noise across platforms is tolerated. Wall-clock numbers vary
 with the runner, so phase timings only fail on order-of-magnitude blowups,
 and sub-millisecond phases are skipped entirely (they are all noise).
 
-Usage: check_bench_regression.py [fresh] [baseline]
+When the baseline carries a "sim" section, a fresh BENCH_sim.json is also
+gated: throughputs may not fall an order of magnitude below baseline, the
+batched-over-scalar speedup has a hard floor (the bit-parallel kernel must
+actually pay for itself), and the seeded fault campaign's detection counts
+must reproduce exactly.
+
+Usage: check_bench_regression.py [fresh] [baseline] [fresh_sim]
 Exits non-zero listing every regression found.
 """
 
@@ -20,6 +26,9 @@ RATIO_REL_TOL = 0.02
 TIME_BLOWUP = 20.0
 # ...and the baseline phase was big enough to be signal, not noise.
 TIME_FLOOR_US = 1_000
+# The 64-lane kernel must beat the scalar interpreter by at least this much
+# on any runner; anything lower means the batched path stopped paying off.
+SIM_SPEEDUP_FLOOR = 8.0
 
 
 def main() -> int:
@@ -75,13 +84,48 @@ def main() -> int:
     if fresh["parallelism"] < 1:
         errors.append(f"parallelism {fresh['parallelism']} < 1")
 
+    sim_checked = False
+    if "sim" in base:
+        sim_path = sys.argv[3] if len(sys.argv) > 3 else "BENCH_sim.json"
+        try:
+            sim = json.load(open(sim_path))
+        except OSError:
+            errors.append(f"baseline has a sim section but {sim_path} is missing")
+            sim = None
+        if sim is not None:
+            sim_checked = True
+            sim_base = base["sim"]
+            if sim["speedup"] < SIM_SPEEDUP_FLOOR:
+                errors.append(
+                    f"sim.speedup: batched is only {sim['speedup']:.1f}x scalar "
+                    f"(floor {SIM_SPEEDUP_FLOOR:.0f}x)")
+            for key in ["scalar_vectors_per_sec", "batched_vectors_per_sec"]:
+                want = sim_base[key]
+                if sim[key] < want / TIME_BLOWUP:
+                    errors.append(
+                        f"sim.{key}: {sim[key]:.0f}/s vs baseline {want:.0f}/s "
+                        f"(> {TIME_BLOWUP:.0f}x slower)")
+            want_ms = sim_base["fault_campaign_ms"]
+            if want_ms >= 1.0 and sim["fault_campaign_ms"] > TIME_BLOWUP * want_ms:
+                errors.append(
+                    f"sim.fault_campaign_ms: {sim['fault_campaign_ms']:.1f} ms vs "
+                    f"baseline {want_ms:.1f} ms (> {TIME_BLOWUP:.0f}x)")
+            # The campaign is fully seeded and evaluated in integer bit
+            # arithmetic: its detection counts must reproduce exactly.
+            for key in ["fault_injected", "fault_detected"]:
+                if sim[key] != sim_base[key]:
+                    errors.append(
+                        f"sim.{key}: {sim[key]} vs baseline {sim_base[key]} "
+                        f"(seeded campaign must be deterministic)")
+
     if errors:
         print(f"BENCH regression vs {base_path}:")
         for e in errors:
             print(f"  - {e}")
         return 1
     print(f"BENCH_flow.json within tolerance of {base_path} "
-          f"({len(base_points)} area points, {len(base_phases)} phases).")
+          f"({len(base_points)} area points, {len(base_phases)} phases"
+          + (", sim gate OK" if sim_checked else "") + ").")
     return 0
 
 
