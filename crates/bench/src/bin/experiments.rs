@@ -7,7 +7,7 @@
 //!
 //! Experiment ids (see DESIGN.md's experiment index):
 //! `table1 table2 fig3_5 fig9 fig12 fig13_14 area45 area37 sweep_change
-//!  sweep_contexts delay power flow sim all`
+//!  sweep_contexts delay power flow sim serve all`
 
 use mcfpga::area::{
     area_comparison, context_switch_delay, routing_delay, static_power, AreaParams,
@@ -54,12 +54,13 @@ fn main() {
     run!("temporal", temporal);
     run!("channel_width", channel_width);
     run!("sim", sim);
+    run!("serve", serve);
     if !ran {
         eprintln!(
             "unknown experiment {which:?}; try: table1 table2 fig3_5 fig9 fig12 \
              fig12_adaptive fig13_14 area45 area37 sweep_change sweep_contexts \
              delay power flow reconfig faults ablations temporal channel_width \
-             sim all"
+             sim serve all"
         );
         std::process::exit(2);
     }
@@ -505,8 +506,11 @@ fn flow() {
     println!("\nmixed 4-circuit device (adder/multiplier/ALU/popcount):");
     let circuits = mixed_contexts();
     let rec = Recorder::enabled();
-    let outcome =
-        mcfpga::flow::run_flow_with(&arch, &circuits, 25, &rec).expect("instrumented flow");
+    let outcome = mcfpga::flow::Flow::builder()
+        .recorder(&rec)
+        .sim_cycles(25)
+        .run(&arch, &circuits)
+        .expect("instrumented flow");
     outcome.device.check_routing().expect("connectivity");
     let stats =
         ColumnSetStats::measure(&outcome.device.switch_usage().columns(), arch.context_id());
@@ -518,10 +522,7 @@ fn flow() {
     // fan-out is capped at the machine's available parallelism; on a
     // single-core host both schedules run the same code.
     let time_compile = |parallel: bool| -> u64 {
-        let opts = mcfpga::sim::CompileOptions {
-            parallel,
-            ..Default::default()
-        };
+        let opts = mcfpga::sim::CompileOptions::default().with_parallel(parallel);
         let start = std::time::Instant::now();
         MultiDevice::compile_opts(&arch, &circuits, &opts, &Recorder::disabled()).expect("compile");
         start.elapsed().as_micros() as u64
@@ -1058,6 +1059,276 @@ struct SimBench {
     fault_detected: usize,
     fault_silent: usize,
     fault_detection_rate: f64,
+    report: RunReport,
+}
+
+/// The multi-tenant serving benchmark: compile-job throughput vs worker
+/// count, cache behaviour under repeat submission, and concurrent sim
+/// serving verified against private replays (`BENCH_serve.json`).
+fn serve() {
+    use mcfpga_serve::{CompileJob, ServeConfig, Server, SimJob};
+
+    header("serve: multi-tenant job serving over the flow + batched kernel");
+    let arch = ArchSpec::paper_default();
+    // Compile inside jobs stays serial: the serve worker pool is the
+    // parallelism under measurement, and nesting the per-context fan-out
+    // under it would oversubscribe the machine.
+    let opts = CompileOptions::default().with_parallel(false);
+    let available_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // 12 content-distinct compile jobs: 4 rotations of the mixed 4-context
+    // suite, 4 adjacent pairs, and the 4 singles.
+    let base = mixed_contexts();
+    let mut job_sets: Vec<Vec<Netlist>> = Vec::new();
+    for r in 0..4 {
+        let mut rot = base.clone();
+        rot.rotate_left(r);
+        job_sets.push(rot);
+    }
+    for i in 0..4 {
+        job_sets.push(vec![base[i].clone(), base[(i + 1) % 4].clone()]);
+    }
+    for c in &base {
+        job_sets.push(vec![c.clone()]);
+    }
+    let jobs = job_sets.len();
+
+    // Phase 1: open-loop cold-cache throughput at 1 and 4 workers. Every
+    // job is submitted up front; the pool drains the queue.
+    let submit_all = |server: &Server| -> Vec<_> {
+        job_sets
+            .iter()
+            .map(|set| {
+                server
+                    .submit_compile(CompileJob::new(arch.clone(), set.clone()).with_options(opts))
+                    .expect("queue sized for the full job set")
+            })
+            .collect()
+    };
+    let mut cold_elapsed_us = [0u64; 2];
+    let mut scaling_server = None;
+    for (slot, workers) in [(0usize, 1usize), (1, 4)] {
+        let rec = Recorder::enabled();
+        let server = Server::with_recorder(
+            ServeConfig::default()
+                .with_workers(workers)
+                .with_queue_capacity(2 * jobs),
+            &rec,
+        );
+        let start = std::time::Instant::now();
+        let mut hits = 0usize;
+        for handle in submit_all(&server) {
+            if handle.wait().expect("cold job completes").cache_hit {
+                hits += 1;
+            }
+        }
+        cold_elapsed_us[slot] = start.elapsed().as_micros() as u64;
+        assert_eq!(hits, 0, "cold cache cannot hit");
+        if workers == 4 {
+            scaling_server = Some(server);
+        }
+    }
+    let throughput = |us: u64| jobs as f64 / (us as f64 / 1e6);
+    let throughput_jobs_per_sec_1w = throughput(cold_elapsed_us[0]);
+    let throughput_jobs_per_sec_4w = throughput(cold_elapsed_us[1]);
+    let scaling_1_to_4 = throughput_jobs_per_sec_4w / throughput_jobs_per_sec_1w;
+    println!(
+        "cold compile throughput over {jobs} distinct jobs \
+         (available parallelism {available_parallelism}):"
+    );
+    println!("  1 worker:  {throughput_jobs_per_sec_1w:>8.2} jobs/s");
+    println!("  4 workers: {throughput_jobs_per_sec_4w:>8.2} jobs/s  ({scaling_1_to_4:.2}x)");
+
+    // Phase 2: resubmit the identical job set to the warm 4-worker server —
+    // every job must come out of the content-addressed cache.
+    let warm = scaling_server.expect("4-worker server kept");
+    let start = std::time::Instant::now();
+    let handles = submit_all(&warm);
+    let outcomes: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.wait().expect("repeat job completes"))
+        .collect();
+    let repeat_elapsed_us = start.elapsed().as_micros() as u64;
+    let repeat_hits = outcomes.iter().filter(|o| o.cache_hit).count();
+    let repeat_cache_hit_rate = repeat_hits as f64 / jobs as f64;
+    println!(
+        "repeat submission: {repeat_hits}/{jobs} cache hits \
+         ({:.1} ms vs {:.1} ms cold)",
+        repeat_elapsed_us as f64 / 1e3,
+        cold_elapsed_us[1] as f64 / 1e3,
+    );
+    let scaling_report = warm.report();
+    drop(warm);
+
+    // Phase 3: concurrent sim serving. 4 tenants share one compiled design
+    // through 4 private sessions, each driving every context with its own
+    // word stream; outputs are checked against a private (server-free)
+    // replay of the same script.
+    let sim_rec = Recorder::enabled();
+    let sim_server = Server::with_recorder(
+        ServeConfig::default()
+            .with_workers(4)
+            .with_queue_capacity(64),
+        &sim_rec,
+    );
+    let sim_sessions = 4usize;
+    let cycles_per_job = 16usize;
+    let jobs_per_tenant = 8usize;
+    let compiled: Vec<_> = (0..sim_sessions)
+        .map(|_| {
+            sim_server
+                .submit_compile(CompileJob::new(arch.clone(), base.clone()).with_options(opts))
+                .expect("accepted")
+                .wait()
+                .expect("compiles")
+        })
+        .collect();
+
+    let tenant_words = |tenant: usize, job: usize, cycle: usize, input: usize| -> u64 {
+        let x = (tenant as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((job as u64) << 40)
+            .wrapping_add((cycle as u64) << 16)
+            .wrapping_add(input as u64)
+            .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^ (x >> 31)
+    };
+    let served: Vec<Vec<Vec<Vec<u64>>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = compiled
+            .iter()
+            .enumerate()
+            .map(|(tenant, outcome)| {
+                let server = &sim_server;
+                scope.spawn(move || {
+                    (0..jobs_per_tenant)
+                        .map(|job| {
+                            let context = job % outcome.design.n_contexts();
+                            let n_in = outcome.design.kernel(context).n_inputs();
+                            let words = (0..cycles_per_job)
+                                .map(|cycle| {
+                                    (0..n_in)
+                                        .map(|i| tenant_words(tenant, job, cycle, i))
+                                        .collect()
+                                })
+                                .collect();
+                            server
+                                .submit_sim(SimJob::new(outcome.session, context, words))
+                                .expect("accepted")
+                                .wait()
+                                .expect("sim job completes")
+                                .outputs
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tenant thread"))
+            .collect()
+    });
+
+    // Private replay per tenant: a fresh MultiDevice driven with the same
+    // script must match the served outputs word for word.
+    let mut cross_session_divergences = 0u64;
+    for (tenant, outputs) in served.iter().enumerate() {
+        let mut device = MultiDevice::compile_opts(&arch, &base, &opts, &Recorder::disabled())
+            .expect("reference compile");
+        for (job, job_outputs) in outputs.iter().enumerate() {
+            let context = job % device.n_contexts();
+            device.try_switch_context(context).expect("context");
+            let n_in = device.kernel(context).expect("context").n_inputs();
+            for (cycle, out_words) in job_outputs.iter().enumerate() {
+                let words: Vec<u64> = (0..n_in)
+                    .map(|i| tenant_words(tenant, job, cycle, i))
+                    .collect();
+                let expected = device.try_step_batch(&words).expect("reference step");
+                if &expected != out_words {
+                    cross_session_divergences += 1;
+                }
+            }
+        }
+    }
+    let sim_jobs = sim_sessions * jobs_per_tenant;
+    let sim_report = sim_server.report();
+    println!(
+        "sim serving: {sim_sessions} tenants x {jobs_per_tenant} jobs x \
+         {cycles_per_job} words, {cross_session_divergences} divergences vs private replay"
+    );
+    assert_eq!(
+        cross_session_divergences, 0,
+        "sessions leaked register state across tenants"
+    );
+
+    let pct = |h: &Option<mcfpga::obs::HistogramEntry>, p50: bool| {
+        h.as_ref().map_or(0.0, |h| if p50 { h.p50 } else { h.p99 })
+    };
+    println!(
+        "latency (sim-serving server): wait p50 {:.0} us p99 {:.0} us, \
+         service p50 {:.0} us p99 {:.0} us",
+        pct(&sim_report.wait_us, true),
+        pct(&sim_report.wait_us, false),
+        pct(&sim_report.service_us, true),
+        pct(&sim_report.service_us, false),
+    );
+
+    let bench = ServeBench {
+        experiment: "serve".into(),
+        available_parallelism,
+        jobs,
+        cold_elapsed_us_1w: cold_elapsed_us[0],
+        cold_elapsed_us_4w: cold_elapsed_us[1],
+        throughput_jobs_per_sec_1w,
+        throughput_jobs_per_sec_4w,
+        scaling_1_to_4,
+        repeat_elapsed_us,
+        repeat_cache_hit_rate,
+        sim_sessions,
+        sim_jobs,
+        cross_session_divergences,
+        wait_p50_us: pct(&sim_report.wait_us, true),
+        wait_p99_us: pct(&sim_report.wait_us, false),
+        service_p50_us: pct(&sim_report.service_us, true),
+        service_p99_us: pct(&sim_report.service_us, false),
+        scaling_report,
+        sim_report,
+        report: sim_rec.report("serve"),
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("serialize serve bench");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json ({} bytes)", json.len());
+}
+
+/// Machine-readable record of the serving benchmark (`BENCH_serve.json`).
+#[derive(serde::Serialize)]
+struct ServeBench {
+    experiment: String,
+    /// Worker scaling is only meaningful when the host actually has cores;
+    /// the regression gate skips the scaling floor below 4.
+    available_parallelism: usize,
+    /// Content-distinct compile jobs in the cold/repeat phases.
+    jobs: usize,
+    cold_elapsed_us_1w: u64,
+    cold_elapsed_us_4w: u64,
+    throughput_jobs_per_sec_1w: f64,
+    throughput_jobs_per_sec_4w: f64,
+    scaling_1_to_4: f64,
+    repeat_elapsed_us: u64,
+    /// Fraction of the repeat-phase jobs answered from cache (gated at 1.0).
+    repeat_cache_hit_rate: f64,
+    sim_sessions: usize,
+    sim_jobs: usize,
+    /// Served outputs differing from each tenant's private replay (gated at 0).
+    cross_session_divergences: u64,
+    wait_p50_us: f64,
+    wait_p99_us: f64,
+    service_p50_us: f64,
+    service_p99_us: f64,
+    /// Serve metrics of the scaling/repeat server (phases 1-2).
+    scaling_report: mcfpga_serve::ServeReport,
+    /// Serve metrics of the concurrent sim-serving server (phase 3).
+    sim_report: mcfpga_serve::ServeReport,
+    /// Full span/metric report of the sim-serving recorder.
     report: RunReport,
 }
 

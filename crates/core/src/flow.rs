@@ -94,81 +94,148 @@ pub struct FlowOutcome {
     pub report: RunReport,
 }
 
-/// Run the whole pipeline — map, place, route, switch-column extraction,
-/// RCM decoder synthesis, a short multi-context simulation, and the Section 5
-/// area evaluation — recording a span per phase and the standard metrics
-/// into `rec`. With a disabled recorder this is just the uninstrumented flow.
-///
-/// `sim_cycles` clock cycles are run per programmed context (with a context
-/// switch between contexts), driving the `sim.context_switches` / `sim.steps`
-/// counters; the inputs are all-low, which is enough for timing.
-pub fn run_flow_with(
-    arch: &ArchSpec,
-    circuits: &[Netlist],
-    sim_cycles: usize,
-    rec: &Recorder,
-) -> Result<FlowOutcome, CompileError> {
-    run_flow_opts(arch, circuits, sim_cycles, &CompileOptions::default(), rec)
+/// The instrumented end-to-end pipeline. Configure a run through
+/// [`Flow::builder`]; [`run_flow`] is the zero-configuration convenience
+/// form.
+pub struct Flow;
+
+impl Flow {
+    /// Start configuring a flow run. Every knob has a default: disabled
+    /// recorder, default [`CompileOptions`], 25 simulated cycles per
+    /// context.
+    pub fn builder() -> FlowBuilder {
+        FlowBuilder::default()
+    }
 }
 
-/// As [`run_flow_with`], with explicit compile-pipeline knobs (serial vs
-/// parallel per-context compile, router rip-up schedule).
-pub fn run_flow_opts(
+/// Builder for one end-to-end flow run — map, place, route, switch-column
+/// extraction, RCM decoder synthesis, a short multi-context simulation, and
+/// the Section 5 area evaluation.
+///
+/// ```no_run
+/// use mcfpga::flow::Flow;
+/// use mcfpga::sim::CompileOptions;
+/// use mcfpga_obs::Recorder;
+///
+/// let arch = mcfpga_arch::ArchSpec::paper_default();
+/// let circuits: Vec<mcfpga_netlist::Netlist> = todo!("one netlist per context");
+/// let rec = Recorder::enabled();
+/// let outcome = Flow::builder()
+///     .recorder(&rec)
+///     .compile_options(CompileOptions::default().with_parallel(false))
+///     .sim_cycles(10)
+///     .run(&arch, &circuits)
+///     .expect("flow compiles");
+/// println!("CMOS ratio {:.3}", outcome.cmos.ratio);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowBuilder {
+    recorder: Recorder,
+    options: CompileOptions,
+    sim_cycles: usize,
+}
+
+impl Default for FlowBuilder {
+    fn default() -> Self {
+        FlowBuilder {
+            recorder: Recorder::disabled(),
+            options: CompileOptions::default(),
+            sim_cycles: 25,
+        }
+    }
+}
+
+impl FlowBuilder {
+    /// Record a span per phase and the standard metrics into `rec`. With
+    /// the default disabled recorder this is just the uninstrumented flow.
+    pub fn recorder(mut self, rec: &Recorder) -> Self {
+        self.recorder = rec.clone();
+        self
+    }
+
+    /// Compile-pipeline knobs (serial vs parallel per-context compile,
+    /// router rip-up schedule).
+    pub fn compile_options(mut self, opts: CompileOptions) -> Self {
+        self.options = opts;
+        self
+    }
+
+    /// Clock cycles run per programmed context (with a context switch
+    /// between contexts), driving the `sim.context_switches` / `sim.steps`
+    /// counters; the inputs are all-low, which is enough for timing.
+    pub fn sim_cycles(mut self, cycles: usize) -> Self {
+        self.sim_cycles = cycles;
+        self
+    }
+
+    /// Run the configured pipeline over `circuits` (one netlist per
+    /// context) on `arch`.
+    pub fn run(&self, arch: &ArchSpec, circuits: &[Netlist]) -> Result<FlowOutcome, CompileError> {
+        let rec = &self.recorder;
+        let flow_span = rec.span("flow");
+        let ctx = arch.context_id();
+
+        // Map / place / route / columns / logic_blocks spans open inside.
+        let mut device = MultiDevice::compile_opts(arch, circuits, &self.options, rec)?;
+
+        {
+            let _span = rec.span("rcm");
+            for &col in device.switch_usage().columns().iter() {
+                synthesize_with(col, ctx, rec);
+            }
+        }
+
+        {
+            let _span = rec.span("sim");
+            for (c, circuit) in circuits.iter().enumerate() {
+                device.switch_context(c);
+                let inputs = vec![false; circuit.inputs().len()];
+                for _ in 0..self.sim_cycles {
+                    device.step(&inputs);
+                }
+            }
+        }
+
+        let params = AreaParams::paper_default();
+        let weights = FabricWeights::default();
+        let (cmos, fepg);
+        {
+            let _span = rec.span("area");
+            let columns = device.switch_usage().columns();
+            let change = mcfpga_config::ColumnSetStats::measure(&columns, ctx).change_rate;
+            cmos = area_comparison(arch, change, Technology::Cmos, &params, &weights);
+            fepg = area_comparison(arch, change, Technology::Fepg, &params, &weights);
+            rec.set_gauge("area.change_rate", change);
+            rec.set_gauge("area.cmos_ratio", cmos.ratio);
+            rec.set_gauge("area.fepg_ratio", fepg.ratio);
+        }
+
+        drop(flow_span);
+        let mut report = rec.report("flow");
+        // Condense the per-switch trace into the report's reconfiguration
+        // summary (None when the recorder is disabled or nothing switched).
+        report.reconfig = mcfpga_obs::ReconfigTelemetry::from_events(&rec.trace_events());
+        Ok(FlowOutcome {
+            device,
+            cmos,
+            fepg,
+            report,
+        })
+    }
+}
+
+/// Thin convenience wrapper over [`Flow::builder`] with every knob at its
+/// default: `Flow::builder().recorder(rec).sim_cycles(sim_cycles).run(..)`.
+pub fn run_flow(
     arch: &ArchSpec,
     circuits: &[Netlist],
     sim_cycles: usize,
-    opts: &CompileOptions,
     rec: &Recorder,
 ) -> Result<FlowOutcome, CompileError> {
-    let flow_span = rec.span("flow");
-    let ctx = arch.context_id();
-
-    // Map / place / route / columns / logic_blocks spans open inside.
-    let mut device = MultiDevice::compile_opts(arch, circuits, opts, rec)?;
-
-    {
-        let _span = rec.span("rcm");
-        for &col in device.switch_usage().columns().iter() {
-            synthesize_with(col, ctx, rec);
-        }
-    }
-
-    {
-        let _span = rec.span("sim");
-        for (c, circuit) in circuits.iter().enumerate() {
-            device.switch_context(c);
-            let inputs = vec![false; circuit.inputs().len()];
-            for _ in 0..sim_cycles {
-                device.step(&inputs);
-            }
-        }
-    }
-
-    let params = AreaParams::paper_default();
-    let weights = FabricWeights::default();
-    let (cmos, fepg);
-    {
-        let _span = rec.span("area");
-        let columns = device.switch_usage().columns();
-        let change = mcfpga_config::ColumnSetStats::measure(&columns, ctx).change_rate;
-        cmos = area_comparison(arch, change, Technology::Cmos, &params, &weights);
-        fepg = area_comparison(arch, change, Technology::Fepg, &params, &weights);
-        rec.set_gauge("area.change_rate", change);
-        rec.set_gauge("area.cmos_ratio", cmos.ratio);
-        rec.set_gauge("area.fepg_ratio", fepg.ratio);
-    }
-
-    drop(flow_span);
-    let mut report = rec.report("flow");
-    // Condense the per-switch trace into the report's reconfiguration
-    // summary (None when the recorder is disabled or nothing switched).
-    report.reconfig = mcfpga_obs::ReconfigTelemetry::from_events(&rec.trace_events());
-    Ok(FlowOutcome {
-        device,
-        cmos,
-        fepg,
-        report,
-    })
+    Flow::builder()
+        .recorder(rec)
+        .sim_cycles(sim_cycles)
+        .run(arch, circuits)
 }
 
 #[cfg(test)]

@@ -71,7 +71,7 @@ pub use mcfpga_sim as sim;
 pub mod flow;
 
 pub use flow::{
-    evaluate_paper_point, measured_area_comparison, run_flow_opts, run_flow_with, FlowOutcome,
+    evaluate_paper_point, measured_area_comparison, run_flow, Flow, FlowBuilder, FlowOutcome,
     PaperEvaluation,
 };
 
@@ -80,7 +80,7 @@ pub mod prelude {
     pub use crate::arch::{ArchSpec, ContextId, LutGeometry, LutMode};
     pub use crate::area::{AreaParams, FabricWeights, Technology};
     pub use crate::config::{ConfigColumn, PatternClass};
-    pub use crate::flow::{evaluate_paper_point, measured_area_comparison, run_flow_with};
+    pub use crate::flow::{evaluate_paper_point, measured_area_comparison, run_flow, Flow};
     pub use crate::netlist::Netlist;
     pub use crate::obs::{Recorder, RunReport};
     pub use crate::rcm::synthesize;

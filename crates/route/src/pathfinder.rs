@@ -25,7 +25,19 @@ pub struct Net {
 }
 
 /// Router knobs.
+///
+/// `#[non_exhaustive]`: build with `Default` plus the `with_*` setters so
+/// future knobs land without breaking downstream crates:
+///
+/// ```
+/// use mcfpga_route::RouteOptions;
+/// let opts = RouteOptions::default()
+///     .with_max_iterations(60)
+///     .with_full_ripup(true);
+/// assert_eq!(opts.max_iterations, 60);
+/// ```
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct RouteOptions {
     pub max_iterations: usize,
     /// Present-congestion multiplier growth per iteration.
@@ -49,6 +61,32 @@ impl Default for RouteOptions {
             history_increment: 1.0,
             full_ripup: false,
         }
+    }
+}
+
+impl RouteOptions {
+    /// Negotiation-iteration cap before the router gives up.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Present-congestion multiplier growth per iteration.
+    pub fn with_present_growth(mut self, present_growth: f64) -> Self {
+        self.present_growth = present_growth;
+        self
+    }
+
+    /// History increment for overused edges.
+    pub fn with_history_increment(mut self, history_increment: f64) -> Self {
+        self.history_increment = history_increment;
+        self
+    }
+
+    /// Rip up every net each iteration (textbook PathFinder schedule).
+    pub fn with_full_ripup(mut self, full_ripup: bool) -> Self {
+        self.full_ripup = full_ripup;
+        self
     }
 }
 

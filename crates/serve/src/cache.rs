@@ -1,0 +1,107 @@
+//! Content-addressed LRU cache of compiled designs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::design::CompiledDesign;
+
+/// A bounded map from [`crate::design_key`] to compiled artifact, evicting
+/// the least-recently-used design on overflow. Capacities are small (tens
+/// of designs), so the O(capacity) eviction scan is cheaper than keeping an
+/// intrusive recency list.
+#[derive(Debug)]
+pub(crate) struct DesignCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<u64, (u64, Arc<CompiledDesign>)>,
+}
+
+impl DesignCache {
+    pub(crate) fn new(capacity: usize) -> DesignCache {
+        DesignCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Look up a design, refreshing its recency on hit.
+    pub(crate) fn get(&mut self, key: u64) -> Option<Arc<CompiledDesign>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&key).map(|(used, design)| {
+            *used = tick;
+            design.clone()
+        })
+    }
+
+    /// Insert a design, evicting the least-recently-used entry if the cache
+    /// is full. Returns the number of evictions (0 or 1).
+    pub(crate) fn insert(&mut self, key: u64, design: Arc<CompiledDesign>) -> u64 {
+        self.tick += 1;
+        let mut evicted = 0;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(&lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (used, _))| *used)
+                .map(|(k, _)| k)
+            {
+                self.entries.remove(&lru);
+                evicted = 1;
+            }
+        }
+        self.entries.insert(key, (self.tick, design));
+        evicted
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfpga_arch::ArchSpec;
+    use mcfpga_netlist::library;
+    use mcfpga_sim::CompileOptions;
+
+    fn design() -> Arc<CompiledDesign> {
+        let arch = ArchSpec::paper_default();
+        let circuits = vec![library::adder(2)];
+        Arc::new(
+            CompiledDesign::compile(
+                &arch,
+                &circuits,
+                &CompileOptions::default().with_parallel(false),
+            )
+            .expect("compiles"),
+        )
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let d = design();
+        let mut cache = DesignCache::new(2);
+        assert_eq!(cache.insert(1, d.clone()), 0);
+        assert_eq!(cache.insert(2, d.clone()), 0);
+        // Touch key 1 so key 2 is the LRU.
+        assert!(cache.get(1).is_some());
+        assert_eq!(cache.insert(3, d.clone()), 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(2).is_none(), "LRU entry survived eviction");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let d = design();
+        let mut cache = DesignCache::new(2);
+        cache.insert(1, d.clone());
+        cache.insert(2, d.clone());
+        assert_eq!(cache.insert(1, d.clone()), 0);
+        assert_eq!(cache.len(), 2);
+    }
+}

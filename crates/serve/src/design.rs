@@ -1,0 +1,119 @@
+//! The immutable compile artifact the cache stores and sessions execute.
+
+use mcfpga_arch::ArchSpec;
+use mcfpga_netlist::Netlist;
+use mcfpga_obs::Recorder;
+use mcfpga_sim::{CompileError, CompileOptions, CompiledKernel, MultiDevice};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(h, |h, &b| (h ^ b as u64).wrapping_mul(FNV_PRIME))
+}
+
+/// Content address of a compile request: FNV-1a over the serialized
+/// architecture, the serialized netlist set, and the router knobs.
+///
+/// `CompileOptions::parallel` is deliberately *excluded*: the parallel and
+/// serial schedules produce bit-for-bit identical devices (a property the
+/// sim crate's tests pin down), so they must share a cache slot.
+pub fn design_key(arch: &ArchSpec, circuits: &[Netlist], options: &CompileOptions) -> u64 {
+    let mut h = FNV_OFFSET;
+    let arch_json = serde_json::to_string(arch).expect("ArchSpec serializes");
+    h = fnv1a(h, arch_json.as_bytes());
+    for c in circuits {
+        let c_json = serde_json::to_string(c).expect("Netlist serializes");
+        h = fnv1a(h, c_json.as_bytes());
+    }
+    let r = &options.route;
+    h = fnv1a(h, &(r.max_iterations as u64).to_le_bytes());
+    h = fnv1a(h, &r.present_growth.to_bits().to_le_bytes());
+    h = fnv1a(h, &r.history_increment.to_bits().to_le_bytes());
+    h = fnv1a(h, &[r.full_ripup as u8]);
+    h
+}
+
+/// Everything a session needs to execute a compiled workload, detached from
+/// the [`MultiDevice`] that produced it: per-context batch kernels, initial
+/// register state, and a configuration fingerprint. Immutable once built,
+/// so one `Arc<CompiledDesign>` is shared by the cache and every session
+/// running it. Compare designs through [`CompiledDesign::fingerprint`] and
+/// [`CompiledDesign::kernel`] (`compile_us` is wall-clock, not content).
+#[derive(Debug, Clone)]
+pub struct CompiledDesign {
+    key: u64,
+    kernels: Vec<CompiledKernel>,
+    initial_regs: Vec<Vec<bool>>,
+    fingerprint: u64,
+    compile_us: u64,
+}
+
+impl CompiledDesign {
+    /// Compile `circuits` onto `arch` and extract the serving artifact.
+    /// The device's own telemetry is discarded (disabled recorder): the
+    /// serving layer reports queue/cache/latency metrics, not per-phase
+    /// compile spans.
+    pub fn compile(
+        arch: &ArchSpec,
+        circuits: &[Netlist],
+        options: &CompileOptions,
+    ) -> Result<CompiledDesign, CompileError> {
+        let start = std::time::Instant::now();
+        let mut device = MultiDevice::compile_opts(arch, circuits, options, &Recorder::disabled())?;
+        let n = device.n_contexts();
+        let mut kernels = Vec::with_capacity(n);
+        let mut initial_regs = Vec::with_capacity(n);
+        let mut fp = FNV_OFFSET;
+        for c in 0..n {
+            kernels.push(device.kernel(c).expect("context in range").clone());
+            initial_regs.push(device.initial_registers(c).expect("context in range"));
+            for bit in device.switch_state_bits(c) {
+                fp = fnv1a(fp, &[bit as u8]);
+            }
+        }
+        Ok(CompiledDesign {
+            key: design_key(arch, circuits, options),
+            kernels,
+            initial_regs,
+            fingerprint: fp,
+            compile_us: start.elapsed().as_micros() as u64,
+        })
+    }
+
+    /// The content address this design is cached under.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Programmed context count.
+    pub fn n_contexts(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// The batch kernel for `context` (panics out of range; sessions
+    /// validate the index first).
+    pub fn kernel(&self, context: usize) -> &CompiledKernel {
+        &self.kernels[context]
+    }
+
+    /// Power-on register state of `context`.
+    pub fn initial_registers(&self, context: usize) -> &[bool] {
+        &self.initial_regs[context]
+    }
+
+    /// FNV-1a over every context's routing-switch state — a cheap identity
+    /// for "same configuration bits", used by tests to prove cache hits
+    /// return the cold-compile artifact.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Wall-clock microseconds the compile took (0 on a cache hit, since
+    /// the cached artifact is returned without recompiling).
+    pub fn compile_us(&self) -> u64 {
+        self.compile_us
+    }
+}

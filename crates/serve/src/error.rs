@@ -1,0 +1,82 @@
+//! Typed failures of the serving layer: rejection at the door
+//! ([`SubmitError`]) and failure after acceptance ([`ServeError`]).
+
+use crate::server::SessionId;
+
+/// A submission the server refused to enqueue. The job never ran; the
+/// caller decides whether to retry, shed, or redirect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded submission queue is at capacity — explicit backpressure.
+    QueueFull { capacity: usize },
+    /// The server is shutting down and accepts no new work.
+    Shutdown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "submission queue full ({capacity} jobs)")
+            }
+            SubmitError::Shutdown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// An accepted job that did not produce its outcome.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The job's deadline elapsed while it was still queued; it was never
+    /// serviced.
+    Deadline { waited_us: u64 },
+    /// The underlying compile or simulation failed; the full
+    /// [`mcfpga_sim::Error`] payload is preserved for discrimination.
+    Job(mcfpga_sim::Error),
+    /// A [`crate::SimJob`] named a session this server doesn't hold
+    /// (never opened, or already closed).
+    SessionNotFound { session: SessionId },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Deadline { waited_us } => {
+                write!(f, "deadline elapsed after {waited_us} us in queue")
+            }
+            ServeError::Job(e) => write!(f, "job failed: {e}"),
+            ServeError::SessionNotFound { session } => {
+                write!(f, "unknown session {session:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Job(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mcfpga_sim::Error> for ServeError {
+    fn from(e: mcfpga_sim::Error) -> Self {
+        ServeError::Job(e)
+    }
+}
+
+impl From<mcfpga_sim::SimError> for ServeError {
+    fn from(e: mcfpga_sim::SimError) -> Self {
+        ServeError::Job(e.into())
+    }
+}
+
+impl From<mcfpga_sim::CompileError> for ServeError {
+    fn from(e: mcfpga_sim::CompileError) -> Self {
+        ServeError::Job(e.into())
+    }
+}

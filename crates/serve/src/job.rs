@@ -1,0 +1,157 @@
+//! Job descriptions, their outcomes, and the handle a submission returns.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use mcfpga_arch::ArchSpec;
+use mcfpga_netlist::Netlist;
+use mcfpga_sim::CompileOptions;
+
+use crate::design::CompiledDesign;
+use crate::error::ServeError;
+use crate::server::SessionId;
+
+/// Compile a netlist set onto an architecture. Repeat submissions with the
+/// same content hit the server's design cache instead of recompiling.
+#[derive(Debug, Clone)]
+pub struct CompileJob {
+    pub(crate) arch: ArchSpec,
+    pub(crate) circuits: Vec<Netlist>,
+    pub(crate) options: CompileOptions,
+    pub(crate) deadline: Option<Duration>,
+}
+
+impl CompileJob {
+    /// One netlist per context, to be compiled onto `arch` with default
+    /// options and the server's default deadline.
+    pub fn new(arch: ArchSpec, circuits: Vec<Netlist>) -> CompileJob {
+        CompileJob {
+            arch,
+            circuits,
+            options: CompileOptions::default(),
+            deadline: None,
+        }
+    }
+
+    /// Compile-pipeline knobs. `parallel` does not affect the artifact (or
+    /// the cache key) — only the schedule inside this one job.
+    pub fn with_options(mut self, options: CompileOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Maximum time this job may sit in the queue before it is failed with
+    /// [`ServeError::Deadline`] instead of being serviced.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// What a completed [`CompileJob`] yields: the shared artifact, a fresh
+/// session bound to it, and where the time went.
+#[derive(Debug, Clone)]
+pub struct CompileOutcome {
+    /// The compiled artifact (shared with the cache and other sessions).
+    pub design: Arc<CompiledDesign>,
+    /// A fresh session holding private register state for this tenant.
+    /// Cache hits still get their own session — tenants share the compiled
+    /// configuration, never runtime state.
+    pub session: SessionId,
+    /// Whether the design came out of the content-addressed cache.
+    pub cache_hit: bool,
+    /// Microseconds the job waited in the queue.
+    pub wait_us: u64,
+    /// Microseconds of service time (cache lookup + compile if any).
+    pub service_us: u64,
+}
+
+/// Step a session's compiled kernel: one word per primary input per cycle,
+/// 64 stimulus lanes per word (see `mcfpga_sim::LANES`).
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    pub(crate) session: SessionId,
+    pub(crate) context: usize,
+    pub(crate) words: Vec<Vec<u64>>,
+    pub(crate) deadline: Option<Duration>,
+}
+
+impl SimJob {
+    /// Run `words` (one inner vec of input words per cycle) through
+    /// `context` of the session's design, carrying the session's private
+    /// register state across cycles and across jobs.
+    pub fn new(session: SessionId, context: usize, words: Vec<Vec<u64>>) -> SimJob {
+        SimJob {
+            session,
+            context,
+            words,
+            deadline: None,
+        }
+    }
+
+    /// Maximum queue wait before [`ServeError::Deadline`].
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// What a completed [`SimJob`] yields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimOutcome {
+    /// One inner vec of output words per submitted cycle.
+    pub outputs: Vec<Vec<u64>>,
+    /// Microseconds the job waited in the queue.
+    pub wait_us: u64,
+    /// Microseconds of kernel service time.
+    pub service_us: u64,
+}
+
+/// The completion slot a worker fills and a client waits on.
+pub(crate) struct Shared<T> {
+    slot: Mutex<Option<Result<T, ServeError>>>,
+    done: Condvar,
+}
+
+impl<T> Shared<T> {
+    pub(crate) fn new() -> Arc<Shared<T>> {
+        Arc::new(Shared {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn complete(&self, result: Result<T, ServeError>) {
+        let mut slot = self.slot.lock().unwrap();
+        debug_assert!(slot.is_none(), "job completed twice");
+        *slot = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// A ticket for one accepted job. [`JobHandle::wait`] blocks until a worker
+/// completes the job; every accepted job is completed even during server
+/// shutdown (the pool drains its queue before exiting), so `wait` never
+/// hangs.
+pub struct JobHandle<T> {
+    pub(crate) shared: Arc<Shared<T>>,
+}
+
+impl<T> JobHandle<T> {
+    /// Block until the job completes.
+    pub fn wait(self) -> Result<T, ServeError> {
+        let mut slot = self.shared.slot.lock().unwrap();
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.shared.done.wait(slot).unwrap();
+        }
+    }
+
+    /// The outcome if the job already completed, `None` while it is still
+    /// queued or running.
+    pub fn try_wait(&self) -> Option<Result<T, ServeError>> {
+        self.shared.slot.lock().unwrap().take()
+    }
+}

@@ -1,0 +1,44 @@
+//! Multi-tenant job serving over the MC-FPGA compile flow and batched
+//! simulator.
+//!
+//! The reproduction's north star is a system that serves many concurrent
+//! clients from one fabric model — the workload shape multi-context FPGAs
+//! are built for (shared, dynamically re-tasked hardware). This crate is
+//! that layer:
+//!
+//! - A [`Server`] owns a fixed worker pool and a **bounded** submission
+//!   queue. When the queue is full, [`Server::submit_compile`] /
+//!   [`Server::submit_sim`] return [`SubmitError::QueueFull`] — callers get
+//!   explicit backpressure, never unbounded memory growth. Jobs can carry
+//!   deadlines; a job still queued past its deadline completes with
+//!   [`ServeError::Deadline`] instead of running late.
+//! - [`CompileJob`]s (netlist set + architecture + options) resolve through
+//!   a **content-addressed LRU cache** of [`CompiledDesign`]s: repeat
+//!   submissions of the same content hit cache instead of recompiling, and
+//!   the artifact is shared (`Arc`) across every tenant running it.
+//! - Each completed compile opens a private session. [`SimJob`]s step the
+//!   design's 64-lane batch kernels against that session's own register
+//!   state — tenants share configuration, never runtime state.
+//! - Queue depth, cache hits/misses/evictions, wait/service latency
+//!   histograms, and per-job outcomes stream through `mcfpga-obs`;
+//!   [`Server::report`] condenses them into a serializable [`ServeReport`].
+//!
+//! The whole crate is written against the redesigned fallible API surface
+//! (`try_*` + the [`mcfpga_sim::Error`] umbrella): a malformed job fails
+//! with a typed error through its [`JobHandle`]; it can never poison the
+//! worker pool.
+
+mod cache;
+mod config;
+mod design;
+mod error;
+mod job;
+mod report;
+mod server;
+
+pub use config::ServeConfig;
+pub use design::{design_key, CompiledDesign};
+pub use error::{ServeError, SubmitError};
+pub use job::{CompileJob, CompileOutcome, JobHandle, SimJob, SimOutcome};
+pub use report::ServeReport;
+pub use server::{Server, SessionId};

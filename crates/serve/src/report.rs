@@ -1,0 +1,51 @@
+//! The serving layer's machine-readable telemetry snapshot.
+
+use mcfpga_obs::{HistogramEntry, Recorder};
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of a server's counters and latency histograms, in the shape the
+/// benchmark driver embeds into `BENCH_serve.json`. Built from the same
+/// `mcfpga-obs` recorder the server streams into, so a live dashboard and
+/// this report can never disagree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: u64,
+    /// Jobs serviced to a successful outcome.
+    pub jobs_completed: u64,
+    /// Jobs serviced to an error (compile/sim failure, unknown session).
+    pub jobs_failed: u64,
+    /// Jobs whose deadline elapsed while queued; never serviced.
+    pub jobs_expired: u64,
+    /// Submissions refused with `QueueFull` backpressure.
+    pub jobs_rejected: u64,
+    /// Compile jobs answered from the content-addressed cache.
+    pub cache_hits: u64,
+    /// Compile jobs that had to compile.
+    pub cache_misses: u64,
+    /// Designs evicted by LRU pressure.
+    pub cache_evictions: u64,
+    /// Queue-wait latency distribution (`serve.wait_us`), if any job ran.
+    pub wait_us: Option<HistogramEntry>,
+    /// Service latency distribution (`serve.service_us`), if any job ran.
+    pub service_us: Option<HistogramEntry>,
+}
+
+impl ServeReport {
+    /// Condense the `serve.*` metrics out of `rec`.
+    pub fn from_recorder(rec: &Recorder) -> ServeReport {
+        let report = rec.report("serve");
+        ServeReport {
+            jobs_submitted: report.counter("serve.jobs_submitted"),
+            jobs_completed: report.counter("serve.jobs_completed"),
+            jobs_failed: report.counter("serve.jobs_failed"),
+            jobs_expired: report.counter("serve.jobs_expired"),
+            jobs_rejected: report.counter("serve.jobs_rejected"),
+            cache_hits: report.counter("serve.cache_hits"),
+            cache_misses: report.counter("serve.cache_misses"),
+            cache_evictions: report.counter("serve.cache_evictions"),
+            wait_us: report.histogram("serve.wait_us").cloned(),
+            service_us: report.histogram("serve.service_us").cloned(),
+        }
+    }
+}

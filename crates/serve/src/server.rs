@@ -1,0 +1,413 @@
+//! The worker pool, bounded queue, session table, and job execution.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use mcfpga_obs::Recorder;
+use mcfpga_sim::{KernelScratch, SimError};
+
+use crate::cache::DesignCache;
+use crate::config::ServeConfig;
+use crate::design::{design_key, CompiledDesign};
+use crate::error::{ServeError, SubmitError};
+use crate::job::{CompileJob, CompileOutcome, JobHandle, Shared, SimJob, SimOutcome};
+use crate::report::ServeReport;
+
+/// Opaque handle to one tenant's private runtime state on a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// The raw id, for logging.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One tenant's mutable state: per-context lane-parallel register words and
+/// reusable kernel scratch. The compiled design itself is shared and
+/// immutable; only this struct is private to the session, which is what
+/// keeps tenants from contaminating each other.
+struct Session {
+    design: Arc<CompiledDesign>,
+    regs: Vec<Vec<u64>>,
+    scratch: KernelScratch,
+}
+
+impl Session {
+    fn new(design: Arc<CompiledDesign>) -> Session {
+        // Every lane of every context starts from the design's power-on
+        // register state (bit broadcast across the 64 lanes).
+        let regs = (0..design.n_contexts())
+            .map(|c| {
+                design
+                    .initial_registers(c)
+                    .iter()
+                    .map(|&b| if b { !0u64 } else { 0 })
+                    .collect()
+            })
+            .collect();
+        Session {
+            design,
+            regs,
+            scratch: KernelScratch::new(),
+        }
+    }
+}
+
+enum Work {
+    Compile(CompileJob, Arc<Shared<CompileOutcome>>),
+    Sim(SimJob, Arc<Shared<SimOutcome>>),
+}
+
+struct QueuedJob {
+    work: Work,
+    enqueued: Instant,
+    deadline: Option<std::time::Duration>,
+}
+
+struct ServerInner {
+    config: ServeConfig,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    cache: Mutex<DesignCache>,
+    sessions: Mutex<HashMap<SessionId, Arc<Mutex<Session>>>>,
+    next_session: AtomicU64,
+    rec: Recorder,
+}
+
+/// A multi-tenant job server over the MC-FPGA compile flow and batched
+/// simulator: a fixed worker pool drains a bounded submission queue;
+/// compiled designs are shared through a content-addressed LRU cache; each
+/// tenant's register state lives in a private session.
+///
+/// Dropping the server stops intake, drains every already-accepted job, and
+/// joins the workers — so an accepted [`JobHandle`] always completes.
+///
+/// ```no_run
+/// use mcfpga_serve::{CompileJob, ServeConfig, Server, SimJob};
+///
+/// let server = Server::new(ServeConfig::default().with_workers(4));
+/// let arch = mcfpga_arch::ArchSpec::paper_default();
+/// let circuits = vec![mcfpga_netlist::library::adder(4)];
+/// let handle = server.submit_compile(CompileJob::new(arch, circuits))?;
+/// let compiled = handle.wait()?;
+/// let sim = server
+///     .submit_sim(SimJob::new(compiled.session, 0, vec![vec![0; 9]]))?
+///     .wait()?;
+/// println!("outputs: {:?}", sim.outputs);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Server {
+    inner: Arc<ServerInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start a server with its own (disabled) recorder.
+    pub fn new(config: ServeConfig) -> Server {
+        Server::with_recorder(config, &Recorder::disabled())
+    }
+
+    /// Start a server routing queue/cache/latency telemetry into `rec`
+    /// (counters `serve.*`, histograms `serve.wait_us` / `serve.service_us`,
+    /// a span per serviced job).
+    pub fn with_recorder(config: ServeConfig, rec: &Recorder) -> Server {
+        let n_workers = config.resolved_workers();
+        let cache = DesignCache::new(config.cache_capacity);
+        let inner = Arc::new(ServerInner {
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cache: Mutex::new(cache),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            rec: rec.clone(),
+        });
+        inner.rec.set_gauge("serve.workers", n_workers as f64);
+        let workers = (0..n_workers)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server { inner, workers }
+    }
+
+    /// Enqueue a compile job. Rejected with [`SubmitError::QueueFull`] when
+    /// the bounded queue is at capacity — the caller owns the retry policy.
+    pub fn submit_compile(
+        &self,
+        job: CompileJob,
+    ) -> Result<JobHandle<CompileOutcome>, SubmitError> {
+        let shared = Shared::new();
+        let deadline = job.deadline;
+        self.submit(Work::Compile(job, shared.clone()), deadline)?;
+        Ok(JobHandle { shared })
+    }
+
+    /// Enqueue a sim job against a session returned by a completed compile.
+    pub fn submit_sim(&self, job: SimJob) -> Result<JobHandle<SimOutcome>, SubmitError> {
+        let shared = Shared::new();
+        let deadline = job.deadline;
+        self.submit(Work::Sim(job, shared.clone()), deadline)?;
+        Ok(JobHandle { shared })
+    }
+
+    fn submit(&self, work: Work, deadline: Option<std::time::Duration>) -> Result<(), SubmitError> {
+        let inner = &self.inner;
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return Err(SubmitError::Shutdown);
+        }
+        let mut queue = inner.queue.lock().unwrap();
+        if queue.len() >= inner.config.queue_capacity {
+            inner.rec.incr("serve.jobs_rejected", 1);
+            return Err(SubmitError::QueueFull {
+                capacity: inner.config.queue_capacity,
+            });
+        }
+        queue.push_back(QueuedJob {
+            work,
+            enqueued: Instant::now(),
+            deadline: deadline.or(inner.config.default_deadline),
+        });
+        inner.rec.incr("serve.jobs_submitted", 1);
+        inner.rec.set_gauge("serve.queue_depth", queue.len() as f64);
+        drop(queue);
+        inner.available.notify_one();
+        Ok(())
+    }
+
+    /// Drop a session's private state. Sim jobs naming it afterwards fail
+    /// with [`ServeError::SessionNotFound`]. Returns whether it existed.
+    pub fn close_session(&self, session: SessionId) -> bool {
+        self.inner
+            .sessions
+            .lock()
+            .unwrap()
+            .remove(&session)
+            .is_some()
+    }
+
+    /// Live session count.
+    pub fn n_sessions(&self) -> usize {
+        self.inner.sessions.lock().unwrap().len()
+    }
+
+    /// Designs currently held by the LRU cache.
+    pub fn cached_designs(&self) -> usize {
+        self.inner.cache.lock().unwrap().len()
+    }
+
+    /// Snapshot the serving metrics collected so far.
+    pub fn report(&self) -> ServeReport {
+        ServeReport::from_recorder(&self.inner.rec)
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &ServerInner) {
+    loop {
+        let queued = {
+            let mut queue = inner.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    inner.rec.set_gauge("serve.queue_depth", queue.len() as f64);
+                    break job;
+                }
+                // Drain-then-exit: accepted handles always complete even
+                // when the pool is being torn down.
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = inner.available.wait(queue).unwrap();
+            }
+        };
+        let waited = queued.enqueued.elapsed();
+        let wait_us = waited.as_micros() as u64;
+        inner.rec.observe("serve.wait_us", wait_us as f64);
+        if let Some(deadline) = queued.deadline {
+            if waited > deadline {
+                inner.rec.incr("serve.jobs_expired", 1);
+                let expired = ServeError::Deadline { waited_us: wait_us };
+                match queued.work {
+                    Work::Compile(_, shared) => shared.complete(Err(expired)),
+                    Work::Sim(_, shared) => shared.complete(Err(expired)),
+                }
+                continue;
+            }
+        }
+        let start = Instant::now();
+        match queued.work {
+            Work::Compile(job, shared) => {
+                let result = {
+                    let _span = inner.rec.span("compile_job");
+                    process_compile(inner, job)
+                };
+                finish(inner, start, wait_us, result, &shared);
+            }
+            Work::Sim(job, shared) => {
+                let result = {
+                    let _span = inner.rec.span("sim_job");
+                    process_sim(inner, &job)
+                };
+                finish(inner, start, wait_us, result, &shared);
+            }
+        }
+    }
+}
+
+/// Record service latency + outcome counters, stamp the timings into the
+/// outcome, and release the waiting client.
+fn finish<T: Timed>(
+    inner: &ServerInner,
+    start: Instant,
+    wait_us: u64,
+    result: Result<T, ServeError>,
+    shared: &Shared<T>,
+) {
+    let service_us = start.elapsed().as_micros() as u64;
+    inner.rec.observe("serve.service_us", service_us as f64);
+    match result {
+        Ok(mut outcome) => {
+            inner.rec.incr("serve.jobs_completed", 1);
+            outcome.set_times(wait_us, service_us);
+            shared.complete(Ok(outcome));
+        }
+        Err(e) => {
+            inner.rec.incr("serve.jobs_failed", 1);
+            shared.complete(Err(e));
+        }
+    }
+}
+
+trait Timed {
+    fn set_times(&mut self, wait_us: u64, service_us: u64);
+}
+
+impl Timed for CompileOutcome {
+    fn set_times(&mut self, wait_us: u64, service_us: u64) {
+        self.wait_us = wait_us;
+        self.service_us = service_us;
+    }
+}
+
+impl Timed for SimOutcome {
+    fn set_times(&mut self, wait_us: u64, service_us: u64) {
+        self.wait_us = wait_us;
+        self.service_us = service_us;
+    }
+}
+
+fn process_compile(inner: &ServerInner, job: CompileJob) -> Result<CompileOutcome, ServeError> {
+    let key = design_key(&job.arch, &job.circuits, &job.options);
+    let cached = inner.cache.lock().unwrap().get(key);
+    let (design, cache_hit) = match cached {
+        Some(design) => {
+            inner.rec.incr("serve.cache_hits", 1);
+            (design, true)
+        }
+        None => {
+            inner.rec.incr("serve.cache_misses", 1);
+            // The cache lock is NOT held across the compile: two tenants
+            // missing on the same key may both compile, but the artifact is
+            // deterministic, so either insert is correct and the queue
+            // never stalls behind a slow compile.
+            let design = Arc::new(CompiledDesign::compile(
+                &job.arch,
+                &job.circuits,
+                &job.options,
+            )?);
+            let evicted = inner.cache.lock().unwrap().insert(key, design.clone());
+            inner.rec.incr("serve.cache_evictions", evicted);
+            (design, false)
+        }
+    };
+    let session = SessionId(inner.next_session.fetch_add(1, Ordering::Relaxed));
+    inner
+        .sessions
+        .lock()
+        .unwrap()
+        .insert(session, Arc::new(Mutex::new(Session::new(design.clone()))));
+    Ok(CompileOutcome {
+        design,
+        session,
+        cache_hit,
+        wait_us: 0,
+        service_us: 0,
+    })
+}
+
+fn process_sim(inner: &ServerInner, job: &SimJob) -> Result<SimOutcome, ServeError> {
+    let session = inner
+        .sessions
+        .lock()
+        .unwrap()
+        .get(&job.session)
+        .cloned()
+        .ok_or(ServeError::SessionNotFound {
+            session: job.session,
+        })?;
+    let mut guard = session.lock().unwrap();
+    let s = &mut *guard;
+    if job.context >= s.design.n_contexts() {
+        return Err(SimError::ContextNotProgrammed {
+            context: job.context,
+            programmed: s.design.n_contexts(),
+        }
+        .into());
+    }
+    let kernel = s.design.kernel(job.context);
+    let regs = &mut s.regs[job.context];
+    let mut outputs = Vec::with_capacity(job.words.len());
+    for words in &job.words {
+        if words.len() != kernel.n_inputs() {
+            return Err(SimError::InputArity {
+                context: job.context,
+                expected: kernel.n_inputs(),
+                got: words.len(),
+            }
+            .into());
+        }
+        let mut out = Vec::with_capacity(kernel.n_outputs());
+        kernel.step(words, regs, &mut s.scratch, &mut out);
+        outputs.push(out);
+    }
+    Ok(SimOutcome {
+        outputs,
+        wait_us: 0,
+        service_us: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_types_cross_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Server>();
+        assert_send_sync::<Arc<CompiledDesign>>();
+        fn assert_send<T: Send>() {}
+        assert_send::<JobHandle<CompileOutcome>>();
+        assert_send::<JobHandle<SimOutcome>>();
+    }
+}

@@ -316,8 +316,10 @@ impl Device {
     /// Switch the active context (takes effect on the next evaluation —
     /// fast context switching is the MC-FPGA's raison d'être).
     ///
-    /// Panicking convenience over [`Device::try_switch_context`]; use the
-    /// checked variant on serving paths that must survive bad input.
+    /// Panicking `#[inline]` convenience wrapper over the canonical
+    /// [`Device::try_switch_context`]; use the fallible form on serving
+    /// paths that must survive bad input.
+    #[inline]
     pub fn switch_context(&mut self, context: usize) {
         self.try_switch_context(context)
             .unwrap_or_else(|e| panic!("{e}"));
@@ -337,8 +339,10 @@ impl Device {
 
     /// One clock cycle in the active context.
     ///
-    /// Panicking convenience over [`Device::try_step`]; use the checked
-    /// variant on serving paths that must survive bad input.
+    /// Panicking `#[inline]` convenience wrapper over the canonical
+    /// [`Device::try_step`]; use the fallible form on serving paths that
+    /// must survive bad input.
+    #[inline]
     pub fn step(&mut self, inputs: &[bool]) -> Vec<bool> {
         self.try_step(inputs).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -406,7 +410,9 @@ impl Device {
     /// the scalar state after every batched step, so scalar and batched
     /// stepping interleave coherently).
     ///
-    /// Panicking convenience over [`Device::try_step_batch`].
+    /// Panicking `#[inline]` convenience wrapper over the canonical
+    /// [`Device::try_step_batch`].
+    #[inline]
     pub fn step_batch(&mut self, inputs: &[u64]) -> Vec<u64> {
         self.try_step_batch(inputs)
             .unwrap_or_else(|e| panic!("{e}"))

@@ -9,7 +9,7 @@
 //! Two drivers share that contract: the scalar [`check_device_equivalence`]
 //! (one vector per cycle, the original stimulus distribution) and the
 //! batched [`check_device_equivalence_batch`], which pushes
-//! [`LANES`](crate::kernel::LANES) independent stimulus streams per word
+//! [`LANES`] independent stimulus streams per word
 //! through the compiled kernel, with context switches applied at word
 //! boundaries (all lanes switch together) and every lane replayed against
 //! its own reference state.

@@ -29,7 +29,7 @@
 //! memory mutates (fault injection via `flip_lut_bit`, reprogramming). The
 //! devices cache kernels per context against a configuration epoch; the
 //! fault campaign instead clones a healthy kernel and flips the folded table
-//! bit directly ([`CompiledKernel::flip_table_bit`]), which is equivalent
+//! bit directly (`CompiledKernel::flip_table_bit`), which is equivalent
 //! and keeps the campaign embarrassingly parallel.
 
 use mcfpga_map::MappedSource;
@@ -64,7 +64,7 @@ impl Operand {
 /// One levelized LUT instruction: up to 6 operands (the fabric's widest
 /// mode) and the truth table folded into a `u64` mask, bit `a` = output for
 /// address assignment `a` (operand 0 is the least-significant address bit).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct KernelInstr {
     ops: [Operand; 6],
     n_ops: u8,
@@ -92,7 +92,12 @@ impl KernelScratch {
 }
 
 /// A context's netlist + configuration lowered to a flat instruction stream.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the full lowered form (instruction stream, output
+/// and register taps) — two equal kernels are bit-for-bit interchangeable,
+/// which is how the serving layer proves cache hits return the cold-compile
+/// artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompiledKernel {
     n_inputs: usize,
     n_regs: usize,
@@ -145,6 +150,10 @@ impl CompiledKernel {
 
     pub fn n_instrs(&self) -> usize {
         self.instrs.len()
+    }
+
+    pub fn n_outputs(&self) -> usize {
+        self.outputs.len()
     }
 
     /// Flip one folded truth-table bit — the kernel-level image of

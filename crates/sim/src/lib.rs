@@ -16,6 +16,7 @@
 
 pub mod device;
 pub mod equivalence;
+pub mod error;
 pub mod faults;
 pub mod kernel;
 pub mod multi;
@@ -26,6 +27,7 @@ pub use equivalence::{
     check_device_equivalence, check_device_equivalence_batch, EquivalenceCheckError,
     EquivalenceError,
 };
+pub use error::Error;
 pub use faults::{lut_fault_campaign, CampaignReport, LutFault};
 pub use kernel::{CompiledKernel, KernelScratch, LANES};
 pub use multi::{CompileOptions, MultiDevice, SimError};

@@ -27,7 +27,17 @@ use crate::device::CompileError;
 use crate::kernel::{self, CompiledKernel, KernelScratch, LANES};
 
 /// Compile-pipeline knobs.
+///
+/// Marked `#[non_exhaustive]`: construct via [`CompileOptions::default`]
+/// and the `with_*` builders so future knobs stay non-breaking.
+///
+/// ```
+/// use mcfpga_sim::CompileOptions;
+/// let opts = CompileOptions::default().with_parallel(false);
+/// assert!(!opts.parallel);
+/// ```
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct CompileOptions {
     /// Fan the per-context map/place/route work out across scoped threads
     /// (one per programmed context). Contexts are fully independent — each
@@ -50,6 +60,18 @@ impl Default for CompileOptions {
 }
 
 impl CompileOptions {
+    /// Fan the per-context compile out across scoped threads (default on).
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Router knobs applied to every context.
+    pub fn with_route(mut self, route: RouteOptions) -> Self {
+        self.route = route;
+        self
+    }
+
     /// Worker threads the compile pipeline will actually use for `n_tasks`
     /// independent per-context jobs: 1 when serial, otherwise capped by both
     /// the machine's available parallelism and the task count. The
@@ -510,8 +532,10 @@ impl MultiDevice {
 
     /// Switch the active context.
     ///
-    /// Panicking convenience over [`MultiDevice::try_switch_context`]; use
-    /// the checked variant on serving paths that must survive bad input.
+    /// Panicking `#[inline]` convenience wrapper over the canonical
+    /// [`MultiDevice::try_switch_context`]; use the fallible form on
+    /// serving paths that must survive bad input.
+    #[inline]
     pub fn switch_context(&mut self, context: usize) {
         self.try_switch_context(context)
             .unwrap_or_else(|e| panic!("{e}"));
@@ -558,8 +582,10 @@ impl MultiDevice {
 
     /// One clock cycle in the active context.
     ///
-    /// Panicking convenience over [`MultiDevice::try_step`]; use the checked
-    /// variant on serving paths that must survive bad input.
+    /// Panicking `#[inline]` convenience wrapper over the canonical
+    /// [`MultiDevice::try_step`]; use the fallible form on serving paths
+    /// that must survive bad input.
+    #[inline]
     pub fn step(&mut self, inputs: &[bool]) -> Vec<bool> {
         self.try_step(inputs).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -624,7 +650,9 @@ impl MultiDevice {
     /// one complete stimulus stream. Lane 0 is bit-for-bit the scalar path
     /// and is written back to the scalar state after every batched step.
     ///
-    /// Panicking convenience over [`MultiDevice::try_step_batch`].
+    /// Panicking `#[inline]` convenience wrapper over the canonical
+    /// [`MultiDevice::try_step_batch`].
+    #[inline]
     pub fn step_batch(&mut self, inputs: &[u64]) -> Vec<u64> {
         self.try_step_batch(inputs)
             .unwrap_or_else(|e| panic!("{e}"))
@@ -713,10 +741,59 @@ impl MultiDevice {
         &self.states[context]
     }
 
+    /// Number of programmed contexts.
+    pub fn n_contexts(&self) -> usize {
+        self.mapped.len()
+    }
+
+    /// Primary-input count of `context`'s netlist.
+    pub fn n_inputs(&self, context: usize) -> Result<usize, SimError> {
+        self.check_context(context)?;
+        Ok(self.mapped[context].n_inputs)
+    }
+
+    /// Primary-output count of `context`'s netlist.
+    pub fn n_outputs(&self, context: usize) -> Result<usize, SimError> {
+        self.check_context(context)?;
+        Ok(self.mapped[context].outputs.len())
+    }
+
+    /// The power-on register state of `context` — what [`MultiDevice::reset`]
+    /// restores, independent of any stepping done since compile.
+    pub fn initial_registers(&self, context: usize) -> Result<Vec<bool>, SimError> {
+        self.check_context(context)?;
+        Ok(self.mapped[context].initial_state().bits)
+    }
+
+    /// Build (and cache) `context`'s compiled batch kernel, returning a
+    /// shared reference. Serving layers clone the kernel out once per
+    /// design so sessions can step it without holding the device.
+    pub fn kernel(&mut self, context: usize) -> Result<&CompiledKernel, SimError> {
+        self.check_context(context)?;
+        if self.kernels[context].is_none() {
+            let _span = self.recorder.span("sim_kernel_build");
+            let kernel = self.build_kernel(context);
+            self.kernels[context] = Some(kernel);
+        }
+        Ok(self.kernels[context].as_ref().expect("kernel built above"))
+    }
+
+    fn check_context(&self, context: usize) -> Result<(), SimError> {
+        if context >= self.mapped.len() {
+            return Err(SimError::ContextNotProgrammed {
+                context,
+                programmed: self.mapped.len(),
+            });
+        }
+        Ok(())
+    }
+
     /// Overwrite a context's register state.
     ///
-    /// Panicking convenience over [`MultiDevice::try_set_registers`]; use
-    /// the checked variant on serving paths that must survive bad input.
+    /// Panicking `#[inline]` convenience wrapper over the canonical
+    /// [`MultiDevice::try_set_registers`]; use the fallible form on
+    /// serving paths that must survive bad input.
+    #[inline]
     pub fn set_registers(&mut self, context: usize, bits: &[bool]) {
         self.try_set_registers(context, bits)
             .unwrap_or_else(|e| panic!("{e}"));

@@ -13,7 +13,13 @@ batched-over-scalar speedup has a hard floor (the bit-parallel kernel must
 actually pay for itself), and the seeded fault campaign's detection counts
 must reproduce exactly.
 
-Usage: check_bench_regression.py [fresh] [baseline] [fresh_sim]
+When the baseline carries a "serve" section, a fresh BENCH_serve.json is
+gated too: the repeat-submission phase must hit cache on 100% of jobs,
+concurrent sessions must show zero divergences from their private replays,
+4-worker throughput may not collapse below baseline, and — only on runners
+with at least 4 cores — 1→4 worker scaling has a hard floor.
+
+Usage: check_bench_regression.py [fresh] [baseline] [fresh_sim] [fresh_serve]
 Exits non-zero listing every regression found.
 """
 
@@ -29,6 +35,11 @@ TIME_FLOOR_US = 1_000
 # The 64-lane kernel must beat the scalar interpreter by at least this much
 # on any runner; anything lower means the batched path stopped paying off.
 SIM_SPEEDUP_FLOOR = 8.0
+# 1->4 worker throughput scaling floor for the serving layer, enforced only
+# on runners whose available_parallelism is at least this many cores (a
+# 1-core container cannot scale no matter how good the code is).
+SERVE_SCALING_FLOOR = 2.0
+SERVE_SCALING_MIN_CORES = 4
 
 
 def main() -> int:
@@ -118,6 +129,41 @@ def main() -> int:
                         f"sim.{key}: {sim[key]} vs baseline {sim_base[key]} "
                         f"(seeded campaign must be deterministic)")
 
+    serve_checked = False
+    if "serve" in base:
+        serve_path = sys.argv[4] if len(sys.argv) > 4 else "BENCH_serve.json"
+        try:
+            serve = json.load(open(serve_path))
+        except OSError:
+            errors.append(f"baseline has a serve section but {serve_path} is missing")
+            serve = None
+        if serve is not None:
+            serve_checked = True
+            serve_base = base["serve"]
+            # The repeat phase resubmits byte-identical content: anything
+            # short of a 100% hit rate means the content address broke.
+            if serve["repeat_cache_hit_rate"] != 1.0:
+                errors.append(
+                    f"serve.repeat_cache_hit_rate: "
+                    f"{serve['repeat_cache_hit_rate']:.3f} (must be exactly 1.0)")
+            # Sessions are verified word-for-word against private replays.
+            if serve["cross_session_divergences"] != 0:
+                errors.append(
+                    f"serve.cross_session_divergences: "
+                    f"{serve['cross_session_divergences']} (must be 0)")
+            want = serve_base["throughput_jobs_per_sec_4w"]
+            if serve["throughput_jobs_per_sec_4w"] < want / TIME_BLOWUP:
+                errors.append(
+                    f"serve.throughput_jobs_per_sec_4w: "
+                    f"{serve['throughput_jobs_per_sec_4w']:.2f}/s vs baseline "
+                    f"{want:.2f}/s (> {TIME_BLOWUP:.0f}x slower)")
+            if serve["available_parallelism"] >= SERVE_SCALING_MIN_CORES:
+                if serve["scaling_1_to_4"] < SERVE_SCALING_FLOOR:
+                    errors.append(
+                        f"serve.scaling_1_to_4: {serve['scaling_1_to_4']:.2f}x "
+                        f"on a {serve['available_parallelism']}-core runner "
+                        f"(floor {SERVE_SCALING_FLOOR:.0f}x)")
+
     if errors:
         print(f"BENCH regression vs {base_path}:")
         for e in errors:
@@ -125,7 +171,8 @@ def main() -> int:
         return 1
     print(f"BENCH_flow.json within tolerance of {base_path} "
           f"({len(base_points)} area points, {len(base_phases)} phases"
-          + (", sim gate OK" if sim_checked else "") + ").")
+          + (", sim gate OK" if sim_checked else "")
+          + (", serve gate OK" if serve_checked else "") + ").")
     return 0
 
 

@@ -26,7 +26,11 @@ fn run_instrumented_flow() -> (mcfpga::flow::FlowOutcome, Recorder) {
         library::comparator(4),
     ];
     let rec = Recorder::enabled();
-    let outcome = mcfpga::flow::run_flow_with(&arch, &circuits, 10, &rec).expect("flow compiles");
+    let outcome = mcfpga::flow::Flow::builder()
+        .recorder(&rec)
+        .sim_cycles(10)
+        .run(&arch, &circuits)
+        .expect("flow compiles");
     (outcome, rec)
 }
 
@@ -269,14 +273,14 @@ fn disabled_recorder_flow_is_equivalent_and_silent() {
     let arch = ArchSpec::paper_default();
     let circuits = vec![library::adder(4)];
     let rec = Recorder::disabled();
-    let outcome = mcfpga::flow::run_flow_with(&arch, &circuits, 5, &rec).expect("flow compiles");
+    let outcome = mcfpga::flow::run_flow(&arch, &circuits, 5, &rec).expect("flow compiles");
     assert!(outcome.report.spans.is_empty());
     assert!(outcome.report.counters.is_empty());
     assert!(rec.trace_events().is_empty(), "disabled recorder traced");
     assert!(outcome.report.reconfig.is_none());
     // Identical compile result to the instrumented run (determinism).
     let rec2 = Recorder::enabled();
-    let outcome2 = mcfpga::flow::run_flow_with(&arch, &circuits, 5, &rec2).expect("flow compiles");
+    let outcome2 = mcfpga::flow::run_flow(&arch, &circuits, 5, &rec2).expect("flow compiles");
     assert_eq!(outcome.cmos.ratio, outcome2.cmos.ratio);
     assert_eq!(
         outcome.device.critical_delay(),
