@@ -45,8 +45,12 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize, Value};
 
+pub mod correlate;
+pub mod histogram;
 pub mod trace;
 
+pub use correlate::{job_ids, job_trace, JobSpan, JobTrace};
+pub use histogram::LogHistogram;
 pub use trace::{
     current_thread_id, ReconfigTelemetry, SwitchTelemetry, TraceEvent, TracePhase, TraceValue,
 };
@@ -86,6 +90,10 @@ pub struct GaugeEntry {
 }
 
 /// Summary statistics of one histogram's samples.
+///
+/// Count, min, max, and mean are exact; the percentiles come from the
+/// fixed-size [`LogHistogram`] buckets, accurate to within ~1% relative
+/// error (see the [`histogram`] module docs).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistogramEntry {
     pub name: String,
@@ -96,6 +104,7 @@ pub struct HistogramEntry {
     pub p50: f64,
     pub p90: f64,
     pub p99: f64,
+    pub p999: f64,
 }
 
 /// Machine-readable snapshot of everything a [`Recorder`] collected.
@@ -151,8 +160,17 @@ struct Inner {
     spans: Mutex<Vec<SpanRecord>>,
     counters: Mutex<BTreeMap<String, u64>>,
     gauges: Mutex<BTreeMap<String, f64>>,
-    histograms: Mutex<BTreeMap<String, Vec<f64>>>,
+    // Bounded log-bucketed storage: memory is O(histogram names), not
+    // O(samples), so a long-running server cannot grow without bound.
+    histograms: Mutex<BTreeMap<String, LogHistogram>>,
     events: Mutex<trace::TraceRing>,
+}
+
+/// Request-scoped correlation a [`Recorder::correlated`] handle stamps onto
+/// every trace event it emits.
+struct Correlation {
+    job: u64,
+    tenant: String,
 }
 
 impl Inner {
@@ -171,7 +189,13 @@ impl Inner {
         self.origin.elapsed().as_micros() as u64
     }
 
-    fn push_event(&self, name: &str, phase: TracePhase, args: &[(&str, TraceValue)]) {
+    fn push_event(
+        &self,
+        name: &str,
+        phase: TracePhase,
+        args: &[(&str, TraceValue)],
+        corr: Option<&Correlation>,
+    ) {
         let event = TraceEvent {
             name: name.to_string(),
             phase,
@@ -181,6 +205,8 @@ impl Inner {
                 .iter()
                 .map(|(k, v)| (k.to_string(), v.clone()))
                 .collect(),
+            job: corr.map(|c| c.job),
+            tenant: corr.map(|c| c.tenant.clone()),
         };
         self.events.lock().unwrap().push(event);
     }
@@ -199,6 +225,9 @@ thread_local! {
 #[derive(Clone, Default)]
 pub struct Recorder {
     inner: Option<Arc<Inner>>,
+    // Correlation stamped onto every trace event this handle emits; clones
+    // made via `correlated` share the same collector but tag their events.
+    corr: Option<Arc<Correlation>>,
 }
 
 impl std::fmt::Debug for Recorder {
@@ -222,16 +251,39 @@ impl Recorder {
     pub fn enabled_with_capacity(trace_capacity: usize) -> Recorder {
         Recorder {
             inner: Some(Arc::new(Inner::new(trace_capacity))),
+            corr: None,
         }
     }
 
     /// A recorder whose every operation is a no-op.
     pub fn disabled() -> Recorder {
-        Recorder { inner: None }
+        Recorder {
+            inner: None,
+            corr: None,
+        }
     }
 
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// A handle onto the *same* collector whose trace events additionally
+    /// carry `(job, tenant)` correlation — the request-scoped view
+    /// [`correlate::job_trace`] reconstructs. Aggregates (counters, gauges,
+    /// histograms, spans) are shared and unaffected; only [`TraceEvent`]s
+    /// emitted through this handle (and code it is passed to) are tagged.
+    ///
+    /// Correlating a disabled recorder stays a no-op.
+    pub fn correlated(&self, job: u64, tenant: &str) -> Recorder {
+        Recorder {
+            inner: self.inner.clone(),
+            corr: self.inner.as_ref().map(|_| {
+                Arc::new(Correlation {
+                    job,
+                    tenant: tenant.to_string(),
+                })
+            }),
+        }
     }
 
     /// Open a span. The span closes (and is recorded) when the returned guard
@@ -273,7 +325,8 @@ impl Recorder {
         }
     }
 
-    /// Record one sample into the histogram `name`.
+    /// Record one sample into the histogram `name` (fixed-size log-bucketed
+    /// storage; see [`LogHistogram`]).
     pub fn observe(&self, name: &str, value: f64) {
         if let Some(inner) = &self.inner {
             inner
@@ -282,8 +335,21 @@ impl Recorder {
                 .unwrap()
                 .entry(name.to_string())
                 .or_default()
-                .push(value);
+                .record(value);
         }
+    }
+
+    /// Summary of histogram `name` as collected so far, if any sample was
+    /// observed — the live-query form of [`RunReport::histogram`].
+    pub fn histogram(&self, name: &str) -> Option<HistogramEntry> {
+        self.inner.as_ref().and_then(|inner| {
+            inner
+                .histograms
+                .lock()
+                .unwrap()
+                .get(name)
+                .map(|h| h.entry(name))
+        })
     }
 
     /// Record an instant trace event with typed key/value args.
@@ -293,7 +359,7 @@ impl Recorder {
     /// paths, or gate expensive payloads on [`Recorder::is_enabled`].
     pub fn instant(&self, name: &str, args: &[(&str, TraceValue)]) {
         if let Some(inner) = &self.inner {
-            inner.push_event(name, TracePhase::Instant, args);
+            inner.push_event(name, TracePhase::Instant, args, self.corr.as_deref());
         }
     }
 
@@ -305,9 +371,11 @@ impl Recorder {
         match &self.inner {
             None => TraceGuard { active: None },
             Some(inner) => {
-                inner.push_event(name, TracePhase::Begin, args);
+                inner.push_event(name, TracePhase::Begin, args, self.corr.as_deref());
                 TraceGuard {
-                    active: Some((Arc::clone(inner), name.to_string())),
+                    // The guard carries the correlation so the End edge is
+                    // tagged like its Begin (job_trace needs both).
+                    active: Some((Arc::clone(inner), name.to_string(), self.corr.clone())),
                 }
             }
         }
@@ -327,6 +395,13 @@ impl Recorder {
             .map_or(0, |inner| inner.events.lock().unwrap().dropped())
     }
 
+    /// Bound on buffered trace events (0 for a disabled recorder).
+    pub fn trace_capacity(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.events.lock().unwrap().capacity())
+    }
+
     /// Export spans and trace events as Chrome trace-event JSON, viewable in
     /// `chrome://tracing` or <https://ui.perfetto.dev>.
     ///
@@ -337,6 +412,7 @@ impl Recorder {
     pub fn chrome_trace_json(&self) -> String {
         let mut out: Vec<Value> = Vec::new();
         let mut dropped = 0u64;
+        let capacity = self.trace_capacity();
         if let Some(inner) = &self.inner {
             for s in inner.spans.lock().unwrap().iter() {
                 out.push(Value::Object(vec![
@@ -371,16 +447,20 @@ impl Recorder {
                     // Thread-scoped instant marker.
                     obj.push(("s".to_string(), Value::Str("t".to_string())));
                 }
-                if !e.args.is_empty() {
-                    obj.push((
-                        "args".to_string(),
-                        Value::Object(
-                            e.args
-                                .iter()
-                                .map(|(k, v)| (k.clone(), v.to_json()))
-                                .collect(),
-                        ),
-                    ));
+                let mut args: Vec<(String, Value)> = e
+                    .args
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_json()))
+                    .collect();
+                // Correlation rides in args so Perfetto can filter on it.
+                if let Some(job) = e.job {
+                    args.push(("job".to_string(), Value::U64(job)));
+                }
+                if let Some(tenant) = &e.tenant {
+                    args.push(("tenant".to_string(), Value::Str(tenant.clone())));
+                }
+                if !args.is_empty() {
+                    obj.push(("args".to_string(), Value::Object(args)));
                 }
                 out.push(Value::Object(obj));
             }
@@ -389,8 +469,14 @@ impl Recorder {
             ("traceEvents".to_string(), Value::Array(out)),
             ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
             (
+                // Truncated exports are self-describing: how many events the
+                // ring evicted and how big it was.
                 "otherData".to_string(),
-                Value::Object(vec![("dropped_events".to_string(), Value::U64(dropped))]),
+                Value::Object(vec![
+                    ("dropped_events".to_string(), Value::U64(dropped)),
+                    ("trace_capacity".to_string(), Value::U64(capacity as u64)),
+                    ("trace_truncated".to_string(), Value::Bool(dropped > 0)),
+                ]),
             ),
         ]);
         serde_json::to_string_pretty(&doc).expect("value trees always serialize")
@@ -457,7 +543,7 @@ impl Recorder {
             .lock()
             .unwrap()
             .iter()
-            .map(|(name, samples)| summarize(name, samples))
+            .map(|(name, h)| h.entry(name))
             .collect();
         RunReport {
             name: name.to_string(),
@@ -474,35 +560,22 @@ impl Recorder {
 /// RAII guard pairing a `Begin` trace event with its `End`, emitted on drop.
 #[must_use = "the matching End event is emitted when this guard drops; binding it to `_` ends it immediately"]
 pub struct TraceGuard {
-    active: Option<(Arc<Inner>, String)>,
+    active: Option<(Arc<Inner>, String, Option<Arc<Correlation>>)>,
 }
 
 impl Drop for TraceGuard {
     fn drop(&mut self) {
-        if let Some((inner, name)) = self.active.take() {
-            inner.push_event(&name, TracePhase::End, &[]);
+        if let Some((inner, name, corr)) = self.active.take() {
+            inner.push_event(&name, TracePhase::End, &[], corr.as_deref());
         }
     }
 }
 
-fn summarize(name: &str, samples: &[f64]) -> HistogramEntry {
-    let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let count = sorted.len();
-    let sum: f64 = sorted.iter().sum();
-    HistogramEntry {
-        name: name.to_string(),
-        count,
-        min: sorted.first().copied().unwrap_or(0.0),
-        max: sorted.last().copied().unwrap_or(0.0),
-        mean: if count == 0 { 0.0 } else { sum / count as f64 },
-        p50: percentile(&sorted, 50.0),
-        p90: percentile(&sorted, 90.0),
-        p99: percentile(&sorted, 99.0),
-    }
-}
-
-/// Nearest-rank percentile over an already-sorted sample slice.
+/// Exact nearest-rank percentile over an already-sorted sample slice.
+///
+/// This is the reference implementation the bucketed [`LogHistogram`]
+/// quantiles are property-tested against; live histograms no longer keep
+/// raw samples, but code that does (tests, benches) can still use this.
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -609,13 +682,77 @@ mod tests {
         }
         let report = rec.report("hist");
         let h = report.histogram("latency").expect("histogram present");
+        // Count/min/max/mean are exact; percentiles are log-bucketed and
+        // guaranteed within 1% of the exact nearest-rank values.
         assert_eq!(h.count, 100);
         assert_eq!(h.min, 1.0);
         assert_eq!(h.max, 100.0);
         assert!((h.mean - 50.5).abs() < 1e-9);
-        assert_eq!(h.p50, 50.0);
-        assert_eq!(h.p90, 90.0);
-        assert_eq!(h.p99, 99.0);
+        assert!((h.p50 - 50.0).abs() <= 0.5, "p50 = {}", h.p50);
+        assert!((h.p90 - 90.0).abs() <= 0.9, "p90 = {}", h.p90);
+        assert!((h.p99 - 99.0).abs() <= 0.99, "p99 = {}", h.p99);
+        assert!((h.p999 - 100.0).abs() <= 1.0, "p999 = {}", h.p999);
+        // The live-query view agrees with the report.
+        assert_eq!(rec.histogram("latency"), Some(h.clone()));
+        assert_eq!(rec.histogram("absent"), None);
+    }
+
+    #[test]
+    fn correlated_handles_tag_events_but_share_aggregates() {
+        let rec = Recorder::enabled();
+        let crec = rec.correlated(42, "tenant-x");
+        crec.incr("jobs", 1);
+        rec.incr("jobs", 1);
+        crec.instant("job_submitted", &[]);
+        {
+            let _g = crec.begin("compile_job", &[]);
+        }
+        rec.instant("background_tick", &[]);
+
+        // Aggregates land in the one shared collector.
+        assert_eq!(rec.counter("jobs"), 2);
+
+        let events = rec.trace_events();
+        assert_eq!(events.len(), 4);
+        for e in &events[..3] {
+            assert_eq!(e.job, Some(42), "{} must carry the job id", e.name);
+            assert_eq!(e.tenant.as_deref(), Some("tenant-x"));
+        }
+        assert_eq!(events[3].job, None);
+        assert_eq!(events[3].tenant, None);
+
+        // The Chrome export surfaces correlation as args and describes the
+        // ring so truncated traces are self-evident.
+        let doc = serde_json::parse(&rec.chrome_trace_json()).expect("valid JSON");
+        let exported = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        let begin = exported
+            .iter()
+            .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("compile_job"))
+            .expect("begin exported");
+        let args = begin.get("args").expect("correlation args");
+        assert_eq!(args.get("job").and_then(|v| v.as_u64()), Some(42));
+        assert_eq!(
+            args.get("tenant").and_then(|v| v.as_str()),
+            Some("tenant-x")
+        );
+        let other = doc.get("otherData").expect("metadata");
+        assert_eq!(
+            other.get("dropped_events").and_then(|v| v.as_u64()),
+            Some(0)
+        );
+        assert_eq!(
+            other.get("trace_capacity").and_then(|v| v.as_u64()),
+            Some(DEFAULT_TRACE_CAPACITY as u64)
+        );
+        assert_eq!(
+            other.get("trace_truncated").and_then(|v| v.as_bool()),
+            Some(false)
+        );
+
+        // A disabled recorder stays a no-op through correlation.
+        let off = Recorder::disabled().correlated(1, "t");
+        off.instant("x", &[]);
+        assert!(off.trace_events().is_empty());
     }
 
     #[test]

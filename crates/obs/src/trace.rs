@@ -144,6 +144,11 @@ pub struct TraceEvent {
     /// Small sequential id of the emitting thread (process-wide).
     pub tid: u64,
     pub args: Vec<(String, TraceValue)>,
+    /// Request-scoped correlation id, when the event was emitted through a
+    /// [`crate::Recorder::correlated`] handle (see [`crate::correlate`]).
+    pub job: Option<u64>,
+    /// Tenant label riding with the correlation id.
+    pub tenant: Option<String>,
 }
 
 impl TraceEvent {
@@ -160,6 +165,11 @@ impl TraceEvent {
     /// Numeric argument, if present.
     pub fn arg_f64(&self, key: &str) -> Option<f64> {
         self.arg(key).and_then(TraceValue::as_f64)
+    }
+
+    /// String argument, if present.
+    pub fn arg_str(&self, key: &str) -> Option<&str> {
+        self.arg(key).and_then(TraceValue::as_str)
     }
 }
 
@@ -198,6 +208,10 @@ impl TraceRing {
 
     pub(crate) fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
     }
 }
 
@@ -318,6 +332,8 @@ mod tests {
                 ("n_general".into(), 1usize.into()),
                 ("se_cost_total".into(), 13u64.into()),
             ],
+            job: None,
+            tenant: None,
         }
     }
 
@@ -331,6 +347,8 @@ mod tests {
                 ts_us: i,
                 tid: 1,
                 args: vec![],
+                job: None,
+                tenant: None,
             });
         }
         let kept = ring.snapshot();
@@ -349,6 +367,8 @@ mod tests {
             ts_us: 0,
             tid: 1,
             args: vec![],
+            job: None,
+            tenant: None,
         });
         assert!(ring.snapshot().is_empty());
         assert_eq!(ring.dropped(), 1);
@@ -365,6 +385,8 @@ mod tests {
                 ts_us: 0,
                 tid: 1,
                 args: vec![],
+                job: None,
+                tenant: None,
             },
         ];
         let t = ReconfigTelemetry::from_events(&events).expect("telemetry");

@@ -1,0 +1,226 @@
+//! Pluggable admission control: turn live overload telemetry into shed
+//! decisions *before* a job is enqueued.
+//!
+//! The hard queue-capacity bound is not a policy — a full queue always
+//! rejects with [`crate::SubmitError::QueueFull`], exactly as before. An
+//! [`AdmissionPolicy`] runs *after* that check and may shed a submission
+//! that would otherwise fit, based on the [`AdmissionContext`] the server
+//! assembles from its health counters (queue depth and high watermark,
+//! the submitting tenant's in-flight count, the rolling wait-time p99).
+//!
+//! Every shed is attributable: the server bumps `serve.shed.total` and
+//! `serve.shed.<reason>` counters, charges the tenant's
+//! [`crate::TenantStats::shed`], and emits a correlated `job_shed` trace
+//! instant carrying the job id, tenant, and reason — so an operator can
+//! reconstruct exactly which tenant lost which jobs and why.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Which kind of work a submission carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobKind {
+    Compile,
+    Sim,
+}
+
+impl JobKind {
+    /// Stable lowercase name, used in trace args and metric labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobKind::Compile => "compile",
+            JobKind::Sim => "sim",
+        }
+    }
+}
+
+/// The live overload signals an [`AdmissionPolicy`] decides on. Assembled
+/// by the server at submit time; `#[non_exhaustive]` so new signals can be
+/// added without breaking external policies.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct AdmissionContext<'a> {
+    /// Tenant label of the submission (the default tenant when unlabeled).
+    pub tenant: &'a str,
+    /// What the submission would run.
+    pub kind: JobKind,
+    /// Jobs queued right now (the submission is not yet among them).
+    pub queue_depth: usize,
+    /// Hard queue bound; `queue_depth < queue_capacity` is already checked.
+    pub queue_capacity: usize,
+    /// Deepest the queue has ever been on this server.
+    pub queue_depth_hwm: usize,
+    /// The submitting tenant's accepted-but-not-finished job count.
+    pub tenant_inflight: u64,
+    /// Rolling-window p99 of queue wait, in microseconds (0 until enough
+    /// jobs have been dequeued to estimate it).
+    pub rolling_wait_p99_us: f64,
+}
+
+/// Why a submission was shed. Carried in [`crate::SubmitError::Shed`] and
+/// summarized per-reason in `serve.shed.*` counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Queue depth reached the policy's watermark (soft bound below the
+    /// hard capacity).
+    QueueWatermark { depth: usize, watermark: usize },
+    /// The tenant already has its cap of in-flight jobs.
+    TenantInflight { inflight: u64, cap: u64 },
+    /// A custom policy shed for its own reason.
+    Policy(String),
+}
+
+impl ShedReason {
+    /// Stable counter suffix: `serve.shed.<key>`.
+    pub fn key(&self) -> &'static str {
+        match self {
+            ShedReason::QueueWatermark { .. } => "queue_watermark",
+            ShedReason::TenantInflight { .. } => "tenant_inflight",
+            ShedReason::Policy(_) => "policy",
+        }
+    }
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShedReason::QueueWatermark { depth, watermark } => {
+                write!(f, "queue depth {depth} at watermark {watermark}")
+            }
+            ShedReason::TenantInflight { inflight, cap } => {
+                write!(f, "tenant has {inflight} jobs in flight (cap {cap})")
+            }
+            ShedReason::Policy(why) => write!(f, "policy: {why}"),
+        }
+    }
+}
+
+/// What the policy decided for one submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Enqueue the job.
+    Admit,
+    /// Refuse it with [`crate::SubmitError::Shed`].
+    Shed(ShedReason),
+}
+
+/// A load-shedding policy consulted once per submission, after the hard
+/// capacity check. Implementations must be cheap (they run under the queue
+/// lock) and side-effect free — the server does all the accounting.
+pub trait AdmissionPolicy: fmt::Debug + Send + Sync {
+    fn admit(&self, ctx: &AdmissionContext<'_>) -> AdmissionDecision;
+}
+
+/// The default policy: watermark-based shedding, off until configured.
+///
+/// With both knobs `None` (the default) it admits everything, so a default
+/// server behaves exactly as before — backpressure only at hard capacity.
+///
+/// ```
+/// use mcfpga_serve::{ServeConfig, WatermarkAdmission};
+/// use std::sync::Arc;
+///
+/// let cfg = ServeConfig::default().with_admission(Arc::new(
+///     WatermarkAdmission::default()
+///         .with_queue_watermark(24)
+///         .with_tenant_inflight_cap(4),
+/// ));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WatermarkAdmission {
+    /// Shed any submission arriving while `queue_depth >= watermark`.
+    pub queue_watermark: Option<usize>,
+    /// Shed a tenant's submission while it has this many jobs in flight.
+    pub tenant_inflight_cap: Option<u64>,
+}
+
+impl WatermarkAdmission {
+    /// Soft queue-depth bound (below the hard capacity).
+    pub fn with_queue_watermark(mut self, watermark: usize) -> Self {
+        self.queue_watermark = Some(watermark);
+        self
+    }
+
+    /// Per-tenant in-flight cap — the aggressor-isolation lever: one tenant
+    /// flooding the server sheds against its own cap while others admit.
+    pub fn with_tenant_inflight_cap(mut self, cap: u64) -> Self {
+        self.tenant_inflight_cap = Some(cap);
+        self
+    }
+}
+
+impl AdmissionPolicy for WatermarkAdmission {
+    fn admit(&self, ctx: &AdmissionContext<'_>) -> AdmissionDecision {
+        if let Some(watermark) = self.queue_watermark {
+            if ctx.queue_depth >= watermark {
+                return AdmissionDecision::Shed(ShedReason::QueueWatermark {
+                    depth: ctx.queue_depth,
+                    watermark,
+                });
+            }
+        }
+        if let Some(cap) = self.tenant_inflight_cap {
+            if ctx.tenant_inflight >= cap {
+                return AdmissionDecision::Shed(ShedReason::TenantInflight {
+                    inflight: ctx.tenant_inflight,
+                    cap,
+                });
+            }
+        }
+        AdmissionDecision::Admit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(depth: usize, inflight: u64) -> AdmissionContext<'static> {
+        AdmissionContext {
+            tenant: "t",
+            kind: JobKind::Sim,
+            queue_depth: depth,
+            queue_capacity: 64,
+            queue_depth_hwm: depth,
+            tenant_inflight: inflight,
+            rolling_wait_p99_us: 0.0,
+        }
+    }
+
+    #[test]
+    fn default_policy_admits_everything() {
+        let p = WatermarkAdmission::default();
+        assert_eq!(p.admit(&ctx(63, 1_000_000)), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn watermark_sheds_at_and_above_the_line() {
+        let p = WatermarkAdmission::default().with_queue_watermark(4);
+        assert_eq!(p.admit(&ctx(3, 0)), AdmissionDecision::Admit);
+        match p.admit(&ctx(4, 0)) {
+            AdmissionDecision::Shed(
+                r @ ShedReason::QueueWatermark {
+                    depth: 4,
+                    watermark: 4,
+                },
+            ) => {
+                assert_eq!(r.key(), "queue_watermark");
+            }
+            other => panic!("expected watermark shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inflight_cap_sheds_the_saturated_tenant_only() {
+        let p = WatermarkAdmission::default().with_tenant_inflight_cap(2);
+        assert_eq!(p.admit(&ctx(0, 1)), AdmissionDecision::Admit);
+        match p.admit(&ctx(0, 2)) {
+            AdmissionDecision::Shed(ShedReason::TenantInflight {
+                inflight: 2,
+                cap: 2,
+            }) => {}
+            other => panic!("expected inflight shed, got {other:?}"),
+        }
+    }
+}

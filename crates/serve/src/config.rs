@@ -1,6 +1,9 @@
 //! Server sizing knobs.
 
+use std::sync::Arc;
 use std::time::Duration;
+
+use crate::admission::{AdmissionPolicy, WatermarkAdmission};
 
 /// Sizing and policy knobs for a [`crate::Server`].
 ///
@@ -34,6 +37,9 @@ pub struct ServeConfig {
     /// queued when its deadline elapses completes with
     /// [`crate::ServeError::Deadline`] instead of running.
     pub default_deadline: Option<Duration>,
+    /// Load-shedding policy consulted after the hard capacity check. The
+    /// default ([`WatermarkAdmission::default`]) never sheds.
+    pub admission: Arc<dyn AdmissionPolicy>,
 }
 
 impl Default for ServeConfig {
@@ -43,6 +49,7 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             cache_capacity: 32,
             default_deadline: None,
+            admission: Arc::new(WatermarkAdmission::default()),
         }
     }
 }
@@ -69,6 +76,14 @@ impl ServeConfig {
     /// Deadline for jobs that don't carry their own.
     pub fn with_default_deadline(mut self, deadline: Option<Duration>) -> Self {
         self.default_deadline = deadline;
+        self
+    }
+
+    /// Admission policy; every shed it causes surfaces as
+    /// [`crate::SubmitError::Shed`], `serve.shed.*` counters, the tenant's
+    /// shed count, and a correlated `job_shed` trace event.
+    pub fn with_admission(mut self, admission: Arc<dyn AdmissionPolicy>) -> Self {
+        self.admission = admission;
         self
     }
 

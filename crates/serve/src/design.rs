@@ -52,17 +52,31 @@ pub struct CompiledDesign {
 }
 
 impl CompiledDesign {
-    /// Compile `circuits` onto `arch` and extract the serving artifact.
-    /// The device's own telemetry is discarded (disabled recorder): the
-    /// serving layer reports queue/cache/latency metrics, not per-phase
-    /// compile spans.
+    /// Compile `circuits` onto `arch` and extract the serving artifact,
+    /// discarding the device's own telemetry (disabled recorder). Inside a
+    /// server, compiles instead run through [`CompiledDesign::compile_with`]
+    /// so per-phase spans land in the serving trace, correlated to the job
+    /// that caused them.
     pub fn compile(
         arch: &ArchSpec,
         circuits: &[Netlist],
         options: &CompileOptions,
     ) -> Result<CompiledDesign, CompileError> {
+        CompiledDesign::compile_with(arch, circuits, options, &Recorder::disabled())
+    }
+
+    /// Like [`CompiledDesign::compile`], but routing the compile pipeline's
+    /// telemetry (per-context map/place/route spans) into `rec`. When `rec`
+    /// is a [`Recorder::correlated`] handle, every span is stamped with the
+    /// owning job id and tenant.
+    pub fn compile_with(
+        arch: &ArchSpec,
+        circuits: &[Netlist],
+        options: &CompileOptions,
+        rec: &Recorder,
+    ) -> Result<CompiledDesign, CompileError> {
         let start = std::time::Instant::now();
-        let mut device = MultiDevice::compile_opts(arch, circuits, options, &Recorder::disabled())?;
+        let mut device = MultiDevice::compile_opts(arch, circuits, options, rec)?;
         let n = device.n_contexts();
         let mut kernels = Vec::with_capacity(n);
         let mut initial_regs = Vec::with_capacity(n);

@@ -1,6 +1,7 @@
 //! Typed failures of the serving layer: rejection at the door
 //! ([`SubmitError`]) and failure after acceptance ([`ServeError`]).
 
+use crate::admission::ShedReason;
 use crate::server::SessionId;
 
 /// A submission the server refused to enqueue. The job never ran; the
@@ -9,6 +10,10 @@ use crate::server::SessionId;
 pub enum SubmitError {
     /// The bounded submission queue is at capacity — explicit backpressure.
     QueueFull { capacity: usize },
+    /// The admission policy refused the job while the queue still had room
+    /// (overload protection; see [`crate::AdmissionPolicy`]). The reason is
+    /// also counted under `serve.shed.*` and traced as a `job_shed` event.
+    Shed { reason: ShedReason },
     /// The server is shutting down and accepts no new work.
     Shutdown,
 }
@@ -19,6 +24,7 @@ impl std::fmt::Display for SubmitError {
             SubmitError::QueueFull { capacity } => {
                 write!(f, "submission queue full ({capacity} jobs)")
             }
+            SubmitError::Shed { reason } => write!(f, "shed by admission policy: {reason}"),
             SubmitError::Shutdown => write!(f, "server is shutting down"),
         }
     }

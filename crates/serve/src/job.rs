@@ -11,6 +11,20 @@ use crate::design::CompiledDesign;
 use crate::error::ServeError;
 use crate::server::SessionId;
 
+/// Server-assigned identity of one accepted job, stamped on every trace
+/// event the job emits (see `mcfpga_obs::job_trace`) and carried in its
+/// outcome — the correlation key tying a client's result back to the exact
+/// queue wait, cache lookup, and per-context compile spans it caused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub(crate) u64);
+
+impl JobId {
+    /// The raw id, matching the `job` field on correlated trace events.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Compile a netlist set onto an architecture. Repeat submissions with the
 /// same content hit the server's design cache instead of recompiling.
 #[derive(Debug, Clone)]
@@ -19,6 +33,7 @@ pub struct CompileJob {
     pub(crate) circuits: Vec<Netlist>,
     pub(crate) options: CompileOptions,
     pub(crate) deadline: Option<Duration>,
+    pub(crate) tenant: Option<String>,
 }
 
 impl CompileJob {
@@ -30,6 +45,7 @@ impl CompileJob {
             circuits,
             options: CompileOptions::default(),
             deadline: None,
+            tenant: None,
         }
     }
 
@@ -46,12 +62,22 @@ impl CompileJob {
         self.deadline = Some(deadline);
         self
     }
+
+    /// Tenant label this job is accounted to (see
+    /// [`crate::Server::tenant_stats`]) and tagged with in the trace ring.
+    /// Unlabeled jobs are charged to [`crate::DEFAULT_TENANT`].
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
 }
 
 /// What a completed [`CompileJob`] yields: the shared artifact, a fresh
 /// session bound to it, and where the time went.
 #[derive(Debug, Clone)]
 pub struct CompileOutcome {
+    /// The server-assigned job id — the trace correlation key.
+    pub job: JobId,
     /// The compiled artifact (shared with the cache and other sessions).
     pub design: Arc<CompiledDesign>,
     /// A fresh session holding private register state for this tenant.
@@ -74,6 +100,7 @@ pub struct SimJob {
     pub(crate) context: usize,
     pub(crate) words: Vec<Vec<u64>>,
     pub(crate) deadline: Option<Duration>,
+    pub(crate) tenant: Option<String>,
 }
 
 impl SimJob {
@@ -86,6 +113,7 @@ impl SimJob {
             context,
             words,
             deadline: None,
+            tenant: None,
         }
     }
 
@@ -94,11 +122,20 @@ impl SimJob {
         self.deadline = Some(deadline);
         self
     }
+
+    /// Tenant label for accounting and trace correlation (defaults to
+    /// [`crate::DEFAULT_TENANT`]).
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
 }
 
 /// What a completed [`SimJob`] yields.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimOutcome {
+    /// The server-assigned job id — the trace correlation key.
+    pub job: JobId,
     /// One inner vec of output words per submitted cycle.
     pub outputs: Vec<Vec<u64>>,
     /// Microseconds the job waited in the queue.
@@ -134,10 +171,25 @@ impl<T> Shared<T> {
 /// shutdown (the pool drains its queue before exiting), so `wait` never
 /// hangs.
 pub struct JobHandle<T> {
+    pub(crate) job: JobId,
     pub(crate) shared: Arc<Shared<T>>,
 }
 
+impl<T> std::fmt::Debug for JobHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("job", &self.job)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<T> JobHandle<T> {
+    /// The server-assigned id of the accepted job — usable immediately (the
+    /// outcome carries the same id) to correlate against trace events.
+    pub fn job(&self) -> JobId {
+        self.job
+    }
+
     /// Block until the job completes.
     pub fn wait(self) -> Result<T, ServeError> {
         let mut slot = self.shared.slot.lock().unwrap();

@@ -23,11 +23,33 @@
 //!   histograms, and per-job outcomes stream through `mcfpga-obs`;
 //!   [`Server::report`] condenses them into a serializable [`ServeReport`].
 //!
+//! Production-observability surface:
+//!
+//! - **Correlation** — every accepted job gets a [`JobId`] and a tenant
+//!   label ([`CompileJob::with_tenant`] / [`SimJob::with_tenant`], default
+//!   [`DEFAULT_TENANT`]); every trace event the job causes — submit,
+//!   dequeue, cache lookup, per-context compile phases, sim batches — is
+//!   stamped with both, so `mcfpga_obs::job_trace` reconstructs one
+//!   request's span tree out of the shared ring.
+//! - **Per-tenant accounting** — a conserved [`TenantStats`] ledger per
+//!   tenant (`submitted == completed + failed + expired + rejected + shed
+//!   + inflight`), with service-time split by job kind, cache hit rate,
+//!   and sim lane-cycles; queryable live via [`Server::tenant_stats`] and
+//!   condensed into [`ServeReport::tenants`].
+//! - **Live health** — [`Server::snapshot`] returns a [`HealthSnapshot`]
+//!   (queue depth + high watermark, worker utilization, per-tenant
+//!   inflight, rolling-window p99s) without touching the queue lock.
+//! - **Admission control** — a pluggable [`AdmissionPolicy`]
+//!   (default: [`WatermarkAdmission`], which never sheds until configured)
+//!   turns those signals into typed [`SubmitError::Shed`] refusals, each
+//!   counted under `serve.shed.*` and traced as a `job_shed` event.
+//!
 //! The whole crate is written against the redesigned fallible API surface
 //! (`try_*` + the [`mcfpga_sim::Error`] umbrella): a malformed job fails
 //! with a typed error through its [`JobHandle`]; it can never poison the
 //! worker pool.
 
+mod admission;
 mod cache;
 mod config;
 mod design;
@@ -35,10 +57,17 @@ mod error;
 mod job;
 mod report;
 mod server;
+mod snapshot;
+mod tenant;
 
+pub use admission::{
+    AdmissionContext, AdmissionDecision, AdmissionPolicy, JobKind, ShedReason, WatermarkAdmission,
+};
 pub use config::ServeConfig;
 pub use design::{design_key, CompiledDesign};
 pub use error::{ServeError, SubmitError};
-pub use job::{CompileJob, CompileOutcome, JobHandle, SimJob, SimOutcome};
+pub use job::{CompileJob, CompileOutcome, JobHandle, JobId, SimJob, SimOutcome};
 pub use report::ServeReport;
 pub use server::{Server, SessionId};
+pub use snapshot::{HealthSnapshot, TenantInflight};
+pub use tenant::{TenantReport, TenantStats, DEFAULT_TENANT};

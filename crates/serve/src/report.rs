@@ -3,10 +3,16 @@
 use mcfpga_obs::{HistogramEntry, Recorder};
 use serde::{Deserialize, Serialize};
 
+use crate::tenant::TenantReport;
+
 /// Snapshot of a server's counters and latency histograms, in the shape the
 /// benchmark driver embeds into `BENCH_serve.json`. Built from the same
 /// `mcfpga-obs` recorder the server streams into, so a live dashboard and
 /// this report can never disagree.
+///
+/// Outcome conservation: every submission attempt terminates as exactly one
+/// of completed / failed / expired / rejected / shed (or is still in
+/// flight), both globally and inside each [`TenantReport`]'s stats.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
     /// Jobs accepted into the queue.
@@ -19,20 +25,38 @@ pub struct ServeReport {
     pub jobs_expired: u64,
     /// Submissions refused with `QueueFull` backpressure.
     pub jobs_rejected: u64,
+    /// Submissions refused by the admission policy (`serve.shed.total`).
+    pub jobs_shed: u64,
+    /// Sheds caused by the queue-depth watermark.
+    pub shed_queue_watermark: u64,
+    /// Sheds caused by a per-tenant in-flight cap.
+    pub shed_tenant_inflight: u64,
+    /// Sheds caused by a custom policy reason.
+    pub shed_policy: u64,
     /// Compile jobs answered from the content-addressed cache.
     pub cache_hits: u64,
     /// Compile jobs that had to compile.
     pub cache_misses: u64,
     /// Designs evicted by LRU pressure.
     pub cache_evictions: u64,
+    /// Deepest the submission queue has ever been.
+    pub queue_depth_hwm: u64,
+    /// Trace events evicted from the recorder's ring — nonzero means the
+    /// trace (and anything reconstructed from it) is truncated.
+    pub trace_dropped: u64,
     /// Queue-wait latency distribution (`serve.wait_us`), if any job ran.
     pub wait_us: Option<HistogramEntry>,
     /// Service latency distribution (`serve.service_us`), if any job ran.
     pub service_us: Option<HistogramEntry>,
+    /// Per-tenant ledgers, label-ordered. Empty when built via
+    /// [`ServeReport::from_recorder`] (the recorder holds no tenant table);
+    /// [`crate::Server::report`] fills it.
+    pub tenants: Vec<TenantReport>,
 }
 
 impl ServeReport {
-    /// Condense the `serve.*` metrics out of `rec`.
+    /// Condense the `serve.*` metrics out of `rec`. Tenant rows are only
+    /// known to a live server — [`crate::Server::report`] adds them.
     pub fn from_recorder(rec: &Recorder) -> ServeReport {
         let report = rec.report("serve");
         ServeReport {
@@ -41,11 +65,18 @@ impl ServeReport {
             jobs_failed: report.counter("serve.jobs_failed"),
             jobs_expired: report.counter("serve.jobs_expired"),
             jobs_rejected: report.counter("serve.jobs_rejected"),
+            jobs_shed: report.counter("serve.shed.total"),
+            shed_queue_watermark: report.counter("serve.shed.queue_watermark"),
+            shed_tenant_inflight: report.counter("serve.shed.tenant_inflight"),
+            shed_policy: report.counter("serve.shed.policy"),
             cache_hits: report.counter("serve.cache_hits"),
             cache_misses: report.counter("serve.cache_misses"),
             cache_evictions: report.counter("serve.cache_evictions"),
+            queue_depth_hwm: report.gauge("serve.queue_depth_hwm").unwrap_or(0.0) as u64,
+            trace_dropped: rec.trace_dropped(),
             wait_us: report.histogram("serve.wait_us").cloned(),
             service_us: report.histogram("serve.service_us").cloned(),
+            tenants: Vec::new(),
         }
     }
 }

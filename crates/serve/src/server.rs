@@ -1,20 +1,33 @@
-//! The worker pool, bounded queue, session table, and job execution.
+//! The worker pool, bounded queue, session table, tenant ledger, and job
+//! execution.
+//!
+//! Telemetry discipline: the queue-depth gauges are derived from one
+//! authoritative source — [`note_queue_depth`], called with the queue's
+//! length at every transition *while the queue lock is held* — so the
+//! submit and dequeue paths can never publish contradictory depths. An
+//! atomic mirror of the same value serves lock-free snapshot reads.
+//!
+//! Lock ordering: queue → tenants. The tenant table is never locked before
+//! the queue, and no lock is held across a compile or sim step.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use mcfpga_obs::Recorder;
-use mcfpga_sim::{KernelScratch, SimError};
+use mcfpga_sim::{KernelScratch, SimError, LANES};
 
+use crate::admission::{AdmissionContext, AdmissionDecision, JobKind};
 use crate::cache::DesignCache;
 use crate::config::ServeConfig;
 use crate::design::{design_key, CompiledDesign};
 use crate::error::{ServeError, SubmitError};
-use crate::job::{CompileJob, CompileOutcome, JobHandle, Shared, SimJob, SimOutcome};
+use crate::job::{CompileJob, CompileOutcome, JobHandle, JobId, Shared, SimJob, SimOutcome};
 use crate::report::ServeReport;
+use crate::snapshot::{HealthSnapshot, RollingLatency, TenantInflight};
+use crate::tenant::{TenantStats, TenantTable, DEFAULT_TENANT};
 
 /// Opaque handle to one tenant's private runtime state on a server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -63,7 +76,18 @@ enum Work {
     Sim(SimJob, Arc<Shared<SimOutcome>>),
 }
 
+impl Work {
+    fn kind(&self) -> JobKind {
+        match self {
+            Work::Compile(..) => JobKind::Compile,
+            Work::Sim(..) => JobKind::Sim,
+        }
+    }
+}
+
 struct QueuedJob {
+    job: JobId,
+    tenant: String,
     work: Work,
     enqueued: Instant,
     deadline: Option<std::time::Duration>,
@@ -77,13 +101,71 @@ struct ServerInner {
     cache: Mutex<DesignCache>,
     sessions: Mutex<HashMap<SessionId, Arc<Mutex<Session>>>>,
     next_session: AtomicU64,
+    next_job: AtomicU64,
+    // Lock-free mirrors of queue state for snapshot reads; written only by
+    // `note_queue_depth` while the queue lock is held.
+    depth: AtomicUsize,
+    depth_hwm: AtomicUsize,
+    busy_workers: AtomicUsize,
+    n_workers: usize,
+    tenants: TenantTable,
+    wait_window: RollingLatency,
+    service_window: RollingLatency,
     rec: Recorder,
+}
+
+/// Publish a new queue depth. Must be called with the queue lock held and
+/// `len` equal to the queue's current length — the single authoritative
+/// source both gauges and the snapshot mirror derive from.
+fn note_queue_depth(inner: &ServerInner, len: usize) {
+    inner.depth.store(len, Ordering::Relaxed);
+    let mut hwm = inner.depth_hwm.load(Ordering::Relaxed);
+    while len > hwm {
+        match inner
+            .depth_hwm
+            .compare_exchange_weak(hwm, len, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => {
+                hwm = len;
+                break;
+            }
+            Err(actual) => hwm = actual,
+        }
+    }
+    inner.rec.set_gauge("serve.queue_depth", len as f64);
+    inner
+        .rec
+        .set_gauge("serve.queue_depth_hwm", hwm.max(len) as f64);
+}
+
+/// RAII increment of the busy-worker gauge while a job is being serviced.
+struct BusyGuard<'a>(&'a ServerInner);
+
+impl<'a> BusyGuard<'a> {
+    fn new(inner: &'a ServerInner) -> BusyGuard<'a> {
+        inner.busy_workers.fetch_add(1, Ordering::Relaxed);
+        BusyGuard(inner)
+    }
+}
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        self.0.busy_workers.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// A multi-tenant job server over the MC-FPGA compile flow and batched
 /// simulator: a fixed worker pool drains a bounded submission queue;
 /// compiled designs are shared through a content-addressed LRU cache; each
 /// tenant's register state lives in a private session.
+///
+/// Every submission attempt is accounted to its tenant's [`TenantStats`]
+/// ledger (conserved: `submitted` equals `completed + failed + expired +
+/// rejected + shed + inflight`), every accepted job's trace events carry its
+/// [`JobId`] and tenant label (reconstructable with `mcfpga_obs::job_trace`),
+/// and [`Server::snapshot`] reads live health without touching the queue
+/// lock. An [`crate::AdmissionPolicy`] may shed work before the hard
+/// capacity bound; each shed is typed, counted, and traced.
 ///
 /// Dropping the server stops intake, drains every already-accepted job, and
 /// joins the workers — so an accepted [`JobHandle`] always completes.
@@ -115,7 +197,7 @@ impl Server {
 
     /// Start a server routing queue/cache/latency telemetry into `rec`
     /// (counters `serve.*`, histograms `serve.wait_us` / `serve.service_us`,
-    /// a span per serviced job).
+    /// a span per serviced job, and per-job correlated trace events).
     pub fn with_recorder(config: ServeConfig, rec: &Recorder) -> Server {
         let n_workers = config.resolved_workers();
         let cache = DesignCache::new(config.cache_capacity);
@@ -127,6 +209,14 @@ impl Server {
             cache: Mutex::new(cache),
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
+            next_job: AtomicU64::new(1),
+            depth: AtomicUsize::new(0),
+            depth_hwm: AtomicUsize::new(0),
+            busy_workers: AtomicUsize::new(0),
+            n_workers,
+            tenants: TenantTable::default(),
+            wait_window: RollingLatency::default(),
+            service_window: RollingLatency::default(),
             rec: rec.clone(),
         });
         inner.rec.set_gauge("serve.workers", n_workers as f64);
@@ -142,48 +232,107 @@ impl Server {
         Server { inner, workers }
     }
 
-    /// Enqueue a compile job. Rejected with [`SubmitError::QueueFull`] when
-    /// the bounded queue is at capacity — the caller owns the retry policy.
+    /// Enqueue a compile job. Refused with [`SubmitError::QueueFull`] when
+    /// the bounded queue is at capacity, or [`SubmitError::Shed`] when the
+    /// admission policy declines it — the caller owns the retry policy.
     pub fn submit_compile(
         &self,
         job: CompileJob,
     ) -> Result<JobHandle<CompileOutcome>, SubmitError> {
         let shared = Shared::new();
         let deadline = job.deadline;
-        self.submit(Work::Compile(job, shared.clone()), deadline)?;
-        Ok(JobHandle { shared })
+        let tenant = job.tenant.clone();
+        let id = self.submit(Work::Compile(job, shared.clone()), deadline, tenant)?;
+        Ok(JobHandle { job: id, shared })
     }
 
     /// Enqueue a sim job against a session returned by a completed compile.
     pub fn submit_sim(&self, job: SimJob) -> Result<JobHandle<SimOutcome>, SubmitError> {
         let shared = Shared::new();
         let deadline = job.deadline;
-        self.submit(Work::Sim(job, shared.clone()), deadline)?;
-        Ok(JobHandle { shared })
+        let tenant = job.tenant.clone();
+        let id = self.submit(Work::Sim(job, shared.clone()), deadline, tenant)?;
+        Ok(JobHandle { job: id, shared })
     }
 
-    fn submit(&self, work: Work, deadline: Option<std::time::Duration>) -> Result<(), SubmitError> {
+    fn submit(
+        &self,
+        work: Work,
+        deadline: Option<std::time::Duration>,
+        tenant: Option<String>,
+    ) -> Result<JobId, SubmitError> {
         let inner = &self.inner;
+        let tenant = tenant.unwrap_or_else(|| DEFAULT_TENANT.to_string());
+        let kind = work.kind();
+        let job = JobId(inner.next_job.fetch_add(1, Ordering::Relaxed));
+        let crec = inner.rec.correlated(job.raw(), &tenant);
+        inner.tenants.on_submitted(&tenant);
         if inner.shutdown.load(Ordering::SeqCst) {
+            inner.rec.incr("serve.jobs_rejected", 1);
+            inner.tenants.on_rejected(&tenant);
             return Err(SubmitError::Shutdown);
         }
         let mut queue = inner.queue.lock().unwrap();
         if queue.len() >= inner.config.queue_capacity {
+            drop(queue);
             inner.rec.incr("serve.jobs_rejected", 1);
+            inner.tenants.on_rejected(&tenant);
+            crec.instant(
+                "job_rejected",
+                &[
+                    ("kind", kind.name().into()),
+                    ("capacity", inner.config.queue_capacity.into()),
+                ],
+            );
             return Err(SubmitError::QueueFull {
                 capacity: inner.config.queue_capacity,
             });
         }
+        let ctx = AdmissionContext {
+            tenant: &tenant,
+            kind,
+            queue_depth: queue.len(),
+            queue_capacity: inner.config.queue_capacity,
+            queue_depth_hwm: inner.depth_hwm.load(Ordering::Relaxed),
+            tenant_inflight: inner.tenants.inflight(&tenant),
+            rolling_wait_p99_us: inner.wait_window.p99(),
+        };
+        if let AdmissionDecision::Shed(reason) = inner.config.admission.admit(&ctx) {
+            let depth = queue.len();
+            drop(queue);
+            inner.rec.incr("serve.shed.total", 1);
+            inner.rec.incr(&format!("serve.shed.{}", reason.key()), 1);
+            inner.tenants.on_shed(&tenant);
+            crec.instant(
+                "job_shed",
+                &[
+                    ("kind", kind.name().into()),
+                    ("reason", reason.key().into()),
+                    ("detail", reason.to_string().into()),
+                    ("queue_depth", depth.into()),
+                    ("tenant_inflight", ctx.tenant_inflight.into()),
+                ],
+            );
+            return Err(SubmitError::Shed { reason });
+        }
+        inner.tenants.on_accepted(&tenant, kind);
         queue.push_back(QueuedJob {
+            job,
+            tenant,
             work,
             enqueued: Instant::now(),
             deadline: deadline.or(inner.config.default_deadline),
         });
         inner.rec.incr("serve.jobs_submitted", 1);
-        inner.rec.set_gauge("serve.queue_depth", queue.len() as f64);
+        let depth = queue.len();
+        note_queue_depth(inner, depth);
         drop(queue);
+        crec.instant(
+            "job_submitted",
+            &[("kind", kind.name().into()), ("queue_depth", depth.into())],
+        );
         inner.available.notify_one();
-        Ok(())
+        Ok(job)
     }
 
     /// Drop a session's private state. Sim jobs naming it afterwards fail
@@ -207,9 +356,55 @@ impl Server {
         self.inner.cache.lock().unwrap().len()
     }
 
-    /// Snapshot the serving metrics collected so far.
+    /// One tenant's exact counters right now (`None` if the tenant never
+    /// submitted). The stats are conserved: see [`TenantStats::is_conserved`].
+    pub fn tenant_stats(&self, tenant: &str) -> Option<TenantStats> {
+        self.inner.tenants.stats(tenant)
+    }
+
+    /// A point-in-time health view, cheap enough to call on every submit:
+    /// reads atomic mirrors and the tenant/session tables, never the job
+    /// queue lock.
+    pub fn snapshot(&self) -> HealthSnapshot {
+        let inner = &self.inner;
+        let tenant_inflight: Vec<TenantInflight> = inner
+            .tenants
+            .inflight_all()
+            .into_iter()
+            .map(|(tenant, inflight)| TenantInflight { tenant, inflight })
+            .collect();
+        let inflight = tenant_inflight.iter().map(|t| t.inflight).sum();
+        let busy = inner.busy_workers.load(Ordering::Relaxed);
+        HealthSnapshot {
+            queue_depth: inner.depth.load(Ordering::Relaxed),
+            queue_capacity: inner.config.queue_capacity,
+            queue_depth_hwm: inner.depth_hwm.load(Ordering::Relaxed),
+            inflight,
+            workers: inner.n_workers,
+            busy_workers: busy,
+            worker_utilization: if inner.n_workers == 0 {
+                0.0
+            } else {
+                busy as f64 / inner.n_workers as f64
+            },
+            sessions: inner.sessions.lock().unwrap().len(),
+            cached_designs: inner.cache.lock().unwrap().len(),
+            rolling_wait_p99_us: inner.wait_window.p99_fresh(),
+            rolling_service_p99_us: inner.service_window.p99_fresh(),
+            jobs_shed: inner.rec.counter("serve.shed.total"),
+            jobs_rejected: inner.rec.counter("serve.jobs_rejected"),
+            trace_dropped: inner.rec.trace_dropped(),
+            tenant_inflight,
+        }
+    }
+
+    /// Snapshot the serving metrics collected so far, including per-tenant
+    /// ledgers and the authoritative queue-depth high watermark.
     pub fn report(&self) -> ServeReport {
-        ServeReport::from_recorder(&self.inner.rec)
+        let mut report = ServeReport::from_recorder(&self.inner.rec);
+        report.queue_depth_hwm = self.inner.depth_hwm.load(Ordering::Relaxed) as u64;
+        report.tenants = self.inner.tenants.reports();
+        report
     }
 }
 
@@ -223,13 +418,21 @@ impl Drop for Server {
     }
 }
 
+/// Everything `finish` needs to attribute one serviced job.
+struct JobMeta {
+    job: JobId,
+    tenant: String,
+    kind: JobKind,
+    crec: Recorder,
+}
+
 fn worker_loop(inner: &ServerInner) {
     loop {
         let queued = {
             let mut queue = inner.queue.lock().unwrap();
             loop {
                 if let Some(job) = queue.pop_front() {
-                    inner.rec.set_gauge("serve.queue_depth", queue.len() as f64);
+                    note_queue_depth(inner, queue.len());
                     break job;
                 }
                 // Drain-then-exit: accepted handles always complete even
@@ -240,12 +443,29 @@ fn worker_loop(inner: &ServerInner) {
                 queue = inner.available.wait(queue).unwrap();
             }
         };
+        let _busy = BusyGuard::new(inner);
+        let kind = queued.work.kind();
+        let crec = inner.rec.correlated(queued.job.raw(), &queued.tenant);
         let waited = queued.enqueued.elapsed();
         let wait_us = waited.as_micros() as u64;
         inner.rec.observe("serve.wait_us", wait_us as f64);
+        inner.wait_window.record(wait_us as f64);
+        crec.instant(
+            "job_dequeued",
+            &[("kind", kind.name().into()), ("wait_us", wait_us.into())],
+        );
         if let Some(deadline) = queued.deadline {
             if waited > deadline {
                 inner.rec.incr("serve.jobs_expired", 1);
+                inner.tenants.on_expired(&queued.tenant, wait_us);
+                crec.instant(
+                    "job_expired",
+                    &[
+                        ("kind", kind.name().into()),
+                        ("wait_us", wait_us.into()),
+                        ("deadline_us", (deadline.as_micros() as u64).into()),
+                    ],
+                );
                 let expired = ServeError::Deadline { waited_us: wait_us };
                 match queued.work {
                     Work::Compile(_, shared) => shared.complete(Err(expired)),
@@ -254,37 +474,51 @@ fn worker_loop(inner: &ServerInner) {
                 continue;
             }
         }
+        let meta = JobMeta {
+            job: queued.job,
+            tenant: queued.tenant,
+            kind,
+            crec,
+        };
         let start = Instant::now();
         match queued.work {
             Work::Compile(job, shared) => {
                 let result = {
-                    let _span = inner.rec.span("compile_job");
-                    process_compile(inner, job)
+                    let _span = meta.crec.span("compile_job");
+                    let _g = meta.crec.begin("compile_job", &[]);
+                    process_compile(inner, job, &meta)
                 };
-                finish(inner, start, wait_us, result, &shared);
+                finish(inner, start, wait_us, result, &shared, &meta);
             }
             Work::Sim(job, shared) => {
                 let result = {
-                    let _span = inner.rec.span("sim_job");
-                    process_sim(inner, &job)
+                    let _span = meta.crec.span("sim_job");
+                    let _g = meta.crec.begin("sim_job", &[]);
+                    process_sim(inner, &job, &meta)
                 };
-                finish(inner, start, wait_us, result, &shared);
+                finish(inner, start, wait_us, result, &shared, &meta);
             }
         }
     }
 }
 
-/// Record service latency + outcome counters, stamp the timings into the
-/// outcome, and release the waiting client.
+/// Record service latency + outcome counters, charge the tenant, stamp the
+/// timings into the outcome, and release the waiting client.
 fn finish<T: Timed>(
     inner: &ServerInner,
     start: Instant,
     wait_us: u64,
     result: Result<T, ServeError>,
     shared: &Shared<T>,
+    meta: &JobMeta,
 ) {
     let service_us = start.elapsed().as_micros() as u64;
     inner.rec.observe("serve.service_us", service_us as f64);
+    inner.service_window.record(service_us as f64);
+    let ok = result.is_ok();
+    inner
+        .tenants
+        .on_finished(&meta.tenant, meta.kind, ok, wait_us, service_us);
     match result {
         Ok(mut outcome) => {
             inner.rec.incr("serve.jobs_completed", 1);
@@ -293,6 +527,13 @@ fn finish<T: Timed>(
         }
         Err(e) => {
             inner.rec.incr("serve.jobs_failed", 1);
+            meta.crec.instant(
+                "job_failed",
+                &[
+                    ("kind", meta.kind.name().into()),
+                    ("error", e.to_string().into()),
+                ],
+            );
             shared.complete(Err(e));
         }
     }
@@ -316,9 +557,17 @@ impl Timed for SimOutcome {
     }
 }
 
-fn process_compile(inner: &ServerInner, job: CompileJob) -> Result<CompileOutcome, ServeError> {
+fn process_compile(
+    inner: &ServerInner,
+    job: CompileJob,
+    meta: &JobMeta,
+) -> Result<CompileOutcome, ServeError> {
     let key = design_key(&job.arch, &job.circuits, &job.options);
     let cached = inner.cache.lock().unwrap().get(key);
+    let hit = cached.is_some();
+    inner.tenants.on_cache(&meta.tenant, hit);
+    meta.crec
+        .instant("cache_lookup", &[("hit", hit.into()), ("key", key.into())]);
     let (design, cache_hit) = match cached {
         Some(design) => {
             inner.rec.incr("serve.cache_hits", 1);
@@ -329,11 +578,14 @@ fn process_compile(inner: &ServerInner, job: CompileJob) -> Result<CompileOutcom
             // The cache lock is NOT held across the compile: two tenants
             // missing on the same key may both compile, but the artifact is
             // deterministic, so either insert is correct and the queue
-            // never stalls behind a slow compile.
-            let design = Arc::new(CompiledDesign::compile(
+            // never stalls behind a slow compile. The correlated recorder
+            // rides into the compile pipeline, so per-context map/place/
+            // route events carry this job's id.
+            let design = Arc::new(CompiledDesign::compile_with(
                 &job.arch,
                 &job.circuits,
                 &job.options,
+                &meta.crec,
             )?);
             let evicted = inner.cache.lock().unwrap().insert(key, design.clone());
             inner.rec.incr("serve.cache_evictions", evicted);
@@ -347,6 +599,7 @@ fn process_compile(inner: &ServerInner, job: CompileJob) -> Result<CompileOutcom
         .unwrap()
         .insert(session, Arc::new(Mutex::new(Session::new(design.clone()))));
     Ok(CompileOutcome {
+        job: meta.job,
         design,
         session,
         cache_hit,
@@ -355,7 +608,11 @@ fn process_compile(inner: &ServerInner, job: CompileJob) -> Result<CompileOutcom
     })
 }
 
-fn process_sim(inner: &ServerInner, job: &SimJob) -> Result<SimOutcome, ServeError> {
+fn process_sim(
+    inner: &ServerInner,
+    job: &SimJob,
+    meta: &JobMeta,
+) -> Result<SimOutcome, ServeError> {
     let session = inner
         .sessions
         .lock()
@@ -390,7 +647,20 @@ fn process_sim(inner: &ServerInner, job: &SimJob) -> Result<SimOutcome, ServeErr
         kernel.step(words, regs, &mut s.scratch, &mut out);
         outputs.push(out);
     }
+    // Lane-cycles: one queue word steps all 64 stimulus lanes one cycle.
+    let cycles = (job.words.len() * LANES) as u64;
+    inner.rec.incr("serve.sim_cycles", cycles);
+    inner.tenants.on_sim_cycles(&meta.tenant, cycles);
+    meta.crec.instant(
+        "sim_batch",
+        &[
+            ("context", job.context.into()),
+            ("cycles", job.words.len().into()),
+            ("lane_cycles", cycles.into()),
+        ],
+    );
     Ok(SimOutcome {
+        job: meta.job,
         outputs,
         wait_us: 0,
         service_us: 0,

@@ -19,7 +19,17 @@ concurrent sessions must show zero divergences from their private replays,
 4-worker throughput may not collapse below baseline, and — only on runners
 with at least 4 cores — 1→4 worker scaling has a hard floor.
 
+When the baseline carries a "serve_obs" section, a fresh BENCH_serve_obs.json
+is held to the serving-observability SLOs: the aggressor-isolation ratio
+(victim p99 alone over victim p99 next to an open-loop aggressor) may not
+fall below the baseline floor, at least `min_shed` admission sheds must have
+fired (otherwise the experiment no longer exercises overload), every shed
+must be attributed — tenant ledgers and the trace ring agreeing exactly —
+and every tenant ledger must conserve
+(submitted == completed+failed+expired+rejected+shed+inflight).
+
 Usage: check_bench_regression.py [fresh] [baseline] [fresh_sim] [fresh_serve]
+       [fresh_serve_obs]
 Exits non-zero listing every regression found.
 """
 
@@ -164,6 +174,52 @@ def main() -> int:
                         f"on a {serve['available_parallelism']}-core runner "
                         f"(floor {SERVE_SCALING_FLOOR:.0f}x)")
 
+    obs_checked = False
+    if "serve_obs" in base:
+        obs_path = sys.argv[5] if len(sys.argv) > 5 else "BENCH_serve_obs.json"
+        try:
+            obs = json.load(open(obs_path))
+        except OSError:
+            errors.append(
+                f"baseline has a serve_obs section but {obs_path} is missing")
+            obs = None
+        if obs is not None:
+            obs_checked = True
+            obs_base = base["serve_obs"]
+            # SLO: an open-loop aggressor may not drag victim tail latency
+            # below the isolation floor (1.0 = perfect isolation).
+            floor = obs_base["isolation_floor"]
+            if obs["aggressor_isolation_ratio"] < floor:
+                errors.append(
+                    f"serve_obs.aggressor_isolation_ratio: "
+                    f"{obs['aggressor_isolation_ratio']:.3f} < floor {floor}")
+            # SLO: the overload experiment must actually overload; a run
+            # with no sheds proves nothing about admission control.
+            if obs["shed_total"] < obs_base["min_shed"]:
+                errors.append(
+                    f"serve_obs.shed_total: {obs['shed_total']} < "
+                    f"min_shed {obs_base['min_shed']}")
+            # SLO: zero unattributed sheds — per-tenant ledgers and the
+            # trace ring must agree shed-for-shed.
+            if obs["unattributed_sheds"] != 0:
+                errors.append(
+                    f"serve_obs.unattributed_sheds: "
+                    f"{obs['unattributed_sheds']} (must be 0)")
+            typed = (obs["shed_queue_watermark"] + obs["shed_tenant_inflight"]
+                     + obs["shed_policy"])
+            if typed != obs["shed_total"]:
+                errors.append(
+                    f"serve_obs: typed shed counts sum to {typed}, "
+                    f"total is {obs['shed_total']}")
+            # SLO: exact conservation on every tenant ledger.
+            if not obs["all_conserved"]:
+                errors.append("serve_obs.all_conserved is false: a tenant "
+                              "ledger lost or double-counted an attempt")
+            if obs["trace_dropped"] != 0:
+                errors.append(
+                    f"serve_obs.trace_dropped: {obs['trace_dropped']} "
+                    f"(ring must hold the whole experiment)")
+
     if errors:
         print(f"BENCH regression vs {base_path}:")
         for e in errors:
@@ -172,7 +228,8 @@ def main() -> int:
     print(f"BENCH_flow.json within tolerance of {base_path} "
           f"({len(base_points)} area points, {len(base_phases)} phases"
           + (", sim gate OK" if sim_checked else "")
-          + (", serve gate OK" if serve_checked else "") + ").")
+          + (", serve gate OK" if serve_checked else "")
+          + (", serve_obs SLOs OK" if obs_checked else "") + ").")
     return 0
 
 

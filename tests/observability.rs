@@ -268,6 +268,78 @@ fn reconfig_telemetry_matches_direct_measurement() {
     let _ = rec;
 }
 
+mod histogram_props {
+    //! The bucketed streaming histogram vs the exact reference: across
+    //! adversarial sample distributions, every tracked quantile must land
+    //! within the documented tolerance (≈1% relative, plus the absolute
+    //! `MIN_TRACKED` slack for sub-resolution values).
+    use mcfpga::obs::histogram::{LogHistogram, MIN_TRACKED};
+    use mcfpga::obs::percentile;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    /// Decode one `(mode, raw)` pair into a sample from that mode's
+    /// distribution — uniform integers, log-spread over 18 decades,
+    /// a repeated constant, sub-resolution values straddling the underflow
+    /// bucket, and large magnitudes.
+    fn decode(mode: u8, raw: u64) -> f64 {
+        match mode % 5 {
+            0 => (raw % 10_000 + 1) as f64,
+            1 => 10f64.powf((raw % 1800) as f64 / 100.0 - 6.0),
+            2 => 42.0,
+            3 => (raw % 1000) as f64 * 1e-7,
+            _ => (raw % 1_000_000 + 1) as f64 * 1e6,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn bucketed_quantiles_track_exact_percentiles(
+            samples in vec((0u8..5u8, any::<u64>()), 1..400usize),
+            split in any::<u64>(),
+        ) {
+            let values: Vec<f64> = samples.iter().map(|&(m, r)| decode(m, r)).collect();
+
+            // Split recording across two histograms and merge, so the
+            // property also covers cross-recorder aggregation.
+            let mut a = LogHistogram::new();
+            let mut b = LogHistogram::new();
+            for (i, &v) in values.iter().enumerate() {
+                if (split >> (i % 64)) & 1 == 0 {
+                    a.record(v);
+                } else {
+                    b.record(v);
+                }
+            }
+            a.merge(&b);
+
+            // Count, sum, min, max are exact.
+            prop_assert_eq!(a.count(), values.len() as u64);
+            let sum: f64 = values.iter().sum();
+            prop_assert!((a.sum() - sum).abs() <= 1e-9 * sum.abs().max(1.0));
+            let mut sorted = values.clone();
+            sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            prop_assert_eq!(a.min(), sorted[0]);
+            prop_assert_eq!(a.max(), sorted[sorted.len() - 1]);
+
+            // Quantiles within 1% relative of the exact nearest-rank
+            // reference (plus MIN_TRACKED absolute slack: values below the
+            // tracked range collapse into the underflow bucket).
+            for q in [0.0, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+                let exact = percentile(&sorted, q * 100.0);
+                let approx = a.quantile(q);
+                let tol = 0.01 * exact.abs() + MIN_TRACKED;
+                prop_assert!(
+                    (approx - exact).abs() <= tol,
+                    "q={}: approx {} vs exact {} (tol {})", q, approx, exact, tol
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn disabled_recorder_flow_is_equivalent_and_silent() {
     let arch = ArchSpec::paper_default();
