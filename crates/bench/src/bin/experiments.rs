@@ -7,7 +7,7 @@
 //!
 //! Experiment ids (see DESIGN.md's experiment index):
 //! `table1 table2 fig3_5 fig9 fig12 fig13_14 area45 area37 sweep_change
-//!  sweep_contexts delay power flow sim serve serve_obs all`
+//!  sweep_contexts delay power flow sim serve serve_obs delta all`
 
 use mcfpga::area::{
     area_comparison, context_switch_delay, routing_delay, static_power, AreaParams,
@@ -16,7 +16,7 @@ use mcfpga::area::{
 use mcfpga::config::{classify, ColumnSetStats, ConfigColumn};
 use mcfpga::map::{map_netlist, pack_global, pack_local, PackOptions};
 use mcfpga::netlist::dfg::{generated_family, paper_example};
-use mcfpga::netlist::{library, workload, RandomNetlistParams};
+use mcfpga::netlist::{library, perturb_netlist, random_netlist, workload, RandomNetlistParams};
 use mcfpga::prelude::*;
 use mcfpga::rcm::synthesize;
 use mcfpga::sim::Device;
@@ -56,12 +56,13 @@ fn main() {
     run!("sim", sim);
     run!("serve", serve);
     run!("serve_obs", serve_obs);
+    run!("delta", delta);
     if !ran {
         eprintln!(
             "unknown experiment {which:?}; try: table1 table2 fig3_5 fig9 fig12 \
              fig12_adaptive fig13_14 area45 area37 sweep_change sweep_contexts \
              delay power flow reconfig faults ablations temporal channel_width \
-             sim serve serve_obs all"
+             sim serve serve_obs delta all"
         );
         std::process::exit(2);
     }
@@ -1862,4 +1863,252 @@ fn channel_width() {
     }
     println!("\nevery multi-context switch saved per track scales with this width;");
     println!("the paper-default channel (8 tracks) comfortably covers the suite.");
+}
+
+/// Delta compilation: a changed request served against a cached near-match
+/// base recompiles only the changed contexts, and the result is proven
+/// bit-identical to a cold compile at every change rate
+/// (`BENCH_delta.json`). This is the serving-layer analogue of the paper's
+/// 5% inter-context change assumption: when little configuration data
+/// changes, little compile work should be paid.
+fn delta() {
+    use mcfpga_serve::{CompileJob, CompiledDesign, ServeConfig, Server};
+
+    header("delta: near-match cache + per-context incremental recompilation");
+    let arch = ArchSpec::paper_default();
+    let opts = CompileOptions::default().with_parallel(false);
+
+    // A 4-context workload of independent random sequential netlists — big
+    // enough that skipped contexts represent real compile work.
+    let params = RandomNetlistParams {
+        n_inputs: 8,
+        n_gates: 72,
+        n_outputs: 8,
+        dff_fraction: 0.25,
+    };
+    let n_contexts = 4usize;
+    let base: Vec<Netlist> = (0..n_contexts)
+        .map(|c| random_netlist(params, 0xD17A + c as u64))
+        .collect();
+
+    let t = std::time::Instant::now();
+    let base_design = CompiledDesign::compile(&arch, &base, &opts).expect("base compiles");
+    let base_compile_us = t.elapsed().as_micros() as u64;
+    println!(
+        "base workload: {n_contexts} contexts x {} gates, cold compile {:.1} ms",
+        params.n_gates,
+        base_compile_us as f64 / 1e3
+    );
+
+    // Perturb exactly one context at three change regimes: a single
+    // substituted LUT, the paper's 5% change assumption, and a heavy 50%
+    // rewrite. `perturb_netlist` is probabilistic per gate, so seeds are
+    // searched until the requested amount of change actually materializes.
+    let changed_ctx = 2usize;
+    let gates_total = base[changed_ctx].n_gates();
+    let diff = |a: &Netlist, b: &Netlist| {
+        a.gates()
+            .iter()
+            .zip(b.gates())
+            .filter(|(x, y)| x != y)
+            .count()
+    };
+    let perturbed_with = |frac: f64, seed: u64, want: &dyn Fn(usize) -> bool| {
+        (seed..)
+            .find_map(|s| {
+                let p = perturb_netlist(&base[changed_ctx], frac, s);
+                want(diff(&base[changed_ctx], &p)).then_some(p)
+            })
+            .expect("some seed yields the requested change")
+    };
+    let cases: [(&str, f64, Netlist); 3] = [
+        (
+            "1lut",
+            1.0 / gates_total as f64,
+            perturbed_with(1.0 / gates_total as f64, 1, &|d| d == 1),
+        ),
+        ("5pct", 0.05, perturbed_with(0.05, 11, &|d| d > 0)),
+        ("50pct", 0.5, perturbed_with(0.5, 23, &|d| d > 0)),
+    ];
+
+    // Bit-identity is checked in-experiment, not just in tests: any
+    // divergence between the delta artifact and a cold compile of the same
+    // request invalidates every timing below.
+    let bit_identical = |a: &CompiledDesign, b: &CompiledDesign| {
+        a.n_contexts() == b.n_contexts()
+            && (0..a.n_contexts()).all(|c| {
+                a.kernel(c) == b.kernel(c) && a.initial_registers(c) == b.initial_registers(c)
+            })
+            && a.fingerprint() == b.fingerprint()
+    };
+
+    let reps = 3usize;
+    let mut points = Vec::new();
+    let mut divergences = 0u64;
+    let mut speedup_at_5pct = 0.0f64;
+    for (label, change_rate, variant_ctx) in &cases {
+        let mut variant = base.clone();
+        variant[changed_ctx] = variant_ctx.clone();
+        let gates_changed = diff(&base[changed_ctx], variant_ctx);
+
+        let mut cold_us = u64::MAX;
+        let mut delta_us = u64::MAX;
+        let mut cold_design = None;
+        let mut delta_outcome = None;
+        for _ in 0..reps {
+            let t = std::time::Instant::now();
+            let cold = CompiledDesign::compile(&arch, &variant, &opts).expect("cold compiles");
+            cold_us = cold_us.min(t.elapsed().as_micros() as u64);
+            cold_design = Some(cold);
+
+            let t = std::time::Instant::now();
+            let out = CompiledDesign::delta_compile_with(
+                &arch,
+                &variant,
+                &opts,
+                &Recorder::disabled(),
+                &base_design,
+                None,
+            )
+            .expect("delta compiles");
+            delta_us = delta_us.min(t.elapsed().as_micros() as u64);
+            delta_outcome = Some(out);
+        }
+        let cold = cold_design.expect("reps > 0");
+        let (delta_design, stats) = delta_outcome.expect("reps > 0");
+        if !bit_identical(&delta_design, &cold) {
+            divergences += 1;
+        }
+
+        let speedup = cold_us as f64 / delta_us.max(1) as f64;
+        if *label == "5pct" {
+            speedup_at_5pct = speedup;
+        }
+        println!(
+            "{label:>5} ({gates_changed:>2}/{gates_total} gates): cold {:>8.1} ms, \
+             delta {:>7.1} ms ({speedup:.1}x), {}/{} contexts reused \
+             ({} placements, {} routes)",
+            cold_us as f64 / 1e3,
+            delta_us as f64 / 1e3,
+            stats.contexts_reused,
+            stats.contexts_total,
+            stats.placements_reused,
+            stats.routes_reused,
+        );
+        points.push(DeltaPoint {
+            label: (*label).into(),
+            change_rate: *change_rate,
+            gates_changed,
+            gates_total,
+            cold_us,
+            delta_us,
+            speedup,
+            contexts_total: stats.contexts_total,
+            contexts_reused: stats.contexts_reused,
+            placements_reused: stats.placements_reused,
+            routes_reused: stats.routes_reused,
+        });
+    }
+    assert_eq!(
+        divergences, 0,
+        "delta-compiled artifacts diverged from cold compiles"
+    );
+
+    // The same regimes through a live server: the base populates the cache,
+    // each variant must come back as a near hit on the delta path.
+    let rec = Recorder::enabled();
+    let server = Server::with_recorder(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(8),
+        &rec,
+    );
+    server
+        .submit_compile(CompileJob::new(arch.clone(), base.clone()).with_options(opts))
+        .expect("accepted")
+        .wait()
+        .expect("base compiles");
+    let mut serve_near_hits = 0usize;
+    for (_, _, variant_ctx) in &cases {
+        let mut variant = base.clone();
+        variant[changed_ctx] = variant_ctx.clone();
+        let outcome = server
+            .submit_compile(CompileJob::new(arch.clone(), variant).with_options(opts))
+            .expect("accepted")
+            .wait()
+            .expect("variant compiles");
+        if outcome.delta.is_some() {
+            serve_near_hits += 1;
+        }
+    }
+    let serve_report = server.report();
+    println!(
+        "served: {serve_near_hits}/{} variants took the delta path \
+         ({} contexts reused across them)",
+        cases.len(),
+        serve_report.delta_contexts_reused
+    );
+    assert_eq!(
+        serve_near_hits,
+        cases.len(),
+        "every variant must near-hit the cached base"
+    );
+
+    let bench = DeltaBench {
+        experiment: "delta".into(),
+        n_contexts,
+        gates_per_context: params.n_gates,
+        base_compile_us,
+        points,
+        divergences,
+        speedup_at_5pct,
+        serve_near_hits,
+        serve_report,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("serialize delta bench");
+    std::fs::write("BENCH_delta.json", &json).expect("write BENCH_delta.json");
+    println!("\nwrote BENCH_delta.json ({} bytes)", json.len());
+}
+
+/// One change-rate point of the delta-compilation benchmark.
+#[derive(serde::Serialize)]
+struct DeltaPoint {
+    label: String,
+    /// Requested per-gate substitution probability.
+    change_rate: f64,
+    /// Gates that actually differ between base and variant context.
+    gates_changed: usize,
+    gates_total: usize,
+    /// Cold compile of the full variant workload (min over reps).
+    cold_us: u64,
+    /// Delta compile against the cached base (min over reps).
+    delta_us: u64,
+    /// `cold_us / delta_us` — gated ≥ 3.0 at the 5% point.
+    speedup: f64,
+    contexts_total: usize,
+    /// Contexts whose netlist hash matched the base, reused verbatim.
+    contexts_reused: usize,
+    /// Changed contexts whose placement survived the equality gate.
+    placements_reused: usize,
+    /// Changed contexts whose routing survived the equality gate.
+    routes_reused: usize,
+}
+
+/// Machine-readable record of the delta-compilation benchmark
+/// (`BENCH_delta.json`).
+#[derive(serde::Serialize)]
+struct DeltaBench {
+    experiment: String,
+    n_contexts: usize,
+    gates_per_context: usize,
+    base_compile_us: u64,
+    points: Vec<DeltaPoint>,
+    /// Delta artifacts differing bit-for-bit from cold compiles (gated 0).
+    divergences: u64,
+    /// Convenience copy of the 5% point's speedup (gated ≥ 3.0).
+    speedup_at_5pct: f64,
+    /// Variants answered through the near-match delta path (must equal the
+    /// number of change regimes).
+    serve_near_hits: usize,
+    serve_report: mcfpga_serve::ServeReport,
 }

@@ -92,6 +92,34 @@ pub fn place(problem: &PlacementProblem, opts: &AnnealOptions) -> Placement {
     place_with(problem, opts, &Recorder::disabled())
 }
 
+/// Delta entry point: place `problem`, reusing a stale placement when it is
+/// provably still the answer.
+///
+/// Annealing is a deterministic pure function of `(problem, opts)` — the RNG
+/// is seeded from `opts.seed` and every move decision follows from it — so
+/// when the problem is identical to the one `stale_placement` was produced
+/// from (with the same options, which the caller guarantees; compile
+/// pipelines derive the seed from the context index, stable across
+/// recompiles of the same slot), the stale placement *is* the cold result.
+/// An incremental anneal seeded from the stale positions would converge to a
+/// different (if equally good) placement and break downstream bit-identity,
+/// which is why this is an equality-gated memo and not a warm restart.
+///
+/// Returns the placement plus whether the stale result was reused.
+pub fn place_delta(
+    problem: &PlacementProblem,
+    opts: &AnnealOptions,
+    stale_problem: &PlacementProblem,
+    stale_placement: &Placement,
+    rec: &Recorder,
+) -> (Placement, bool) {
+    if problem == stale_problem {
+        rec.incr("place.delta_reused", 1);
+        return (stale_placement.clone(), true);
+    }
+    (place_with(problem, opts, rec), false)
+}
+
 /// As [`place`], recording the annealing schedule into `rec`: a `place` span,
 /// per-temperature-step acceptance statistics, and move counters. The result
 /// is identical to [`place`] for the same problem and options.

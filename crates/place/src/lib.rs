@@ -15,5 +15,5 @@
 pub mod anneal;
 pub mod problem;
 
-pub use anneal::{place, place_with, AnnealOptions, Placement};
+pub use anneal::{place, place_delta, place_with, AnnealOptions, Placement};
 pub use problem::{lb_of_lut, PlaceError, PlacementGrid, PlacementProblem};

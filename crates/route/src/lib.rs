@@ -24,7 +24,8 @@ pub mod switches;
 pub use channel_width::{min_channel_width, routes_at, ChannelWidthResult};
 pub use graph::{EdgeId, EdgeInfo, RoutingGraph};
 pub use pathfinder::{
-    route_context, route_context_with, Net, RouteError, RouteOptions, RoutedContext,
+    route_context, route_context_delta, route_context_with, Net, RouteError, RouteOptions,
+    RoutedContext,
 };
 pub use stats::{routing_stats, RoutingStats};
 pub use switches::{nets_from_placement, switch_columns, SwitchUsage};

@@ -236,6 +236,36 @@ impl DijkstraScratch {
     }
 }
 
+/// Delta entry point: route `nets`, reusing a stale [`RoutedContext`] when
+/// it is provably still the answer.
+///
+/// PathFinder is a deterministic pure function of `(graph, nets, opts)` —
+/// net selection, rip-up, and re-route all run in net-index order with no
+/// randomness — so when the nets are identical to the ones `stale` was
+/// routed from (on the same graph, with the same options, which the caller
+/// guarantees), the stale trees *are* the cold result and can be returned
+/// verbatim. Anything weaker breaks bit-identity: warm-starting the
+/// negotiation from stale trees changes the congestion history and yields a
+/// legal-but-different routing, which is why this entry point is an
+/// equality-gated memo and not a seeded re-negotiation.
+///
+/// Returns the routed context plus whether the stale result was reused.
+/// Reuse additionally requires `stale.converged` (a congested stale attempt
+/// is re-routed from scratch so the caller sees the normal error path).
+pub fn route_context_delta(
+    graph: &RoutingGraph,
+    nets: &[Net],
+    opts: &RouteOptions,
+    stale: &RoutedContext,
+    rec: &Recorder,
+) -> Result<(RoutedContext, bool), RouteError> {
+    if stale.converged && stale.nets == nets {
+        rec.incr("route.delta_reused", 1);
+        return Ok((stale.clone(), true));
+    }
+    route_context_with(graph, nets, opts, rec).map(|r| (r, false))
+}
+
 /// Route one context's nets on the graph (no instrumentation).
 pub fn route_context(
     graph: &RoutingGraph,

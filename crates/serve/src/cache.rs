@@ -1,14 +1,19 @@
-//! Content-addressed LRU cache of compiled designs.
+//! Content-addressed LRU cache of compiled designs, with near-match lookup
+//! for delta compilation.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::design::CompiledDesign;
+use crate::design::{CompiledDesign, DesignFingerprint};
 
 /// A bounded map from [`crate::design_key`] to compiled artifact, evicting
 /// the least-recently-used design on overflow. Capacities are small (tens
 /// of designs), so the O(capacity) eviction scan is cheaper than keeping an
 /// intrusive recency list.
+///
+/// Capacity 0 means *caching disabled*: every lookup misses, every insert
+/// is dropped, and the cache never holds a design — the explicit
+/// pass-through path for callers that want each compile to run cold.
 #[derive(Debug)]
 pub(crate) struct DesignCache {
     capacity: usize,
@@ -19,7 +24,7 @@ pub(crate) struct DesignCache {
 impl DesignCache {
     pub(crate) fn new(capacity: usize) -> DesignCache {
         DesignCache {
-            capacity: capacity.max(1),
+            capacity,
             tick: 0,
             entries: HashMap::new(),
         }
@@ -35,9 +40,48 @@ impl DesignCache {
         })
     }
 
+    /// After an exact miss: find the best cached delta base for `fp` — a
+    /// design compiled under the same architecture and router options
+    /// ([`DesignFingerprint::env_matches`]) sharing at least one identical
+    /// per-context netlist hash. Among candidates the one sharing the
+    /// *most* contexts wins; ties break to the most recently used (larger
+    /// recency tick — deterministic, since ticks are unique). The winner's
+    /// recency is refreshed: serving as a delta base is a use.
+    ///
+    /// Returns the base and how many context slots it shares with `fp`.
+    pub(crate) fn near_match(
+        &mut self,
+        fp: &DesignFingerprint,
+    ) -> Option<(Arc<CompiledDesign>, usize)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let mut best: Option<(u64, usize, u64)> = None;
+        for (&key, &(used, ref design)) in &self.entries {
+            let candidate = design.design_fingerprint();
+            if key == fp.key() || !candidate.env_matches(fp) {
+                continue;
+            }
+            let shared = candidate.shared_contexts(fp);
+            if shared == 0 {
+                continue;
+            }
+            if best.is_none_or(|(_, s, u)| (shared, used) > (s, u)) {
+                best = Some((key, shared, used));
+            }
+        }
+        let (key, shared, _) = best?;
+        let (used, design) = self.entries.get_mut(&key).expect("winner is present");
+        *used = tick;
+        Some((design.clone(), shared))
+    }
+
     /// Insert a design, evicting the least-recently-used entry if the cache
-    /// is full. Returns the number of evictions (0 or 1).
+    /// is full. Returns the number of evictions (0 or 1). With capacity 0
+    /// the design is dropped untouched (caching disabled).
     pub(crate) fn insert(&mut self, key: u64, design: Arc<CompiledDesign>) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
         self.tick += 1;
         let mut evicted = 0;
         if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
@@ -64,8 +108,9 @@ impl DesignCache {
 mod tests {
     use super::*;
     use mcfpga_arch::ArchSpec;
-    use mcfpga_netlist::library;
+    use mcfpga_netlist::{library, Netlist};
     use mcfpga_sim::CompileOptions;
+    use proptest::prelude::*;
 
     fn design() -> Arc<CompiledDesign> {
         let arch = ArchSpec::paper_default();
@@ -103,5 +148,145 @@ mod tests {
         cache.insert(2, d.clone());
         assert_eq!(cache.insert(1, d.clone()), 0);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let d = design();
+        let mut cache = DesignCache::new(0);
+        assert_eq!(cache.insert(1, d.clone()), 0, "insert must not evict");
+        assert_eq!(cache.len(), 0, "insert must not store");
+        assert!(cache.get(1).is_none());
+        assert!(
+            cache.near_match(d.design_fingerprint()).is_none(),
+            "nothing stored, so nothing to near-match"
+        );
+    }
+
+    // ---- model-based proptest ------------------------------------------
+    //
+    // The reference model is the dumbest possible implementation of the
+    // documented semantics: an association list with explicit recency
+    // counters. The real cache must agree with it on every observable —
+    // hit/miss, near-match winner (identified by key), shared count,
+    // eviction count, and length — across arbitrary op sequences.
+
+    /// Cheap netlists with distinct content for fingerprint building.
+    fn circuit(id: u8) -> Netlist {
+        library::parity(2 + (id as usize % 4))
+    }
+
+    fn fingerprint(ctx_ids: &[u8], route_sel: u8) -> DesignFingerprint {
+        let arch = ArchSpec::paper_default();
+        let circuits: Vec<Netlist> = ctx_ids.iter().map(|&i| circuit(i)).collect();
+        // Two distinct router-knob environments, so near-match must prove
+        // it never pairs designs across an env boundary.
+        let iters = if route_sel == 0 { 40 } else { 7 };
+        let opts = CompileOptions::default()
+            .with_route(mcfpga_route::RouteOptions::default().with_max_iterations(iters));
+        DesignFingerprint::new(&arch, &circuits, &opts)
+    }
+
+    /// The naive reference: Vec of (key, fingerprint, last-used tick).
+    struct Model {
+        capacity: usize,
+        tick: u64,
+        entries: Vec<(u64, DesignFingerprint, u64)>,
+    }
+
+    impl Model {
+        fn get(&mut self, key: u64) -> bool {
+            self.tick += 1;
+            match self.entries.iter_mut().find(|(k, _, _)| *k == key) {
+                Some(e) => {
+                    e.2 = self.tick;
+                    true
+                }
+                None => false,
+            }
+        }
+
+        fn near_match(&mut self, fp: &DesignFingerprint) -> Option<(u64, usize)> {
+            self.tick += 1;
+            let tick = self.tick;
+            let best = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, (k, f, _))| *k != fp.key() && f.env_matches(fp))
+                .map(|(i, (k, f, used))| (i, *k, f.shared_contexts(fp), *used))
+                .filter(|&(_, _, shared, _)| shared > 0)
+                .max_by_key(|&(_, _, shared, used)| (shared, used))?;
+            self.entries[best.0].2 = tick;
+            Some((best.1, best.2))
+        }
+
+        fn insert(&mut self, key: u64, fp: DesignFingerprint) -> u64 {
+            if self.capacity == 0 {
+                return 0;
+            }
+            self.tick += 1;
+            let mut evicted = 0;
+            let exists = self.entries.iter().any(|(k, _, _)| *k == key);
+            if !exists && self.entries.len() >= self.capacity {
+                let lru = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (_, _, used))| *used)
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                self.entries.remove(lru);
+                evicted = 1;
+            }
+            match self.entries.iter_mut().find(|(k, _, _)| *k == key) {
+                Some(e) => e.2 = self.tick,
+                None => self.entries.push((key, fp, self.tick)),
+            }
+            evicted
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn cache_matches_naive_reference(
+            capacity in 0usize..4,
+            // Each op: (kind 0=get 1=insert 2=near_match, context ids,
+            // router-env selector). Fingerprints are built from the same
+            // encoding on both sides, so cache and model see equal keys.
+            ops in proptest::collection::vec(
+                (0u8..3, proptest::collection::vec(0u8..4, 1..4), 0u8..2),
+                1..40,
+            ),
+        ) {
+            let mut cache = DesignCache::new(capacity);
+            let mut model = Model { capacity, tick: 0, entries: Vec::new() };
+            for (kind, ctx_ids, route_sel) in ops {
+                let fp = fingerprint(&ctx_ids, route_sel);
+                match kind {
+                    0 => {
+                        let got = cache.get(fp.key());
+                        let want = model.get(fp.key());
+                        prop_assert_eq!(got.is_some(), want);
+                        if let Some(d) = got {
+                            prop_assert_eq!(d.key(), fp.key());
+                        }
+                    }
+                    1 => {
+                        let design = Arc::new(CompiledDesign::fake(fp.clone()));
+                        let got = cache.insert(fp.key(), design);
+                        let want = model.insert(fp.key(), fp);
+                        prop_assert_eq!(got, want);
+                    }
+                    _ => {
+                        let got = cache.near_match(&fp).map(|(d, s)| (d.key(), s));
+                        let want = model.near_match(&fp);
+                        prop_assert_eq!(got, want);
+                    }
+                }
+                prop_assert_eq!(cache.len(), model.entries.len());
+            }
+        }
     }
 }

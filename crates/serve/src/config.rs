@@ -32,6 +32,12 @@ pub struct ServeConfig {
     /// backpressure instead of unbounded memory growth.
     pub queue_capacity: usize,
     /// Compiled designs kept in the content-addressed LRU cache.
+    ///
+    /// `0` disables caching entirely: every compile runs cold (no exact or
+    /// near-match hits, nothing retained, nothing evicted) and
+    /// [`crate::Server::cached_designs`] stays 0. This is an explicit
+    /// pass-through, not a clamp — earlier releases silently treated 0
+    /// as 1.
     pub cache_capacity: usize,
     /// Deadline applied to jobs that don't carry their own. A job still
     /// queued when its deadline elapses completes with
@@ -67,7 +73,9 @@ impl ServeConfig {
         self
     }
 
-    /// Compiled designs kept in the LRU cache.
+    /// Compiled designs kept in the LRU cache. `0` disables caching: every
+    /// compile runs cold and nothing is retained (see
+    /// [`ServeConfig::cache_capacity`]).
     pub fn with_cache_capacity(mut self, cache_capacity: usize) -> Self {
         self.cache_capacity = cache_capacity;
         self

@@ -86,6 +86,12 @@ pub struct CompileOutcome {
     pub session: SessionId,
     /// Whether the design came out of the content-addressed cache.
     pub cache_hit: bool,
+    /// Set when the design was delta-compiled against a cached near match
+    /// (same arch/route options, overlapping per-context netlists): what
+    /// was reused versus recomputed. `None` for exact cache hits and cold
+    /// compiles. The artifact is bit-identical either way — this only
+    /// explains where the service time went.
+    pub delta: Option<mcfpga_sim::DeltaStats>,
     /// Microseconds the job waited in the queue.
     pub wait_us: u64,
     /// Microseconds of service time (cache lookup + compile if any).

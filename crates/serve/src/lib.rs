@@ -64,9 +64,10 @@ pub use admission::{
     AdmissionContext, AdmissionDecision, AdmissionPolicy, JobKind, ShedReason, WatermarkAdmission,
 };
 pub use config::ServeConfig;
-pub use design::{design_key, CompiledDesign};
+pub use design::{design_key, CompiledDesign, DesignFingerprint};
 pub use error::{ServeError, SubmitError};
 pub use job::{CompileJob, CompileOutcome, JobHandle, JobId, SimJob, SimOutcome};
+pub use mcfpga_sim::DeltaStats;
 pub use report::ServeReport;
 pub use server::{Server, SessionId};
 pub use snapshot::{HealthSnapshot, TenantInflight};

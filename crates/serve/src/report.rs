@@ -23,6 +23,12 @@ pub struct ServeReport {
     pub jobs_failed: u64,
     /// Jobs whose deadline elapsed while queued; never serviced.
     pub jobs_expired: u64,
+    /// Jobs whose deadline elapsed *mid-service*, caught between
+    /// per-context compile phases and completed with `ServeError::Deadline`.
+    /// These consumed worker time, so they are also counted in
+    /// `jobs_failed` (and the tenant's `failed` bucket) — this counter is a
+    /// breakdown, not a new conservation bucket.
+    pub jobs_expired_in_service: u64,
     /// Submissions refused with `QueueFull` backpressure.
     pub jobs_rejected: u64,
     /// Submissions refused by the admission policy (`serve.shed.total`).
@@ -37,6 +43,13 @@ pub struct ServeReport {
     pub cache_hits: u64,
     /// Compile jobs that had to compile.
     pub cache_misses: u64,
+    /// Exact-miss compiles that found a near-match base (same arch/route
+    /// options, overlapping contexts) and ran the delta path instead of a
+    /// cold compile. A subset of `cache_misses`.
+    pub cache_near_hits: u64,
+    /// Context compiles skipped across all delta compiles: contexts whose
+    /// netlist hash matched the near-match base and were reused verbatim.
+    pub delta_contexts_reused: u64,
     /// Designs evicted by LRU pressure.
     pub cache_evictions: u64,
     /// Deepest the submission queue has ever been.
@@ -64,6 +77,7 @@ impl ServeReport {
             jobs_completed: report.counter("serve.jobs_completed"),
             jobs_failed: report.counter("serve.jobs_failed"),
             jobs_expired: report.counter("serve.jobs_expired"),
+            jobs_expired_in_service: report.counter("serve.jobs_expired_in_service"),
             jobs_rejected: report.counter("serve.jobs_rejected"),
             jobs_shed: report.counter("serve.shed.total"),
             shed_queue_watermark: report.counter("serve.shed.queue_watermark"),
@@ -71,6 +85,8 @@ impl ServeReport {
             shed_policy: report.counter("serve.shed.policy"),
             cache_hits: report.counter("serve.cache_hits"),
             cache_misses: report.counter("serve.cache_misses"),
+            cache_near_hits: report.counter("serve.cache.near_hit"),
+            delta_contexts_reused: report.counter("serve.delta.contexts_reused"),
             cache_evictions: report.counter("serve.cache_evictions"),
             queue_depth_hwm: report.gauge("serve.queue_depth_hwm").unwrap_or(0.0) as u64,
             trace_dropped: rec.trace_dropped(),

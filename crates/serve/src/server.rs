@@ -17,12 +17,12 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use mcfpga_obs::Recorder;
-use mcfpga_sim::{KernelScratch, SimError, LANES};
+use mcfpga_sim::{CompileError, DeltaStats, KernelScratch, SimError, LANES};
 
 use crate::admission::{AdmissionContext, AdmissionDecision, JobKind};
 use crate::cache::DesignCache;
 use crate::config::ServeConfig;
-use crate::design::{design_key, CompiledDesign};
+use crate::design::{CompiledDesign, DesignFingerprint};
 use crate::error::{ServeError, SubmitError};
 use crate::job::{CompileJob, CompileOutcome, JobHandle, JobId, Shared, SimJob, SimOutcome};
 use crate::report::ServeReport;
@@ -424,6 +424,10 @@ struct JobMeta {
     tenant: String,
     kind: JobKind,
     crec: Recorder,
+    /// When the job entered the queue — with `deadline`, the remaining
+    /// budget checked between per-context compile phases.
+    enqueued: Instant,
+    deadline: Option<std::time::Duration>,
 }
 
 fn worker_loop(inner: &ServerInner) {
@@ -479,6 +483,8 @@ fn worker_loop(inner: &ServerInner) {
             tenant: queued.tenant,
             kind,
             crec,
+            enqueued: queued.enqueued,
+            deadline: queued.deadline,
         };
         let start = Instant::now();
         match queued.work {
@@ -562,12 +568,14 @@ fn process_compile(
     job: CompileJob,
     meta: &JobMeta,
 ) -> Result<CompileOutcome, ServeError> {
-    let key = design_key(&job.arch, &job.circuits, &job.options);
+    let fp = DesignFingerprint::new(&job.arch, &job.circuits, &job.options);
+    let key = fp.key();
     let cached = inner.cache.lock().unwrap().get(key);
     let hit = cached.is_some();
     inner.tenants.on_cache(&meta.tenant, hit);
     meta.crec
         .instant("cache_lookup", &[("hit", hit.into()), ("key", key.into())]);
+    let mut delta: Option<DeltaStats> = None;
     let (design, cache_hit) = match cached {
         Some(design) => {
             inner.rec.incr("serve.cache_hits", 1);
@@ -575,18 +583,89 @@ fn process_compile(
         }
         None => {
             inner.rec.incr("serve.cache_misses", 1);
+            // On an exact miss, look for a near match: a cached design
+            // compiled under the same arch/route options sharing the most
+            // per-context netlist hashes. If one exists, only the changed
+            // contexts are recompiled; the rest are reused bit-for-bit.
+            let near = inner.cache.lock().unwrap().near_match(&fp);
+            // In-service deadline enforcement: the compile polls this
+            // between per-context phases, so a job whose budget lapses
+            // mid-service stops instead of burning the worker to the end.
+            let enqueued = meta.enqueued;
+            let deadline = meta.deadline;
+            let cancel_fn = move || deadline.is_some_and(|d| enqueued.elapsed() > d);
+            let cancel: Option<&(dyn Fn() -> bool + Sync)> = if deadline.is_some() {
+                Some(&cancel_fn)
+            } else {
+                None
+            };
             // The cache lock is NOT held across the compile: two tenants
             // missing on the same key may both compile, but the artifact is
             // deterministic, so either insert is correct and the queue
             // never stalls behind a slow compile. The correlated recorder
             // rides into the compile pipeline, so per-context map/place/
             // route events carry this job's id.
-            let design = Arc::new(CompiledDesign::compile_with(
-                &job.arch,
-                &job.circuits,
-                &job.options,
-                &meta.crec,
-            )?);
+            let compiled = match near {
+                Some((base, shared)) => {
+                    inner.rec.incr("serve.cache.near_hit", 1);
+                    CompiledDesign::delta_compile_with(
+                        &job.arch,
+                        &job.circuits,
+                        &job.options,
+                        &meta.crec,
+                        &base,
+                        cancel,
+                    )
+                    .map(|(design, stats)| {
+                        inner
+                            .rec
+                            .incr("serve.delta.contexts_reused", stats.contexts_reused as u64);
+                        meta.crec.instant(
+                            "delta_compile",
+                            &[
+                                ("base_key", base.key().into()),
+                                ("shared_contexts", shared.into()),
+                                ("contexts_total", stats.contexts_total.into()),
+                                ("contexts_reused", stats.contexts_reused.into()),
+                                ("placements_reused", stats.placements_reused.into()),
+                                ("routes_reused", stats.routes_reused.into()),
+                            ],
+                        );
+                        delta = Some(stats);
+                        design
+                    })
+                }
+                None => CompiledDesign::compile_cancellable(
+                    &job.arch,
+                    &job.circuits,
+                    &job.options,
+                    &meta.crec,
+                    cancel,
+                ),
+            };
+            let design = match compiled {
+                Ok(design) => Arc::new(design),
+                Err(CompileError::DeadlineExceeded) => {
+                    // Serviced-but-expired: distinct from `serve.jobs_expired`
+                    // (lapsed while queued, never serviced). These jobs also
+                    // count into `serve.jobs_failed` / the tenant's `failed`
+                    // bucket, since they consumed service time.
+                    let waited_us = enqueued.elapsed().as_micros() as u64;
+                    inner.rec.incr("serve.jobs_expired_in_service", 1);
+                    meta.crec.instant(
+                        "job_expired_in_service",
+                        &[
+                            ("waited_us", waited_us.into()),
+                            (
+                                "deadline_us",
+                                (deadline.map_or(0, |d| d.as_micros() as u64)).into(),
+                            ),
+                        ],
+                    );
+                    return Err(ServeError::Deadline { waited_us });
+                }
+                Err(e) => return Err(e.into()),
+            };
             let evicted = inner.cache.lock().unwrap().insert(key, design.clone());
             inner.rec.incr("serve.cache_evictions", evicted);
             (design, false)
@@ -603,6 +682,7 @@ fn process_compile(
         design,
         session,
         cache_hit,
+        delta,
         wait_us: 0,
         service_us: 0,
     })

@@ -32,6 +32,10 @@ pub enum CompileError {
     },
     /// Workloads must contain at least one context.
     EmptyWorkload,
+    /// A cancellation hook (see [`crate::MultiDevice::compile_delta`])
+    /// reported the budget exhausted between per-context compile phases;
+    /// the partial result was discarded.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for CompileError {
@@ -49,6 +53,9 @@ impl std::fmt::Display for CompileError {
                 "logic block {lb} needs {needed} planes but the pool offers {available}"
             ),
             CompileError::EmptyWorkload => write!(f, "workload has no contexts"),
+            CompileError::DeadlineExceeded => {
+                write!(f, "compile cancelled: deadline exceeded between contexts")
+            }
         }
     }
 }

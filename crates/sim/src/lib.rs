@@ -30,5 +30,5 @@ pub use equivalence::{
 pub use error::Error;
 pub use faults::{lut_fault_campaign, CampaignReport, LutFault};
 pub use kernel::{CompiledKernel, KernelScratch, LANES};
-pub use multi::{CompileOptions, MultiDevice, SimError};
+pub use multi::{CompileOptions, ContextArtifacts, DeltaSeed, DeltaStats, MultiDevice, SimError};
 pub use temporal::FabricTemporalExecutor;

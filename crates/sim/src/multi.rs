@@ -17,10 +17,12 @@ use mcfpga_lut::{AdaptiveLogicBlock, LocalSizeController, SizeControl, TruthTabl
 use mcfpga_map::{map_netlist, MappedNetlist, MappedSource};
 use mcfpga_netlist::Netlist;
 use mcfpga_obs::Recorder;
-use mcfpga_place::{lb_of_lut, place_with, AnnealOptions, Placement, PlacementProblem};
+use mcfpga_place::{
+    lb_of_lut, place_delta, place_with, AnnealOptions, Placement, PlacementProblem,
+};
 use mcfpga_route::{
-    nets_from_placement, route_context_with, switch_columns, RouteOptions, RoutedContext,
-    RoutingGraph, SwitchUsage,
+    nets_from_placement, route_context_delta, route_context_with, switch_columns, RouteOptions,
+    RoutedContext, RoutingGraph, SwitchUsage,
 };
 
 use crate::device::CompileError;
@@ -189,6 +191,54 @@ pub(crate) fn fan_out<T: Send>(
         .collect()
 }
 
+/// One context's intermediate compile products, retained from a finished
+/// compile so a later [`MultiDevice::compile_delta`] can reuse them. Opaque
+/// outside this crate: callers obtain them from
+/// [`MultiDevice::context_artifacts`] and hand references back as
+/// [`DeltaSeed`]s — the equality gates that make reuse sound live inside
+/// the compile pipeline, not in the caller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextArtifacts {
+    pub(crate) mapped: MappedNetlist,
+    pub(crate) problem: PlacementProblem,
+    pub(crate) placement: Placement,
+    pub(crate) routed: RoutedContext,
+}
+
+/// Per-context seed for [`MultiDevice::compile_delta`]: what (if anything)
+/// a prior compile of this context slot left behind.
+#[derive(Debug, Clone, Copy)]
+pub enum DeltaSeed<'a> {
+    /// No usable prior artifact: run the cold per-context pipeline.
+    Cold,
+    /// The circuit is byte-identical to the one `0` was compiled from
+    /// (the caller vouches for this, e.g. via a per-context content hash):
+    /// every artifact is reused verbatim without recomputation.
+    Unchanged(&'a ContextArtifacts),
+    /// The circuit changed: the context is re-mapped, and each downstream
+    /// artifact is reused only when its inputs are *provably identical* to
+    /// the stale compile's (placement when the placement problem is equal,
+    /// routing when the derived nets are equal). Each per-context compile
+    /// is a deterministic pure function of its inputs, so these equality
+    /// gates keep the delta result bit-identical to a cold compile.
+    Changed(&'a ContextArtifacts),
+}
+
+/// What [`MultiDevice::compile_delta`] reused versus recomputed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Programmed contexts in the workload.
+    pub contexts_total: usize,
+    /// Contexts reused wholesale from an [`DeltaSeed::Unchanged`] seed.
+    pub contexts_reused: usize,
+    /// *Changed* contexts whose placement survived re-mapping (identical
+    /// placement problem, so the stale placement is the cold answer).
+    pub placements_reused: usize,
+    /// *Changed* contexts whose routing survived re-placement (identical
+    /// nets, so the stale routing trees are the cold answer).
+    pub routes_reused: usize,
+}
+
 /// Paper-grounded quantities attached to each `context_switch` trace event:
 /// per-context switch bitstreams (for bit-flip counts and measured change
 /// rate), the pattern-class census of the switch columns (Figs. 3–5), and
@@ -339,19 +389,11 @@ impl MultiDevice {
             return Err(CompileError::EmptyWorkload);
         }
         arch.validate().expect("valid architecture");
-        let ctx = arch.context_id();
-        let n_contexts = arch.n_contexts;
         assert!(
-            circuits.len() <= n_contexts,
+            circuits.len() <= arch.n_contexts,
             "more circuits than device contexts"
         );
         let k = arch.lut.min_inputs;
-        let outs = arch.lut.outputs;
-        let p_max = arch.lut.max_planes();
-        let mode = LutMode {
-            inputs: k,
-            planes: p_max,
-        };
 
         // Per-context flows: each context is placed (with its own derived
         // seed) and routed independently on the shared immutable graph, so
@@ -410,6 +452,191 @@ impl MultiDevice {
                 routed.push(r);
             }
         }
+        Self::assemble(arch, graph, mapped, problems, placements, routed, rec)
+    }
+
+    /// Compile with per-context artifact reuse from a prior compile of a
+    /// near-identical workload — the delta path behind `mcfpga-serve`'s
+    /// near-match design cache.
+    ///
+    /// `seeds` carries one [`DeltaSeed`] per circuit. Each per-context
+    /// pipeline stage (map → place → route) is a deterministic pure function
+    /// of that context's inputs, independent of every other context, so a
+    /// stale artifact is reused **only** when its inputs are identical:
+    /// wholesale for [`DeltaSeed::Unchanged`] slots, and per-stage behind
+    /// the equality gates of [`mcfpga_place::place_delta`] and
+    /// [`mcfpga_route::route_context_delta`] for [`DeltaSeed::Changed`]
+    /// slots. The resulting device is bit-for-bit identical to
+    /// [`MultiDevice::compile_opts`] on the same inputs — never merely
+    /// equivalent — which is what lets cached designs be shared between the
+    /// cold and delta paths.
+    ///
+    /// `cancel` is polled between per-context compile phases (and once more
+    /// before device assembly); when it reports `true` the compile stops
+    /// with [`CompileError::DeadlineExceeded`] instead of burning a worker
+    /// on a result nobody is waiting for. With `seeds` all
+    /// [`DeltaSeed::Cold`] this is exactly a cancellable cold compile.
+    pub fn compile_delta(
+        arch: &ArchSpec,
+        circuits: &[Netlist],
+        opts: &CompileOptions,
+        rec: &Recorder,
+        seeds: &[DeltaSeed<'_>],
+        cancel: Option<&(dyn Fn() -> bool + Sync)>,
+    ) -> Result<(MultiDevice, DeltaStats), CompileError> {
+        if circuits.is_empty() {
+            return Err(CompileError::EmptyWorkload);
+        }
+        assert_eq!(
+            seeds.len(),
+            circuits.len(),
+            "one DeltaSeed per circuit (use DeltaSeed::Cold for new slots)"
+        );
+        arch.validate().expect("valid architecture");
+        assert!(
+            circuits.len() <= arch.n_contexts,
+            "more circuits than device contexts"
+        );
+        let k = arch.lut.min_inputs;
+        let graph = RoutingGraph::build(arch);
+        let expired = || cancel.is_some_and(|f| f());
+
+        struct CtxOut {
+            mapped: MappedNetlist,
+            problem: PlacementProblem,
+            placement: Placement,
+            routed: RoutedContext,
+            context_reused: bool,
+            placement_reused: bool,
+            route_reused: bool,
+        }
+        let per_context = |worker: usize, c: usize| -> Result<CtxOut, CompileError> {
+            // The budget check between per-context phases: a job whose
+            // deadline lapsed mid-service stops before the next context.
+            if expired() {
+                return Err(CompileError::DeadlineExceeded);
+            }
+            let _ev = rec.begin(
+                "compile_context",
+                &[("context", c.into()), ("worker", worker.into())],
+            );
+            if let DeltaSeed::Unchanged(a) = seeds[c] {
+                return Ok(CtxOut {
+                    mapped: a.mapped.clone(),
+                    problem: a.problem.clone(),
+                    placement: a.placement.clone(),
+                    routed: a.routed.clone(),
+                    context_reused: true,
+                    placement_reused: true,
+                    route_reused: true,
+                });
+            }
+            let stale = match seeds[c] {
+                DeltaSeed::Changed(a) => Some(a),
+                _ => None,
+            };
+            let mapped = map_netlist(&circuits[c], k)?;
+            let problem = PlacementProblem::from_mapped(&mapped, arch)?;
+            let anneal = AnnealOptions {
+                seed: 0xC0FFEE ^ c as u64,
+                ..Default::default()
+            };
+            let (placement, placement_reused) = match stale {
+                Some(a) => place_delta(&problem, &anneal, &a.problem, &a.placement, rec),
+                None => (place_with(&problem, &anneal, rec), false),
+            };
+            let nets = nets_from_placement(&problem, &placement);
+            let (routed, route_reused) = match stale {
+                Some(a) => route_context_delta(&graph, &nets, &opts.route, &a.routed, rec)?,
+                None => (route_context_with(&graph, &nets, &opts.route, rec)?, false),
+            };
+            let routed = routed.require_converged()?;
+            Ok(CtxOut {
+                mapped,
+                problem,
+                placement,
+                routed,
+                context_reused: false,
+                placement_reused,
+                route_reused,
+            })
+        };
+
+        let mut mapped = Vec::with_capacity(circuits.len());
+        let mut problems = Vec::with_capacity(circuits.len());
+        let mut placements = Vec::with_capacity(circuits.len());
+        let mut routed = Vec::with_capacity(circuits.len());
+        let mut stats = DeltaStats {
+            contexts_total: circuits.len(),
+            ..Default::default()
+        };
+        let workers = opts.resolved_workers(circuits.len());
+        rec.set_gauge("flow.parallelism", workers as f64);
+        let mut merge = |out: CtxOut| {
+            stats.contexts_reused += out.context_reused as usize;
+            if !out.context_reused {
+                stats.placements_reused += out.placement_reused as usize;
+                stats.routes_reused += out.route_reused as usize;
+            }
+            mapped.push(out.mapped);
+            problems.push(out.problem);
+            placements.push(out.placement);
+            routed.push(out.routed);
+        };
+        if workers > 1 {
+            for result in fan_out(circuits.len(), workers, per_context) {
+                merge(result?);
+            }
+        } else {
+            for c in 0..circuits.len() {
+                merge(per_context(0, c)?);
+            }
+        }
+        // Last budget check before the (serial) assembly tail.
+        if expired() {
+            return Err(CompileError::DeadlineExceeded);
+        }
+        let device = Self::assemble(arch, graph, mapped, problems, placements, routed, rec)?;
+        Ok((device, stats))
+    }
+
+    /// Clone out every programmed context's intermediate compile products,
+    /// in context order — the seeds a later [`MultiDevice::compile_delta`]
+    /// of a perturbed workload reuses.
+    pub fn context_artifacts(&self) -> Vec<ContextArtifacts> {
+        (0..self.mapped.len())
+            .map(|c| ContextArtifacts {
+                mapped: self.mapped[c].clone(),
+                problem: self.problems[c].clone(),
+                placement: self.placements[c].clone(),
+                routed: self.routed[c].clone(),
+            })
+            .collect()
+    }
+
+    /// Shared assembly tail of [`MultiDevice::compile_mapped_opts`] and
+    /// [`MultiDevice::compile_delta`]: pad unprogrammed contexts, extract
+    /// switch columns, group per-site truth tables into LUT planes, and
+    /// build the device. Deterministic in its inputs, so the two compile
+    /// paths produce identical devices from identical per-context results.
+    fn assemble(
+        arch: &ArchSpec,
+        graph: RoutingGraph,
+        mapped: Vec<MappedNetlist>,
+        problems: Vec<PlacementProblem>,
+        placements: Vec<Placement>,
+        routed: Vec<RoutedContext>,
+        rec: &Recorder,
+    ) -> Result<MultiDevice, CompileError> {
+        let ctx = arch.context_id();
+        let n_contexts = arch.n_contexts;
+        let k = arch.lut.min_inputs;
+        let outs = arch.lut.outputs;
+        let p_max = arch.lut.max_planes();
+        let mode = LutMode {
+            inputs: k,
+            planes: p_max,
+        };
         // Pad unused contexts with empty routing so columns cover every
         // device context.
         let empty = RoutedContext {

@@ -28,8 +28,16 @@ must be attributed — tenant ledgers and the trace ring agreeing exactly —
 and every tenant ledger must conserve
 (submitted == completed+failed+expired+rejected+shed+inflight).
 
+When the baseline carries a "delta" section, a fresh BENCH_delta.json is
+gated on the delta-compilation contract: zero bit divergences between
+delta-compiled and cold-compiled artifacts (the non-negotiable invariant),
+every change-rate variant served through the near-match path, and a hard
+speedup floor at the paper's 5% change point — if recompiling a 5%-changed
+context stops being at least `speedup_floor_5pct`x cheaper than a cold
+compile, the delta path stopped paying for itself.
+
 Usage: check_bench_regression.py [fresh] [baseline] [fresh_sim] [fresh_serve]
-       [fresh_serve_obs]
+       [fresh_serve_obs] [fresh_delta]
 Exits non-zero listing every regression found.
 """
 
@@ -220,6 +228,46 @@ def main() -> int:
                     f"serve_obs.trace_dropped: {obs['trace_dropped']} "
                     f"(ring must hold the whole experiment)")
 
+    delta_checked = False
+    if "delta" in base:
+        delta_path = sys.argv[6] if len(sys.argv) > 6 else "BENCH_delta.json"
+        try:
+            delta = json.load(open(delta_path))
+        except OSError:
+            errors.append(
+                f"baseline has a delta section but {delta_path} is missing")
+            delta = None
+        if delta is not None:
+            delta_checked = True
+            delta_base = base["delta"]
+            # The non-negotiable invariant: a delta-compiled design is
+            # bit-for-bit the cold compile of the same request.
+            if delta["divergences"] != delta_base["max_divergences"]:
+                errors.append(
+                    f"delta.divergences: {delta['divergences']} "
+                    f"(must be {delta_base['max_divergences']}: delta compile "
+                    f"must be bit-identical to cold)")
+            # Every perturbed variant must have been answered through the
+            # near-match delta path, not a silent cold compile.
+            if delta["serve_near_hits"] != len(delta["points"]):
+                errors.append(
+                    f"delta.serve_near_hits: {delta['serve_near_hits']} of "
+                    f"{len(delta['points'])} variants took the delta path")
+            floor = delta_base["speedup_floor_5pct"]
+            if delta["speedup_at_5pct"] < floor:
+                errors.append(
+                    f"delta.speedup_at_5pct: {delta['speedup_at_5pct']:.1f}x "
+                    f"< floor {floor}x (delta recompile stopped paying off)")
+            # A reused context count of zero at low change rates means the
+            # per-context fingerprints stopped matching — the cache would
+            # silently degrade to cold compiles.
+            for p in delta["points"]:
+                if p["contexts_reused"] < p["contexts_total"] - 1:
+                    errors.append(
+                        f"delta.points[{p['label']}]: only "
+                        f"{p['contexts_reused']}/{p['contexts_total']} contexts "
+                        f"reused for a single-context perturbation")
+
     if errors:
         print(f"BENCH regression vs {base_path}:")
         for e in errors:
@@ -229,7 +277,8 @@ def main() -> int:
           f"({len(base_points)} area points, {len(base_phases)} phases"
           + (", sim gate OK" if sim_checked else "")
           + (", serve gate OK" if serve_checked else "")
-          + (", serve_obs SLOs OK" if obs_checked else "") + ").")
+          + (", serve_obs SLOs OK" if obs_checked else "")
+          + (", delta gate OK" if delta_checked else "") + ").")
     return 0
 
 
