@@ -48,12 +48,14 @@ use serde::{Deserialize, Serialize, Value};
 pub mod correlate;
 pub mod histogram;
 pub mod trace;
+pub mod waveform;
 
 pub use correlate::{job_ids, job_trace, JobSpan, JobTrace};
 pub use histogram::LogHistogram;
 pub use trace::{
     current_thread_id, ReconfigTelemetry, SwitchTelemetry, TraceEvent, TracePhase, TraceValue,
 };
+pub use waveform::{WaveSignal, Waveform};
 
 /// Default bound on buffered trace events; older events are evicted first.
 /// Override with [`Recorder::enabled_with_capacity`].
@@ -862,6 +864,36 @@ mod tests {
         let args = inst.get("args").expect("args object");
         assert_eq!(args.get("from").and_then(|v| v.as_u64()), Some(0));
         assert_eq!(args.get("change_rate").and_then(|v| v.as_f64()), Some(0.25));
+    }
+
+    #[test]
+    fn chrome_trace_json_escapes_adversarial_names_and_args() {
+        // Event names and string args flow from netlist/tenant identifiers
+        // the library does not control; quotes, backslashes, and control
+        // characters must come out as valid JSON escapes, not raw bytes.
+        let rec = Recorder::enabled();
+        let hostile = "quote\" slash\\ newline\n tab\t esc\u{1b} null\u{0}";
+        rec.instant(hostile, &[("note", TraceValue::Str(hostile.to_string()))]);
+        let json = rec.chrome_trace_json();
+        // Raw control bytes must never reach the output (pretty-printing
+        // itself emits newlines, but never tabs, ESC, or NUL)...
+        for raw in ['\t', '\u{1b}', '\u{0}'] {
+            assert!(!json.contains(raw), "raw control byte {raw:?} in output");
+        }
+        // ...because each one was rewritten as a JSON escape sequence.
+        for escaped in ["\\\"", "\\\\", "\\n", "\\t", "\\u001b", "\\u0000"] {
+            assert!(json.contains(escaped), "missing escape {escaped}");
+        }
+        let doc = serde_json::parse(&json).expect("escaped output must re-parse");
+        let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        let inst = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|v| v.as_str()) == Some("i"))
+            .expect("instant exported");
+        // Round-trip fidelity: the hostile bytes survive escape + re-parse.
+        assert_eq!(inst.get("name").and_then(|v| v.as_str()), Some(hostile));
+        let args = inst.get("args").expect("args object");
+        assert_eq!(args.get("note").and_then(|v| v.as_str()), Some(hostile));
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Waveform capture export: standard VCD plus a compact JSON form.
+//!
+//! A [`Waveform`] is an ordered set of named multi-bit signals sampled on a
+//! shared clock — what the simulator's probe rings hold after a batched run.
+//! [`Waveform::to_vcd`] renders IEEE 1364 Value Change Dump text that any
+//! off-the-shelf viewer (GTKWave, Surfer, WaveTrace) opens directly;
+//! [`Waveform::to_json`] renders the same data as one compact JSON object
+//! for programmatic diffing. Both outputs are fully deterministic — the
+//! header carries no timestamp and identifier codes are assigned by signal
+//! order — so golden-file tests and CI artifact diffs are stable.
+
+use serde::{Deserialize, Serialize};
+
+/// One named signal: `width` bits per sample, LSB-first in each `u64` word.
+///
+/// Bit `b` of `samples[t]` is the value of signal bit `b` at cycle `t`; the
+/// simulator's probe path stores one stimulus lane per bit, so a 64-wide
+/// signal carries all lanes of one probe and a 1-wide signal carries a
+/// single extracted lane.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WaveSignal {
+    pub name: String,
+    /// Bits per sample, `1..=64`.
+    pub width: usize,
+    pub samples: Vec<u64>,
+}
+
+/// An ordered set of sampled signals under one module scope.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Waveform {
+    /// VCD `$scope module` name.
+    pub module: String,
+    /// Nanoseconds per sample tick (`$timescale`).
+    pub timescale_ns: u64,
+    signals: Vec<WaveSignal>,
+}
+
+impl Waveform {
+    /// An empty waveform scoped under `module`, at 1 ns per tick.
+    pub fn new(module: &str) -> Waveform {
+        Waveform {
+            module: sanitize_identifier(module),
+            timescale_ns: 1,
+            signals: Vec::new(),
+        }
+    }
+
+    /// Append a signal. `width` is clamped to `1..=64`; sample words are
+    /// masked to `width` bits on export. Signal order is export order.
+    pub fn push_signal(&mut self, name: &str, width: usize, samples: Vec<u64>) {
+        self.signals.push(WaveSignal {
+            name: sanitize_identifier(name),
+            width: width.clamp(1, 64),
+            samples,
+        });
+    }
+
+    pub fn signals(&self) -> &[WaveSignal] {
+        &self.signals
+    }
+
+    /// Sample count of the longest signal (the dump's final tick).
+    pub fn n_samples(&self) -> usize {
+        self.signals
+            .iter()
+            .map(|s| s.samples.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Render as IEEE 1364 VCD text.
+    ///
+    /// Deterministic: no date/version stamp, identifier codes assigned by
+    /// signal order. Tick 0 dumps every signal inside `$dumpvars`; later
+    /// ticks emit only signals whose value changed, and a final bare `#n`
+    /// closes the last sample interval.
+    pub fn to_vcd(&self) -> String {
+        let mut out = String::new();
+        out.push_str("$comment mcfpga fabric probe export $end\n");
+        out.push_str(&format!("$timescale {}ns $end\n", self.timescale_ns));
+        out.push_str(&format!("$scope module {} $end\n", self.module));
+        for (i, sig) in self.signals.iter().enumerate() {
+            if sig.width == 1 {
+                out.push_str(&format!("$var wire 1 {} {} $end\n", id_code(i), sig.name));
+            } else {
+                out.push_str(&format!(
+                    "$var wire {} {} {} [{}:0] $end\n",
+                    sig.width,
+                    id_code(i),
+                    sig.name,
+                    sig.width - 1
+                ));
+            }
+        }
+        out.push_str("$upscope $end\n");
+        out.push_str("$enddefinitions $end\n");
+        let n = self.n_samples();
+        let mut prev: Vec<Option<u64>> = vec![None; self.signals.len()];
+        for t in 0..n {
+            let mut changes = String::new();
+            for (i, sig) in self.signals.iter().enumerate() {
+                let Some(&word) = sig.samples.get(t) else {
+                    continue;
+                };
+                let value = word & mask(sig.width);
+                if prev[i] == Some(value) {
+                    continue;
+                }
+                prev[i] = Some(value);
+                changes.push_str(&format_value(value, sig.width, &id_code(i)));
+            }
+            if t == 0 {
+                out.push_str("#0\n$dumpvars\n");
+                out.push_str(&changes);
+                out.push_str("$end\n");
+            } else if !changes.is_empty() {
+                out.push_str(&format!("#{t}\n"));
+                out.push_str(&changes);
+            }
+        }
+        if n > 0 {
+            out.push_str(&format!("#{n}\n"));
+        }
+        out
+    }
+
+    /// Render as one compact JSON object (`module`, `timescale_ns`,
+    /// `signals[{name,width,samples}]`).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("waveform serialization is infallible")
+    }
+}
+
+fn mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// One value-change line: scalar form (`1!`) for 1-bit signals, binary
+/// vector form (`b101 !`) otherwise, MSB first.
+fn format_value(value: u64, width: usize, id: &str) -> String {
+    if width == 1 {
+        format!("{}{}\n", value & 1, id)
+    } else {
+        let mut bits = String::with_capacity(width);
+        for b in (0..width).rev() {
+            bits.push(if (value >> b) & 1 == 1 { '1' } else { '0' });
+        }
+        format!("b{bits} {id}\n")
+    }
+}
+
+/// VCD identifier code for signal `i`: base-94 over the printable ASCII
+/// range `!`..=`~`, shortest code first (`!`, `"`, … then two-char codes).
+fn id_code(mut i: usize) -> String {
+    const BASE: usize = 94;
+    let mut code = Vec::new();
+    loop {
+        code.push((b'!' + (i % BASE) as u8) as char);
+        i /= BASE;
+        if i == 0 {
+            break;
+        }
+        i -= 1; // bijective numeration: "!!" follows "~", not "!"
+    }
+    code.into_iter().rev().collect()
+}
+
+/// VCD identifiers cannot contain whitespace; map offending characters
+/// (and non-printables) to `_` so arbitrary netlist names stay loadable.
+fn sanitize_identifier(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_graphic() { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "_".to_string()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let code = id_code(i);
+            assert!(code.chars().all(|c| ('!'..='~').contains(&c)), "{code:?}");
+            assert!(seen.insert(code.clone()), "duplicate id {code:?} at {i}");
+        }
+        assert_eq!(id_code(0), "!");
+        assert_eq!(id_code(93), "~");
+        assert_eq!(id_code(94), "!!");
+    }
+
+    #[test]
+    fn change_only_emission_after_tick_zero() {
+        let mut w = Waveform::new("dut");
+        w.push_signal("a", 1, vec![1, 1, 0, 0, 1]);
+        let vcd = w.to_vcd();
+        // a is dumped at #0, changes at #2 and #4 only; #1/#3 are elided.
+        assert!(vcd.contains("#0\n$dumpvars\n1!\n$end\n"), "{vcd}");
+        assert!(vcd.contains("#2\n0!\n"), "{vcd}");
+        assert!(vcd.contains("#4\n1!\n"), "{vcd}");
+        assert!(!vcd.contains("#1\n"), "{vcd}");
+        assert!(!vcd.contains("#3\n"), "{vcd}");
+        assert!(vcd.ends_with("#5\n"), "{vcd}");
+    }
+
+    #[test]
+    fn vector_signals_use_binary_form_msb_first() {
+        let mut w = Waveform::new("dut");
+        w.push_signal("bus", 4, vec![0b1010]);
+        let vcd = w.to_vcd();
+        assert!(vcd.contains("$var wire 4 ! bus [3:0] $end"), "{vcd}");
+        assert!(vcd.contains("b1010 !"), "{vcd}");
+    }
+
+    #[test]
+    fn samples_are_masked_to_width() {
+        let mut w = Waveform::new("dut");
+        w.push_signal("narrow", 2, vec![0xFF]);
+        assert!(w.to_vcd().contains("b11 !"), "{}", w.to_vcd());
+    }
+
+    #[test]
+    fn names_with_whitespace_are_sanitized() {
+        let mut w = Waveform::new("top level");
+        w.push_signal("a b\tc", 1, vec![0]);
+        let vcd = w.to_vcd();
+        assert!(vcd.contains("$scope module top_level $end"), "{vcd}");
+        assert!(vcd.contains("$var wire 1 ! a_b_c $end"), "{vcd}");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut w = Waveform::new("dut");
+        w.push_signal("x", 64, vec![u64::MAX, 0, 7]);
+        let json = w.to_json();
+        let v = serde_json::parse(&json).expect("valid json");
+        assert_eq!(v.get("module").and_then(|m| m.as_str()), Some("dut"));
+        let sig = v
+            .get("signals")
+            .and_then(|s| s.as_array())
+            .and_then(|a| a.first())
+            .expect("one signal");
+        assert_eq!(sig.get("width").and_then(|x| x.as_u64()), Some(64));
+    }
+
+    #[test]
+    fn empty_waveform_still_renders_a_valid_header() {
+        let vcd = Waveform::new("empty").to_vcd();
+        assert!(vcd.contains("$enddefinitions $end"), "{vcd}");
+        assert!(!vcd.contains("#0"), "{vcd}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Golden-file lock on the VCD export: header layout, declaration order,
+//! identifier assignment, `$dumpvars` at tick 0, change-only emission after,
+//! and the closing bare timestamp. Any byte-level drift in `to_vcd` is an
+//! interface change for downstream viewers and must show up here.
+
+use mcfpga_obs::Waveform;
+
+const GOLDEN: &str = include_str!("golden_waveform.vcd");
+
+fn golden_waveform() -> Waveform {
+    let mut w = Waveform::new("probe");
+    w.push_signal("clk_q", 1, vec![0, 1, 0, 1]);
+    w.push_signal("bus", 4, vec![0b0011, 0b0011, 0b1010, 0b1111]);
+    w
+}
+
+#[test]
+fn vcd_export_matches_golden_file() {
+    assert_eq!(golden_waveform().to_vcd(), GOLDEN);
+}
+
+#[test]
+fn golden_header_precedes_definitions_in_declaration_order() {
+    let vcd = golden_waveform().to_vcd();
+    let pos = |needle: &str| {
+        vcd.find(needle)
+            .unwrap_or_else(|| panic!("missing {needle:?}"))
+    };
+    let order = [
+        "$comment",
+        "$timescale 1ns $end",
+        "$scope module probe $end",
+        "$var wire 1 ! clk_q $end",
+        "$var wire 4 \" bus [3:0] $end",
+        "$upscope $end",
+        "$enddefinitions $end",
+        "#0",
+        "$dumpvars",
+    ];
+    for pair in order.windows(2) {
+        assert!(
+            pos(pair[0]) < pos(pair[1]),
+            "{:?} must precede {:?}",
+            pair[0],
+            pair[1]
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Congestion heatmaps: rank and diff routing pressure per edge.
+//!
+//! PathFinder exports its final negotiation state on every
+//! [`RoutedContext`] (sparse per-edge occupancy and history cost);
+//! [`CongestionMap::measure`] joins that export with the graph's edge
+//! capacities into one ranked, diffable view. Occupancy says where nets
+//! ended up; history says where the negotiation repeatedly fought, which
+//! flags channels that converged only under pressure — the edges most
+//! likely to tip over when a delta-compile perturbs the workload.
+
+use mcfpga_arch::Coord;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{EdgeId, RoutingGraph};
+use crate::pathfinder::RoutedContext;
+
+/// One edge's congestion record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeCongestion {
+    pub edge: EdgeId,
+    /// Channel endpoints, for rendering heatmaps on the grid.
+    pub a: Coord,
+    pub b: Coord,
+    /// Nets using the edge in the final routing.
+    pub occupancy: usize,
+    pub capacity: usize,
+    /// `occupancy / capacity` — 1.0 is a full channel.
+    pub utilization: f64,
+    /// Accumulated PathFinder history cost (0.0 if never overused).
+    pub history: f64,
+}
+
+/// Per-edge congestion of one routed context: every edge that carries a net
+/// or accumulated negotiation history, ascending by edge id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CongestionMap {
+    pub edges: Vec<EdgeCongestion>,
+}
+
+impl CongestionMap {
+    /// Join `routed`'s PathFinder export with `graph`'s capacities.
+    pub fn measure(graph: &RoutingGraph, routed: &RoutedContext) -> CongestionMap {
+        let mut history = vec![0.0f64; graph.edges.len()];
+        for &(e, h) in &routed.edge_history {
+            history[e] = h;
+        }
+        let mut seen = vec![false; graph.edges.len()];
+        let mut edges: Vec<EdgeCongestion> = routed
+            .edge_occupancy
+            .iter()
+            .map(|&(e, occupancy)| {
+                seen[e] = true;
+                edge_record(graph, e, occupancy, history[e])
+            })
+            .collect();
+        // History can outlive occupancy: an edge fought over mid-negotiation
+        // may carry no net in the final routing. Keep it visible.
+        for &(e, h) in &routed.edge_history {
+            if !seen[e] {
+                edges.push(edge_record(graph, e, 0, h));
+            }
+        }
+        edges.sort_by_key(|r| r.edge);
+        CongestionMap { edges }
+    }
+
+    /// The `n` hottest edges: utilization first, then history, then
+    /// occupancy, then edge id — fully deterministic.
+    pub fn hottest(&self, n: usize) -> Vec<&EdgeCongestion> {
+        let mut ranked: Vec<&EdgeCongestion> = self.edges.iter().collect();
+        ranked.sort_by(|x, y| {
+            y.utilization
+                .partial_cmp(&x.utilization)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    y.history
+                        .partial_cmp(&x.history)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+                .then(y.occupancy.cmp(&x.occupancy))
+                .then(x.edge.cmp(&y.edge))
+        });
+        ranked.truncate(n);
+        ranked
+    }
+
+    /// Worst utilization over all edges (0.0 for an empty map).
+    pub fn peak_utilization(&self) -> f64 {
+        self.edges.iter().map(|e| e.utilization).fold(0.0, f64::max)
+    }
+
+    /// Edges changed from `self` to `newer` (e.g. across a delta-compile):
+    /// sparse non-zero deltas, ascending by edge id.
+    pub fn diff(&self, newer: &CongestionMap) -> Vec<CongestionDelta> {
+        let mut deltas: Vec<CongestionDelta> = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.edges.len() || j < newer.edges.len() {
+            let old = self.edges.get(i);
+            let new = newer.edges.get(j);
+            let (edge, o, n) = match (old, new) {
+                (Some(o), Some(n)) if o.edge == n.edge => {
+                    i += 1;
+                    j += 1;
+                    (o.edge, Some(o), Some(n))
+                }
+                (Some(o), None) => {
+                    i += 1;
+                    (o.edge, Some(o), None)
+                }
+                (Some(o), Some(n)) if o.edge < n.edge => {
+                    i += 1;
+                    (o.edge, Some(o), None)
+                }
+                (_, Some(n)) => {
+                    j += 1;
+                    (n.edge, None, Some(n))
+                }
+                (None, None) => unreachable!("loop condition"),
+            };
+            let occupancy_delta =
+                n.map_or(0, |r| r.occupancy as i64) - o.map_or(0, |r| r.occupancy as i64);
+            let history_delta = n.map_or(0.0, |r| r.history) - o.map_or(0.0, |r| r.history);
+            if occupancy_delta != 0 || history_delta != 0.0 {
+                deltas.push(CongestionDelta {
+                    edge,
+                    occupancy_delta,
+                    history_delta,
+                });
+            }
+        }
+        deltas
+    }
+}
+
+fn edge_record(graph: &RoutingGraph, e: EdgeId, occupancy: usize, history: f64) -> EdgeCongestion {
+    let info = &graph.edges[e];
+    let capacity = info.capacity;
+    EdgeCongestion {
+        edge: e,
+        a: info.a,
+        b: info.b,
+        occupancy,
+        capacity,
+        utilization: if capacity == 0 {
+            0.0
+        } else {
+            occupancy as f64 / capacity as f64
+        },
+        history,
+    }
+}
+
+/// One edge's change between two congestion maps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CongestionDelta {
+    pub edge: EdgeId,
+    pub occupancy_delta: i64,
+    pub history_delta: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathfinder::{route_context, Net, RouteOptions};
+    use mcfpga_arch::ArchSpec;
+
+    fn routed_map(nets: Vec<Net>) -> (RoutingGraph, RoutedContext, CongestionMap) {
+        let g = RoutingGraph::build(&ArchSpec::paper_default());
+        let r = route_context(&g, &nets, &RouteOptions::default()).unwrap();
+        let m = CongestionMap::measure(&g, &r);
+        (g, r, m)
+    }
+
+    fn cross_nets(n: u16) -> Vec<Net> {
+        (1..=n)
+            .map(|y| Net {
+                source: Coord::new(1, y),
+                sinks: vec![Coord::new(8, y), Coord::new(4, 4)],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn map_matches_the_pathfinder_export() {
+        let (_, r, m) = routed_map(cross_nets(4));
+        assert_eq!(m.edges.iter().filter(|e| e.occupancy > 0).count(), {
+            r.edge_occupancy.len()
+        });
+        for e in &m.edges {
+            let exported = r
+                .edge_occupancy
+                .iter()
+                .find(|&&(id, _)| id == e.edge)
+                .map_or(0, |&(_, u)| u);
+            assert_eq!(e.occupancy, exported);
+            assert!(e.capacity > 0);
+            assert!(e.utilization <= 1.0, "converged routing never overuses");
+        }
+    }
+
+    #[test]
+    fn occupancy_export_agrees_with_trees() {
+        let (g, r, _) = routed_map(cross_nets(3));
+        let mut from_trees = vec![0usize; g.edges.len()];
+        for t in &r.trees {
+            for &e in t {
+                from_trees[e] += 1;
+            }
+        }
+        for (e, &u) in from_trees.iter().enumerate() {
+            let exported = r
+                .edge_occupancy
+                .iter()
+                .find(|&&(id, _)| id == e)
+                .map_or(0, |&(_, u)| u);
+            assert_eq!(exported, u, "edge {e}");
+        }
+    }
+
+    #[test]
+    fn hottest_ranks_by_utilization_and_truncates() {
+        let (_, _, m) = routed_map(cross_nets(4));
+        let top = m.hottest(5);
+        assert!(top.len() <= 5);
+        for pair in top.windows(2) {
+            assert!(pair[0].utilization >= pair[1].utilization);
+        }
+        assert_eq!(top[0].utilization, m.peak_utilization());
+    }
+
+    #[test]
+    fn diff_is_empty_for_identical_routings_and_sparse_otherwise() {
+        let (g, _, m1) = routed_map(cross_nets(2));
+        assert!(m1.diff(&m1).is_empty(), "self-diff must be empty");
+        let r2 = route_context(&g, &cross_nets(4), &RouteOptions::default()).unwrap();
+        let m2 = CongestionMap::measure(&g, &r2);
+        let deltas = m1.diff(&m2);
+        assert!(!deltas.is_empty(), "adding nets must change occupancy");
+        assert!(deltas
+            .iter()
+            .all(|d| d.occupancy_delta != 0 || d.history_delta != 0.0));
+        // The diff is reversible: applying it backwards negates occupancy.
+        let back = m2.diff(&m1);
+        assert_eq!(deltas.len(), back.len());
+        for (d, b) in deltas.iter().zip(&back) {
+            assert_eq!(d.edge, b.edge);
+            assert_eq!(d.occupancy_delta, -b.occupancy_delta);
+        }
+    }
+
+    #[test]
+    fn empty_routing_yields_empty_map() {
+        let (_, _, m) = routed_map(vec![]);
+        assert!(m.edges.is_empty());
+        assert_eq!(m.peak_utilization(), 0.0);
+        assert!(m.hottest(3).is_empty());
+    }
+}

@@ -16,12 +16,14 @@
 //! that RCM decoder synthesis and the area model consume.
 
 pub mod channel_width;
+pub mod congestion;
 pub mod graph;
 pub mod pathfinder;
 pub mod stats;
 pub mod switches;
 
 pub use channel_width::{min_channel_width, routes_at, ChannelWidthResult};
+pub use congestion::{CongestionDelta, CongestionMap, EdgeCongestion};
 pub use graph::{EdgeId, EdgeInfo, RoutingGraph};
 pub use pathfinder::{
     route_context, route_context_delta, route_context_with, Net, RouteError, RouteOptions,

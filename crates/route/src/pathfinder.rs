@@ -129,6 +129,15 @@ pub struct RoutedContext {
     pub converged: bool,
     /// Edges still over capacity in the final iteration (0 when converged).
     pub overused_edges: usize,
+    /// Final per-edge occupancy: sparse `(edge, uses)` pairs, ascending by
+    /// edge id, for every edge on at least one routing tree — the raw
+    /// signal behind congestion heatmaps ([`crate::CongestionMap`]).
+    pub edge_occupancy: Vec<(EdgeId, usize)>,
+    /// Final PathFinder history cost: sparse `(edge, cost)` pairs, ascending
+    /// by edge id, for every edge that accumulated history — the edges the
+    /// negotiation repeatedly fought over, even if the final routing no
+    /// longer overuses them.
+    pub edge_history: Vec<(EdgeId, f64)>,
 }
 
 impl RoutedContext {
@@ -354,20 +363,39 @@ pub fn route_context_with(
             ],
         );
         if overused == 0 {
-            return Ok(finish(graph, nets, trees, iteration + 1, 0));
+            return Ok(finish(
+                graph,
+                nets,
+                trees,
+                &usage,
+                &history,
+                iteration + 1,
+                0,
+            ));
         }
         present_factor *= opts.present_growth;
     }
     rec.incr("route.nonconverged_contexts", 1);
     rec.incr("route.overused_edges", overused as u64);
-    Ok(finish(graph, nets, trees, opts.max_iterations, overused))
+    Ok(finish(
+        graph,
+        nets,
+        trees,
+        &usage,
+        &history,
+        opts.max_iterations,
+        overused,
+    ))
 }
 
-/// Assemble the final [`RoutedContext`] from the surviving trees.
+/// Assemble the final [`RoutedContext`] from the surviving trees, exporting
+/// the negotiation's per-edge occupancy and history as sparse pairs.
 fn finish(
     graph: &RoutingGraph,
     nets: &[Net],
     trees: Vec<Vec<EdgeId>>,
+    usage: &[usize],
+    history: &[f64],
     iterations: usize,
     overused: usize,
 ) -> RoutedContext {
@@ -377,6 +405,18 @@ fn finish(
         .zip(&trees)
         .map(|(net, tree)| tree_delay(graph, net, tree, &mut edge_mark))
         .collect();
+    let edge_occupancy = usage
+        .iter()
+        .enumerate()
+        .filter(|(_, &u)| u > 0)
+        .map(|(e, &u)| (e, u))
+        .collect();
+    let edge_history = history
+        .iter()
+        .enumerate()
+        .filter(|(_, &h)| h > 0.0)
+        .map(|(e, &h)| (e, h))
+        .collect();
     RoutedContext {
         nets: nets.to_vec(),
         trees,
@@ -384,6 +424,8 @@ fn finish(
         iterations,
         converged: overused == 0,
         overused_edges: overused,
+        edge_occupancy,
+        edge_history,
     }
 }
 

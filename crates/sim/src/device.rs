@@ -867,6 +867,34 @@ mod activity_tests {
     }
 
     #[test]
+    fn toggle_rate_is_zero_not_nan_before_any_cycle() {
+        // Regression: cycles == 0 must short-circuit, never divide.
+        let arch = ArchSpec::paper_default();
+        let dev = Device::compile(&arch, &vec![library::parity(4); 2]).unwrap();
+        let rate = dev.toggle_rate();
+        assert!(!rate.is_nan(), "zero-cycle device produced NaN");
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn toggle_rate_is_zero_not_nan_on_a_lut_less_device() {
+        // A pure-passthrough netlist maps to zero LUTs; with cycles > 0 the
+        // rate divides by the LUT count, which must be guarded too. Covers
+        // both the scalar and batched accounting paths (shared counters).
+        let arch = ArchSpec::paper_default();
+        let mut wire = mcfpga_netlist::Netlist::new("wire");
+        let a = wire.input("a");
+        wire.output("y", a);
+        let mut dev = Device::compile(&arch, &vec![wire; 2]).unwrap();
+        let out = dev.step(&[true]);
+        assert_eq!(out, vec![true]);
+        dev.step_batch(&[u64::MAX]);
+        let rate = dev.toggle_rate();
+        assert!(!rate.is_nan(), "LUT-less device produced NaN");
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
     fn context_switch_toggles_match_column_changes() {
         let arch = ArchSpec::paper_default();
         let contexts = vec![library::adder(4); 4];

@@ -20,6 +20,7 @@ pub mod error;
 pub mod faults;
 pub mod kernel;
 pub mod multi;
+pub mod observe;
 pub mod temporal;
 
 pub use device::{CompileError, CompileReport, Device};
@@ -31,4 +32,8 @@ pub use error::Error;
 pub use faults::{lut_fault_campaign, CampaignReport, LutFault};
 pub use kernel::{CompiledKernel, KernelScratch, LANES};
 pub use multi::{CompileOptions, ContextArtifacts, DeltaSeed, DeltaStats, MultiDevice, SimError};
+pub use observe::{
+    captures_to_waveform, switch_energy_pj, ActivityReport, LutActivity, ProbeCapture, ProbeSet,
+    ReconfigEnergy, DEFAULT_PROBE_CAPACITY, SWITCH_ENERGY_PJ_PER_BIT,
+};
 pub use temporal::FabricTemporalExecutor;

@@ -27,6 +27,9 @@ use mcfpga_route::{
 
 use crate::device::CompileError;
 use crate::kernel::{self, CompiledKernel, KernelScratch, LANES};
+use crate::observe::{
+    self, ActivityCensus, ActivityReport, ContextProbes, ProbeCapture, ProbeSet, ReconfigEnergy,
+};
 
 /// Compile-pipeline knobs.
 ///
@@ -106,6 +109,8 @@ pub enum SimError {
         expected: usize,
         got: usize,
     },
+    /// `arm_probes` was given a signal name the context cannot resolve.
+    UnknownProbe { context: usize, name: String },
 }
 
 impl std::fmt::Display for SimError {
@@ -130,6 +135,10 @@ impl std::fmt::Display for SimError {
             } => write!(
                 f,
                 "context {context} has {expected} registers, got {got} bits"
+            ),
+            SimError::UnknownProbe { context, name } => write!(
+                f,
+                "context {context} has no probe-able signal named {name:?}"
             ),
         }
     }
@@ -316,6 +325,18 @@ pub struct MultiDevice {
     /// Lazily built on the first traced context switch (enabled recorders
     /// only); `None` forever on the uninstrumented path.
     reconfig_meta: Option<ReconfigMeta>,
+    /// Per-context armed signal probes; `None` everywhere until
+    /// [`MultiDevice::arm_probes`], so the batched hot path pays a single
+    /// branch when probing is off.
+    probes: Vec<Option<ContextProbes>>,
+    /// Per-LUT activity accounting; `None` until
+    /// [`MultiDevice::enable_activity_census`].
+    census: Option<ActivityCensus>,
+    /// Context switches with energy accounting (see
+    /// [`MultiDevice::reconfig_energy`]).
+    switch_count: u64,
+    /// Configuration bits flipped across those switches.
+    switch_bits_flipped: u64,
 }
 
 impl MultiDevice {
@@ -646,6 +667,8 @@ impl MultiDevice {
             iterations: 0,
             converged: true,
             overused_edges: 0,
+            edge_occupancy: vec![],
+            edge_history: vec![],
         };
         let mut all_routes = routed.clone();
         while all_routes.len() < n_contexts {
@@ -741,6 +764,10 @@ impl MultiDevice {
             scratch_next: Vec::new(),
             recorder: rec.clone(),
             reconfig_meta: None,
+            probes: (0..n_programmed).map(|_| None).collect(),
+            census: None,
+            switch_count: 0,
+            switch_bits_flipped: 0,
         })
     }
 
@@ -778,7 +805,11 @@ impl MultiDevice {
         }
         if context != self.active {
             self.recorder.incr("sim.context_switches", 1);
-            if self.recorder.is_enabled() {
+            // Energy accounting needs the per-context switch bitstreams;
+            // build them lazily and only when someone is looking (a traced
+            // run or an enabled census), so the uninstrumented hot path
+            // never pays for the column synthesis.
+            if self.recorder.is_enabled() || self.census.is_some() {
                 let from = self.active;
                 let meta = self
                     .reconfig_meta
@@ -787,20 +818,34 @@ impl MultiDevice {
                 let b = &meta.state_bits[context];
                 let bits_flipped = a.iter().zip(b).filter(|(x, y)| x != y).count();
                 let change_rate = mcfpga_config::measure_change_rate(a, b);
-                self.recorder.instant(
-                    "context_switch",
-                    &[
-                        ("from", from.into()),
-                        ("to", context.into()),
-                        ("bits_flipped", bits_flipped.into()),
-                        ("change_rate", change_rate.into()),
-                        ("n_columns", meta.n_columns.into()),
-                        ("n_constant", meta.n_constant.into()),
-                        ("n_single_bit", meta.n_single_bit.into()),
-                        ("n_general", meta.n_general.into()),
-                        ("se_cost_total", meta.se_cost_total.into()),
-                    ],
-                );
+                self.switch_count += 1;
+                self.switch_bits_flipped += bits_flipped as u64;
+                self.recorder
+                    .incr("sim.switch.bits_flipped", bits_flipped as u64);
+                if self.recorder.is_enabled() {
+                    self.recorder.instant(
+                        "context_switch",
+                        &[
+                            ("from", from.into()),
+                            ("to", context.into()),
+                            ("bits_flipped", bits_flipped.into()),
+                            ("change_rate", change_rate.into()),
+                            (
+                                "energy_pj",
+                                observe::switch_energy_pj(bits_flipped as u64).into(),
+                            ),
+                            (
+                                "energy_pj_cum",
+                                observe::switch_energy_pj(self.switch_bits_flipped).into(),
+                            ),
+                            ("n_columns", meta.n_columns.into()),
+                            ("n_constant", meta.n_constant.into()),
+                            ("n_single_bit", meta.n_single_bit.into()),
+                            ("n_general", meta.n_general.into()),
+                            ("se_cost_total", meta.se_cost_total.into()),
+                        ],
+                    );
+                }
             }
         }
         self.active = context;
@@ -920,6 +965,12 @@ impl MultiDevice {
             kernel::broadcast(&self.states[c], &mut self.batch_regs[c]);
             self.batch_synced[c] = true;
         }
+        // Register probes report the in-cycle (pre-edge) values — what the
+        // outputs and downstream logic saw — so snapshot before the kernel
+        // commits the next state in place. One branch when disarmed.
+        if let Some(probes) = self.probes[c].as_mut() {
+            probes.snapshot_regs(&self.batch_regs[c]);
+        }
         let kernel = self.kernels[c].as_ref().expect("kernel built above");
         kernel.step(
             inputs,
@@ -929,6 +980,15 @@ impl MultiDevice {
         );
         // Lane 0 writes back so the scalar view stays coherent.
         kernel::extract_lane(&self.batch_regs[c], 0, &mut self.states[c]);
+        // Observability taps, each one branch when disarmed: the census
+        // reads the LUT words the kernel just computed, probes record
+        // inputs / pre-edge registers / LUT outputs into their rings.
+        if let Some(census) = self.census.as_mut() {
+            census.record(c, &self.batch_scratch.lut_words);
+        }
+        if let Some(probes) = self.probes[c].as_mut() {
+            probes.sample(inputs, &self.batch_scratch.lut_words);
+        }
         self.recorder.incr("sim.words", 1);
         self.recorder.incr("sim.cycles", LANES as u64);
         Ok(())
@@ -1131,6 +1191,117 @@ impl MultiDevice {
             .map(|r| r.critical_delay())
             .fold(0.0, f64::max)
     }
+
+    // ---- fabric observability ------------------------------------------
+
+    /// Congestion heatmap of one programmed context: per-edge final
+    /// occupancy and PathFinder history cost, rankable via
+    /// [`CongestionMap::hottest`](mcfpga_route::CongestionMap::hottest) and
+    /// diffable across delta-compiles.
+    pub fn congestion_map(&self, context: usize) -> Result<mcfpga_route::CongestionMap, SimError> {
+        self.check_context(context)?;
+        Ok(mcfpga_route::CongestionMap::measure(
+            &self.graph,
+            &self.routed[context],
+        ))
+    }
+
+    /// Congestion heatmaps for every programmed context, in context order.
+    pub fn congestion_maps(&self) -> Vec<mcfpga_route::CongestionMap> {
+        self.routed
+            .iter()
+            .map(|r| mcfpga_route::CongestionMap::measure(&self.graph, r))
+            .collect()
+    }
+
+    /// Every signal name `context` can resolve for [`MultiDevice::arm_probes`]:
+    /// the netlist's primary-output names, then the `in*` / `reg*` / `lut*`
+    /// index families.
+    pub fn probe_signals(&self, context: usize) -> Result<Vec<String>, SimError> {
+        self.check_context(context)?;
+        Ok(observe::probe_names(&self.mapped[context]))
+    }
+
+    /// Arm `set`'s probes on `context`, replacing any previously armed set
+    /// (and discarding its samples). Armed probes sample on every *batched*
+    /// step of that context — all [`LANES`] lanes per word — into bounded
+    /// per-probe rings; the scalar [`MultiDevice::step`] path is never
+    /// sampled. Fails on the first unresolvable name.
+    pub fn arm_probes(&mut self, context: usize, set: &ProbeSet) -> Result<(), SimError> {
+        self.check_context(context)?;
+        self.probes[context] = Some(ContextProbes::arm(&self.mapped[context], set, context)?);
+        Ok(())
+    }
+
+    /// Disarm `context`'s probes, discarding buffered samples. Idempotent.
+    pub fn disarm_probes(&mut self, context: usize) -> Result<(), SimError> {
+        self.check_context(context)?;
+        self.probes[context] = None;
+        Ok(())
+    }
+
+    /// Buffered samples of `context`'s armed probes, in tap order (empty
+    /// when nothing is armed).
+    pub fn probe_captures(&self, context: usize) -> Result<Vec<ProbeCapture>, SimError> {
+        self.check_context(context)?;
+        Ok(self.probes[context]
+            .as_ref()
+            .map(|p| p.captures())
+            .unwrap_or_default())
+    }
+
+    /// Render `context`'s probe captures as a [`Waveform`](mcfpga_obs::Waveform)
+    /// — one 64-wide signal per probe (bit = stimulus lane), or one 1-wide
+    /// signal per probe when `lane` is given — ready for
+    /// [`to_vcd`](mcfpga_obs::Waveform::to_vcd).
+    pub fn probe_waveform(
+        &self,
+        context: usize,
+        lane: Option<usize>,
+    ) -> Result<mcfpga_obs::Waveform, SimError> {
+        let captures = self.probe_captures(context)?;
+        Ok(observe::captures_to_waveform(
+            &self.mapped[context].name,
+            &captures,
+            lane,
+        ))
+    }
+
+    /// Start per-LUT activity accounting on the batched path (idempotent;
+    /// counters persist until the device is dropped). Also enables
+    /// context-switch energy accounting even without a recorder.
+    pub fn enable_activity_census(&mut self) {
+        if self.census.is_none() {
+            self.census = Some(ActivityCensus::new(self.mapped.len()));
+        }
+    }
+
+    /// Activity census of `context`: per-LUT toggles, static probability,
+    /// and the `toggle_rate × fanout` power proxy. All-zero (and NaN-free)
+    /// when the census is disabled or the context never stepped batched.
+    pub fn activity_census(&self, context: usize) -> Result<ActivityReport, SimError> {
+        self.check_context(context)?;
+        let m = &self.mapped[context];
+        Ok(match &self.census {
+            Some(census) => census.report(context, m),
+            None => ActivityCensus::new(self.mapped.len()).report(context, m),
+        })
+    }
+
+    /// Mean per-LUT toggle rate of `context` on the batched path; 0.0
+    /// (never NaN) for zero-cycle, zero-LUT, or census-disabled devices.
+    pub fn toggle_rate(&self, context: usize) -> f64 {
+        match &self.census {
+            Some(census) if context < self.mapped.len() => census.toggle_rate(context),
+            _ => 0.0,
+        }
+    }
+
+    /// Cumulative context-switch energy under the per-bit proxy model
+    /// (accounted on traced or census-enabled devices; all-zero otherwise).
+    pub fn reconfig_energy(&self) -> ReconfigEnergy {
+        ReconfigEnergy::from_totals(self.switch_count, self.switch_bits_flipped)
+    }
 }
 
 #[cfg(test)]
@@ -1140,7 +1311,7 @@ mod tests {
     use mcfpga_netlist::library;
     use mcfpga_netlist::words::{bits_to_u64, u64_to_bits};
     use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rand::{Rng, RngCore, SeedableRng};
 
     fn arch() -> ArchSpec {
         ArchSpec::paper_default()
@@ -1457,6 +1628,157 @@ mod tests {
             got: 3,
         };
         assert_eq!(e.to_string(), "context 2 expects 9 inputs, got 3");
+        let e = SimError::UnknownProbe {
+            context: 1,
+            name: "bogus".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "context 1 has no probe-able signal named \"bogus\""
+        );
+    }
+
+    #[test]
+    fn unknown_probe_names_error_in_band() {
+        let mut dev = MultiDevice::compile(&arch(), &[library::adder(4)]).unwrap();
+        let err = dev
+            .arm_probes(0, &ProbeSet::new().tap("no_such_wire"))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::UnknownProbe {
+                context: 0,
+                name: "no_such_wire".into()
+            }
+        );
+        // Every advertised name arms cleanly.
+        let names = dev.probe_signals(0).unwrap();
+        let mut set = ProbeSet::new();
+        for n in &names {
+            set = set.tap(n);
+        }
+        dev.arm_probes(0, &set).unwrap();
+        assert_eq!(dev.probe_captures(0).unwrap().len(), names.len());
+    }
+
+    #[test]
+    fn output_probes_match_batched_outputs_on_every_lane() {
+        let circuits = vec![library::adder(4), library::parity(8)];
+        let mut dev = MultiDevice::compile(&arch(), &circuits).unwrap();
+        // Tap every primary output of context 0 by name.
+        let n_outs = dev.n_outputs(0).unwrap();
+        let names = dev.probe_signals(0).unwrap();
+        let mut set = ProbeSet::new();
+        for n in &names[..n_outs] {
+            set = set.tap(n);
+        }
+        dev.arm_probes(0, &set).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut expected: Vec<Vec<u64>> = vec![Vec::new(); n_outs];
+        for step in 0..12 {
+            // Interleave the other context: its steps must not sample.
+            dev.switch_context(step % 2);
+            let n_in = dev.n_inputs(step % 2).unwrap();
+            let words: Vec<u64> = (0..n_in).map(|_| rng.next_u64()).collect();
+            let out = dev.step_batch(&words);
+            if step % 2 == 0 {
+                for (o, word) in out.iter().enumerate() {
+                    expected[o].push(*word);
+                }
+            }
+        }
+        for (o, cap) in dev.probe_captures(0).unwrap().iter().enumerate() {
+            assert_eq!(cap.samples, expected[o], "probe {} ({})", o, cap.name);
+            assert_eq!(cap.dropped, 0);
+        }
+        // The waveform export carries the same words, one 64-wide signal
+        // per probe, and a chosen lane extracts to 1-wide signals.
+        let wave = dev.probe_waveform(0, None).unwrap();
+        assert_eq!(wave.signals().len(), n_outs);
+        assert_eq!(wave.signals()[0].samples, expected[0]);
+        let lane0 = dev.probe_waveform(0, Some(0)).unwrap();
+        assert!(lane0.signals().iter().all(|s| s.width == 1));
+    }
+
+    #[test]
+    fn census_counts_activity_and_switch_energy_together() {
+        let circuits = vec![library::adder(4), library::multiplier(3)];
+        let mut dev = MultiDevice::compile(&arch(), &circuits).unwrap();
+        dev.enable_activity_census();
+        let mut rng = StdRng::seed_from_u64(7);
+        for step in 0..20 {
+            dev.switch_context(step % 2);
+            let n_in = dev.n_inputs(step % 2).unwrap();
+            let words: Vec<u64> = (0..n_in).map(|_| rng.next_u64()).collect();
+            dev.step_batch(&words);
+        }
+        for c in 0..2 {
+            let report = dev.activity_census(c).unwrap();
+            assert_eq!(report.lane_cycles, 10 * LANES as u64);
+            assert!(report.toggles_total > 0, "random stimulus must toggle");
+            for row in &report.luts {
+                assert!((row.power_proxy - row.toggle_rate * row.fanout as f64).abs() < 1e-12);
+                assert!(!row.static_probability.is_nan());
+            }
+            let ranked = report.ranked();
+            assert!(ranked
+                .windows(2)
+                .all(|w| w[0].power_proxy >= w[1].power_proxy));
+            assert!(dev.toggle_rate(c) > 0.0);
+        }
+        // Census-enabled devices account switch energy without a recorder:
+        // 19 switches, each flipping the same 0<->1 bit distance.
+        let a = dev.switch_state_bits(0);
+        let b = dev.switch_state_bits(1);
+        let dist = a.iter().zip(&b).filter(|(x, y)| x != y).count() as u64;
+        let energy = dev.reconfig_energy();
+        assert_eq!(energy.switches, 19);
+        assert_eq!(energy.bits_flipped, 19 * dist);
+        assert!((energy.energy_pj - observe::switch_energy_pj(19 * dist)).abs() < 1e-9);
+        assert_eq!(energy.mean_bits_per_switch, dist as f64);
+    }
+
+    #[test]
+    fn traced_switch_events_carry_the_energy_model() {
+        let rec = Recorder::enabled();
+        let circuits = vec![library::adder(4), library::parity(8)];
+        let mut dev = MultiDevice::compile_with(&arch(), &circuits, &rec).unwrap();
+        dev.switch_context(1);
+        dev.switch_context(0);
+        let events: Vec<_> = rec
+            .trace_events()
+            .into_iter()
+            .filter(|e| e.name == "context_switch")
+            .collect();
+        assert_eq!(events.len(), 2);
+        let mut cum = 0.0;
+        for e in &events {
+            let bits = e.arg_u64("bits_flipped").unwrap();
+            let pj = e.arg_f64("energy_pj").unwrap();
+            assert!((pj - observe::switch_energy_pj(bits)).abs() < 1e-9);
+            cum += pj;
+            assert!((e.arg_f64("energy_pj_cum").unwrap() - cum).abs() < 1e-9);
+        }
+        assert_eq!(
+            rec.counter("sim.switch.bits_flipped"),
+            dev.reconfig_energy().bits_flipped
+        );
+    }
+
+    #[test]
+    fn congestion_maps_expose_per_context_occupancy() {
+        let circuits = vec![library::adder(4), library::multiplier(3)];
+        let dev = MultiDevice::compile(&arch(), &circuits).unwrap();
+        let maps = dev.congestion_maps();
+        assert_eq!(maps.len(), 2);
+        for (c, map) in maps.iter().enumerate() {
+            assert_eq!(map, &dev.congestion_map(c).unwrap());
+            assert!(!map.edges.is_empty(), "routed context uses edges");
+            let total: usize = map.edges.iter().map(|e| e.occupancy).sum();
+            assert_eq!(total, dev.routing_stats()[c].total_wirelength);
+            assert!(map.peak_utilization() <= 1.0, "converged routing");
+            assert!(!map.hottest(4).is_empty());
+        }
     }
 }
 

@@ -36,8 +36,16 @@ speedup floor at the paper's 5% change point — if recompiling a 5%-changed
 context stops being at least `speedup_floor_5pct`x cheaper than a cold
 compile, the delta path stopped paying for itself.
 
+When the baseline carries a "probe" section, a fresh BENCH_probe.json is
+gated on the observability contract: zero divergences between armed probe
+captures and per-lane scalar replays (probing must never change what the
+kernel computes), the disabled-probe throughput may not fall below the
+baseline floor fraction of the same run's plain batched throughput from
+BENCH_sim.json (disarmed probes must stay effectively free), and the
+seeded activity census must reproduce its per-context LUT ranking exactly.
+
 Usage: check_bench_regression.py [fresh] [baseline] [fresh_sim] [fresh_serve]
-       [fresh_serve_obs] [fresh_delta]
+       [fresh_serve_obs] [fresh_delta] [fresh_probe]
 Exits non-zero listing every regression found.
 """
 
@@ -114,6 +122,7 @@ def main() -> int:
         errors.append(f"parallelism {fresh['parallelism']} < 1")
 
     sim_checked = False
+    sim = None
     if "sim" in base:
         sim_path = sys.argv[3] if len(sys.argv) > 3 else "BENCH_sim.json"
         try:
@@ -268,6 +277,49 @@ def main() -> int:
                         f"{p['contexts_reused']}/{p['contexts_total']} contexts "
                         f"reused for a single-context perturbation")
 
+    probe_checked = False
+    if "probe" in base:
+        probe_path = sys.argv[7] if len(sys.argv) > 7 else "BENCH_probe.json"
+        try:
+            probe = json.load(open(probe_path))
+        except OSError:
+            errors.append(
+                f"baseline has a probe section but {probe_path} is missing")
+            probe = None
+        if probe is not None:
+            probe_checked = True
+            probe_base = base["probe"]
+            # The non-negotiable invariant: armed probes record exactly what
+            # the 64-lane kernel computed, checked word-for-word against
+            # scalar replays of every lane.
+            if probe["probe_divergences"] != probe_base["max_divergences"]:
+                errors.append(
+                    f"probe.probe_divergences: {probe['probe_divergences']} "
+                    f"(must be {probe_base['max_divergences']}: probe captures "
+                    f"must match the scalar replay bit-for-bit)")
+            # Disarmed probes must stay effectively free: the disabled-path
+            # throughput is held against the plain batched kernel throughput
+            # measured in the same CI run (BENCH_sim.json, same runner).
+            if sim is not None:
+                floor = probe_base["disabled_overhead_floor"]
+                plain = sim["batched_vectors_per_sec"]
+                got = probe["probe_disabled_vectors_per_sec"]
+                if got < floor * plain:
+                    errors.append(
+                        f"probe.probe_disabled_vectors_per_sec: {got:.0f}/s "
+                        f"< {floor:.0%} of the same run's plain batched "
+                        f"{plain:.0f}/s (disabled probes are no longer free)")
+            # The census run is fully seeded and counts toggles in integer
+            # bit arithmetic: the activity ranking must reproduce exactly.
+            want_ranks = {r["context"]: r["top_luts"]
+                          for r in probe_base["activity_top"]}
+            got_ranks = {r["context"]: r["top_luts"]
+                         for r in probe["activity_top"]}
+            if got_ranks != want_ranks:
+                errors.append(
+                    f"probe.activity_top: {got_ranks} vs baseline "
+                    f"{want_ranks} (seeded census must be deterministic)")
+
     if errors:
         print(f"BENCH regression vs {base_path}:")
         for e in errors:
@@ -278,7 +330,8 @@ def main() -> int:
           + (", sim gate OK" if sim_checked else "")
           + (", serve gate OK" if serve_checked else "")
           + (", serve_obs SLOs OK" if obs_checked else "")
-          + (", delta gate OK" if delta_checked else "") + ").")
+          + (", delta gate OK" if delta_checked else "")
+          + (", probe gate OK" if probe_checked else "") + ").")
     return 0
 
 
