@@ -876,10 +876,15 @@ fn faults() {
 /// Bit-parallel compiled simulation: 64 vectors per word through the fabric
 /// model, measured against the scalar interpreter (`BENCH_sim.json`).
 fn sim() {
-    use mcfpga::sim::{lut_fault_campaign, LANES};
+    use mcfpga::sim::{lut_fault_campaign, KernelOptions, LANES, SUPPORTED_WIDTHS};
     use rand::rngs::StdRng;
     use rand::{Rng, RngCore, SeedableRng};
 
+    // `experiments sim --optimize` reruns the whole experiment with the
+    // kernel optimizer on for the *main* batched pass too (the matrix below
+    // always sweeps both settings) and writes BENCH_sim_opt.json, so the
+    // gated BENCH_sim.json artifact keeps its optimizer-off main path.
+    let optimize_main = std::env::args().any(|a| a == "--optimize");
     header("sim: bit-parallel compiled kernel (64 vectors per word)");
     let arch = ArchSpec::paper_default();
     let circuits = mixed_contexts();
@@ -893,6 +898,7 @@ fn sim() {
     }
     let rec = Recorder::enabled();
     let mut dev = MultiDevice::compile_with(&arch, &circuits, &rec).expect("compile");
+    dev.set_kernel_options(KernelOptions::new().with_optimize(optimize_main));
     let n_ctx = circuits.len();
     let arity: Vec<usize> = circuits.iter().map(|c| c.inputs().len()).collect();
 
@@ -984,6 +990,177 @@ fn sim() {
     );
     println!("  speedup: {speedup:.1}x  (first batched pass verified against scalar lanes)");
 
+    // Throughput matrix: the streaming runner swept over optimizer setting,
+    // chunk width, and thread count. Every cell is verified word-for-word
+    // against the width-1 unoptimized serial reference before it is timed;
+    // the reference itself is checked against the (scalar-verified) batched
+    // step path on every chunk and against true scalar replays on the
+    // leading chunks, all 64 lanes.
+    let n_total = 2048usize; // narrow chunks per context; divisible by 8
+    let mut mrng = StdRng::seed_from_u64(4021);
+    let narrow: Vec<Vec<u64>> = (0..n_ctx)
+        .map(|c| (0..n_total * arity[c]).map(|_| mrng.next_u64()).collect())
+        .collect();
+    dev.set_kernel_options(KernelOptions::new());
+    let refs: Vec<Vec<u64>> = (0..n_ctx)
+        .map(|c| dev.run_throughput(c, &narrow[c], 1, 1))
+        .collect();
+    let n_outs: Vec<usize> = refs.iter().map(|r| r.len() / n_total).collect();
+    let mut reference_divergences = 0usize;
+    for c in 0..n_ctx {
+        dev.switch_context(c);
+        for t in 0..n_total {
+            let out = dev.step_batch(&narrow[c][t * arity[c]..][..arity[c]]);
+            for (o, &w) in out.iter().enumerate() {
+                if refs[c][t * n_outs[c] + o] != w {
+                    reference_divergences += 1;
+                }
+            }
+        }
+        for t in 0..16 {
+            for lane in 0..LANES {
+                let bits: Vec<bool> = (0..arity[c])
+                    .map(|i| (narrow[c][t * arity[c] + i] >> lane) & 1 == 1)
+                    .collect();
+                let out = dev.step(&bits);
+                for (o, &b) in out.iter().enumerate() {
+                    if ((refs[c][t * n_outs[c] + o] >> lane) & 1 == 1) != b {
+                        reference_divergences += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(
+        reference_divergences, 0,
+        "width-1 reference diverged from the scalar/batched paths"
+    );
+
+    println!("\nthroughput matrix ({n_total} chunks/context, every cell verified, 0 = exact):");
+    println!(
+        "  {:<9} {:>5} {:>7} {:>10} {:>16} {:>11}",
+        "optimizer", "width", "threads", "wall ms", "vectors/s", "divergences"
+    );
+    let m_repeats = 4usize;
+    let mut matrix: Vec<SimMatrixCell> = Vec::new();
+    for optimize in [false, true] {
+        dev.set_kernel_options(KernelOptions::new().with_optimize(optimize));
+        for &width in SUPPORTED_WIDTHS {
+            // Interleave: narrow chunk `t*width + w` becomes word `w` of
+            // wide chunk `t` — with a combinational suite every chunk word
+            // is an independent stream, so this re-chunking is exact.
+            let wide: Vec<Vec<u64>> = (0..n_ctx)
+                .map(|c| {
+                    let ni = arity[c];
+                    let mut v = vec![0u64; n_total * ni];
+                    for t in 0..n_total / width {
+                        for i in 0..ni {
+                            for w in 0..width {
+                                v[(t * ni + i) * width + w] = narrow[c][(t * width + w) * ni + i];
+                            }
+                        }
+                    }
+                    v
+                })
+                .collect();
+            for threads in [1usize, 2] {
+                // Verification pass; also warms this cell's kernel variant.
+                let mut divergences = 0usize;
+                for c in 0..n_ctx {
+                    let out = dev.run_throughput(c, &wide[c], width, threads);
+                    for t in 0..n_total / width {
+                        for o in 0..n_outs[c] {
+                            for w in 0..width {
+                                if out[(t * n_outs[c] + o) * width + w]
+                                    != refs[c][(t * width + w) * n_outs[c] + o]
+                                {
+                                    divergences += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                let start = std::time::Instant::now();
+                for _ in 0..m_repeats {
+                    for (c, wide_c) in wide.iter().enumerate() {
+                        let _ = dev.run_throughput(c, wide_c, width, threads);
+                    }
+                }
+                let wall_us = start.elapsed().as_micros().max(1) as u64;
+                let cell_vectors = (n_total * LANES * n_ctx * m_repeats) as u64;
+                let vectors_per_sec = cell_vectors as f64 / (wall_us as f64 / 1e6);
+                println!(
+                    "  {:<9} {:>5} {:>7} {:>10.3} {:>16.0} {:>11}",
+                    if optimize { "on" } else { "off" },
+                    width,
+                    threads,
+                    wall_us as f64 / 1e3,
+                    vectors_per_sec,
+                    divergences
+                );
+                matrix.push(SimMatrixCell {
+                    optimize,
+                    width,
+                    threads,
+                    chunks_per_context: n_total,
+                    repeats: m_repeats,
+                    wall_us,
+                    vectors: cell_vectors,
+                    vectors_per_sec,
+                    divergences,
+                });
+            }
+        }
+    }
+    let matrix_best_vectors_per_sec = matrix
+        .iter()
+        .map(|c| c.vectors_per_sec)
+        .fold(0.0f64, f64::max);
+    rec.set_gauge(
+        "sim.matrix_best_vectors_per_sec",
+        matrix_best_vectors_per_sec,
+    );
+    println!(
+        "  best: {:.0} vectors/s ({:.1}x the step-batch path)",
+        matrix_best_vectors_per_sec,
+        matrix_best_vectors_per_sec / batched_vectors_per_sec
+    );
+
+    // Per-context optimizer effect on the compiled instruction streams.
+    let optimizer: Vec<SimOptimizerCell> = (0..n_ctx)
+        .map(|c| {
+            let s = dev.kernel_optimize_stats(c).expect("context exists");
+            SimOptimizerCell {
+                context: c,
+                instrs_before: s.instrs_before,
+                instrs_after: s.instrs_after,
+                word_ops_before: s.word_ops_before,
+                word_ops_after: s.word_ops_after,
+                folded_operands: s.folded_operands,
+                deduped: s.deduped,
+                dead: s.dead,
+                specialized: s.specialized,
+            }
+        })
+        .collect();
+    println!("\nkernel optimizer (per context):");
+    for s in &optimizer {
+        println!(
+            "  ctx {}: instrs {} -> {}, word-ops {} -> {} ({} folded operands, \
+             {} deduped, {} dead, {} specialized)",
+            s.context,
+            s.instrs_before,
+            s.instrs_after,
+            s.word_ops_before,
+            s.word_ops_after,
+            s.folded_operands,
+            s.deduped,
+            s.dead,
+            s.specialized
+        );
+    }
+    dev.set_kernel_options(KernelOptions::new().with_optimize(optimize_main));
+
     // Fault-campaign wall time: the `faults` experiment's exact campaign,
     // now running on per-fault kernel clones fanned across the worker pool.
     let w = workload(
@@ -1018,12 +1195,17 @@ fn sim() {
         lanes: LANES,
         vectors,
         batched_repeats: repeats,
+        kernel_optimize: optimize_main,
         scalar_us,
         batched_us,
         scalar_vectors_per_sec,
         batched_vectors_per_sec,
         batched_words_per_sec,
         speedup,
+        matrix,
+        matrix_best_vectors_per_sec,
+        reference_divergences,
+        optimizer,
         fault_campaign_ms,
         fault_injected: campaign.injected,
         fault_detected: campaign.detected,
@@ -1031,9 +1213,14 @@ fn sim() {
         fault_detection_rate: campaign.detection_rate(),
         report: rec.report("sim"),
     };
+    let out_file = if optimize_main {
+        "BENCH_sim_opt.json"
+    } else {
+        "BENCH_sim.json"
+    };
     let json = serde_json::to_string_pretty(&bench).expect("serialize sim bench");
-    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
-    println!("\nwrote BENCH_sim.json ({} bytes)", json.len());
+    std::fs::write(out_file, &json).expect("write sim bench json");
+    println!("\nwrote {out_file} ({} bytes)", json.len());
 }
 
 /// Machine-readable record of the batched-simulation benchmark
@@ -1049,6 +1236,10 @@ struct SimBench {
     /// Timed batched passes over the schedule (the first is verified
     /// bit-for-bit against the scalar outputs).
     batched_repeats: usize,
+    /// Whether the *main* scalar/batched passes above ran with the kernel
+    /// optimizer on (`experiments sim --optimize`, written to
+    /// BENCH_sim_opt.json). The matrix always sweeps both settings.
+    kernel_optimize: bool,
     scalar_us: u64,
     batched_us: u64,
     /// Scalar steps are one vector per cycle, so this is also cycles/sec.
@@ -1057,12 +1248,56 @@ struct SimBench {
     /// Kernel word-steps per second (vectors/sec divided by the lane count).
     batched_words_per_sec: f64,
     speedup: f64,
+    /// Streaming-runner cells: optimizer x chunk width x threads, each
+    /// verified word-for-word against the width-1 unoptimized reference.
+    matrix: Vec<SimMatrixCell>,
+    matrix_best_vectors_per_sec: f64,
+    /// Mismatches of the width-1 reference against the batched step path
+    /// (every chunk) and true scalar replays (leading chunks); gated to 0.
+    reference_divergences: usize,
+    /// Per-context optimizer effect on the compiled instruction streams.
+    optimizer: Vec<SimOptimizerCell>,
     fault_campaign_ms: f64,
     fault_injected: usize,
     fault_detected: usize,
     fault_silent: usize,
     fault_detection_rate: f64,
     report: RunReport,
+}
+
+/// One throughput-matrix cell of `BENCH_sim.json`: the streaming runner
+/// over the mixed suite at a fixed (optimizer, width, threads) setting.
+#[derive(serde::Serialize)]
+struct SimMatrixCell {
+    optimize: bool,
+    /// Chunk width in words: 64·width stimulus lanes per step.
+    width: usize,
+    threads: usize,
+    /// Width-1 chunk count per context; a width-W cell runs `.. / W` chunks
+    /// over the same re-chunked streams, so vectors are constant per cell.
+    chunks_per_context: usize,
+    repeats: usize,
+    wall_us: u64,
+    vectors: u64,
+    vectors_per_sec: f64,
+    /// Output words differing from the width-1 unoptimized reference
+    /// (checked before timing); gated to 0.
+    divergences: usize,
+}
+
+/// Per-context kernel-optimizer statistics in `BENCH_sim.json`: exact
+/// instruction and word-op counts before/after, by pass.
+#[derive(serde::Serialize)]
+struct SimOptimizerCell {
+    context: usize,
+    instrs_before: usize,
+    instrs_after: usize,
+    word_ops_before: usize,
+    word_ops_after: usize,
+    folded_operands: usize,
+    deduped: usize,
+    dead: usize,
+    specialized: usize,
 }
 
 /// The multi-tenant serving benchmark: compile-job throughput vs worker

@@ -52,6 +52,10 @@ pub(crate) fn fnv1a_framed<'a>(mut h: u64, parts: impl ExactSizeIterator<Item = 
 /// `CompileOptions::parallel` is deliberately *excluded*: the parallel and
 /// serial schedules produce bit-for-bit identical devices (a property the
 /// sim crate's tests pin down), so they must share a cache slot.
+/// `CompileOptions::kernel` is deliberately *included*: the kernel
+/// optimizer changes the compiled instruction stream (identical behaviour,
+/// different artifact), so optimized and unoptimized designs must never
+/// alias in the cache.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DesignFingerprint {
     arch: u64,
@@ -71,6 +75,9 @@ impl DesignFingerprint {
         route_hash = fnv1a(route_hash, &r.present_growth.to_bits().to_le_bytes());
         route_hash = fnv1a(route_hash, &r.history_increment.to_bits().to_le_bytes());
         route_hash = fnv1a(route_hash, &[r.full_ripup as u8]);
+        // Kernel lowering knobs live in the same options hash: a framed
+        // one-byte block per knob, appended after the router fields.
+        route_hash = fnv1a(route_hash, &[options.kernel.optimize as u8]);
         let contexts: Vec<u64> = circuits
             .iter()
             .map(|c| {
@@ -106,7 +113,7 @@ impl DesignFingerprint {
         self.arch
     }
 
-    /// Hash of the routing options that shape the artifact.
+    /// Hash of the routing and kernel options that shape the artifact.
     pub fn route_hash(&self) -> u64 {
         self.route
     }
@@ -407,5 +414,30 @@ mod tests {
         let fp_opts = DesignFingerprint::new(&arch, &[a, b], &other_opts);
         assert!(!base.env_matches(&fp_opts), "route knobs are environment");
         assert_eq!(base.arch_hash(), fp_opts.arch_hash());
+    }
+
+    #[test]
+    fn kernel_options_separate_cache_slots() {
+        use mcfpga_netlist::library;
+        use mcfpga_sim::KernelOptions;
+        let arch = mcfpga_arch::ArchSpec::paper_default();
+        let a = library::adder(2);
+        let plain = CompileOptions::default();
+        let optimized =
+            CompileOptions::default().with_kernel_options(KernelOptions::new().with_optimize(true));
+        let fp_plain = DesignFingerprint::new(&arch, std::slice::from_ref(&a), &plain);
+        let fp_opt = DesignFingerprint::new(&arch, std::slice::from_ref(&a), &optimized);
+        // The optimizer changes the compiled instruction stream, so the two
+        // requests must never alias in the design cache.
+        assert_ne!(fp_plain.key(), fp_opt.key());
+        assert_ne!(fp_plain.route_hash(), fp_opt.route_hash());
+        assert!(
+            !fp_plain.env_matches(&fp_opt),
+            "kernel knobs are environment"
+        );
+        // The parallel toggle, by contrast, stays excluded: identical slot.
+        let par = CompileOptions::default().with_parallel(true);
+        let fp_par = DesignFingerprint::new(&arch, std::slice::from_ref(&a), &par);
+        assert_eq!(fp_plain.key(), fp_par.key());
     }
 }

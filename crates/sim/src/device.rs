@@ -17,6 +17,7 @@ use mcfpga_route::{
 use crate::faults::LutFault;
 use crate::kernel::{self, CompiledKernel, KernelScratch, LANES};
 use crate::multi::SimError;
+use crate::optimize::KernelOptions;
 
 /// Compile-flow failure.
 #[derive(Debug)]
@@ -139,6 +140,9 @@ pub struct Device {
     /// Bumped on every configuration mutation (fault injection,
     /// reprogramming) so cached kernels invalidate.
     config_epoch: u64,
+    /// Kernel lowering knobs; [`Device::ensure_kernel`] rebuilds cached
+    /// kernels whose optimization variant no longer matches.
+    kernel_options: KernelOptions,
     batch: BatchLanes,
     /// Scalar hot-path scratch, persistent across cycles.
     scratch_lut_vals: Vec<bool>,
@@ -296,6 +300,7 @@ impl Device {
             cycles: 0,
             kernels: vec![None; n_contexts],
             config_epoch: 0,
+            kernel_options: KernelOptions::default(),
             batch: BatchLanes::default(),
             scratch_lut_vals: Vec::new(),
             scratch_in_bits: Vec::new(),
@@ -457,18 +462,25 @@ impl Device {
             self.batch.synced = true;
         }
         let kernel = &self.kernels[c].as_ref().expect("kernel built above").1;
+        let optimized = kernel.optimized();
         kernel.step(inputs, &mut self.batch.regs, &mut self.batch.scratch, out);
-        // Toggle accounting across all lanes: popcount of per-word XORs, so
-        // a batched run counts exactly the sum of its lanes' scalar toggles.
-        let cur = &self.batch.scratch.lut_words;
-        for (p, &w) in self.batch.prev_lut_words.iter_mut().zip(cur) {
-            self.toggles += (*p ^ w).count_ones() as u64;
-            *p = w;
+        if !optimized {
+            // Toggle accounting across all lanes: popcount of per-word XORs,
+            // so a batched run counts exactly the sum of its lanes' scalar
+            // toggles. Optimized kernels reorder and drop instructions, so
+            // their words no longer align position-for-position with the
+            // mapped LUTs — activity accounting pauses while they run (see
+            // [`Device::set_kernel_options`]).
+            let cur = &self.batch.scratch.lut_words;
+            for (p, &w) in self.batch.prev_lut_words.iter_mut().zip(cur) {
+                self.toggles += (*p ^ w).count_ones() as u64;
+                *p = w;
+            }
+            kernel::extract_lane(&self.batch.prev_lut_words, 0, &mut self.prev_lut_vals);
         }
         self.cycles += LANES as u64;
         // Lane 0 writes back so the scalar view stays coherent.
         kernel::extract_lane(&self.batch.regs, 0, &mut self.state);
-        kernel::extract_lane(&self.batch.prev_lut_words, 0, &mut self.prev_lut_vals);
         self.recorder.incr("sim.words", 1);
         self.recorder.incr("sim.cycles", LANES as u64);
         Ok(())
@@ -478,14 +490,33 @@ impl Device {
     /// the configuration: any mutation through [`Device::lb_mut`] bumps the
     /// epoch, and stale kernels rebuild here before their next use.
     fn ensure_kernel(&mut self, context: usize) {
-        if let Some((epoch, _)) = &self.kernels[context] {
-            if *epoch == self.config_epoch {
+        let want = self.kernel_options.optimize;
+        if let Some((epoch, k)) = &self.kernels[context] {
+            if *epoch == self.config_epoch && k.optimized() == want {
                 return;
             }
         }
         let _span = self.recorder.span("sim_kernel_build");
-        let kernel = self.build_kernel(context);
+        let mut kernel = self.build_kernel(context);
+        if want {
+            kernel = kernel.optimize();
+        }
         self.kernels[context] = Some((self.config_epoch, kernel));
+    }
+
+    /// The kernel lowering knobs batched stepping compiles with.
+    pub fn kernel_options(&self) -> KernelOptions {
+        self.kernel_options
+    }
+
+    /// Change the kernel lowering knobs. Cached kernels whose optimization
+    /// variant no longer matches rebuild lazily on their next use; the
+    /// configuration epoch is untouched, so an unchanged variant keeps its
+    /// cache. While an *optimized* kernel runs, batched steps skip LUT
+    /// toggle accounting ([`Device::toggles`] freezes): eliminated and
+    /// reordered instructions no longer align with mapped LUT positions.
+    pub fn set_kernel_options(&mut self, options: KernelOptions) {
+        self.kernel_options = options;
     }
 
     /// Lower `context` to a fresh instruction stream: the mapped netlist
@@ -511,10 +542,15 @@ impl Device {
     /// Clone every context's compiled kernel (building stale ones), for
     /// consumers that run many configuration variants in parallel — the
     /// fault campaign flips table bits on clones instead of mutating the
-    /// device.
+    /// device. Always *unoptimized*: campaign fault sites address
+    /// pre-optimization LUT positions, so when the device is configured to
+    /// optimize these are lowered fresh instead of read from the cache.
     pub(crate) fn compiled_kernels(&mut self) -> Vec<CompiledKernel> {
         (0..self.ctx.n_contexts())
             .map(|c| {
+                if self.kernel_options.optimize {
+                    return self.build_kernel(c);
+                }
                 self.ensure_kernel(c);
                 self.kernels[c]
                     .as_ref()

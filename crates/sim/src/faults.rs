@@ -149,6 +149,14 @@ pub fn lut_fault_campaign(
     // each fault flips its folded table bits on a clone.
     device.reset();
     let kernels = device.compiled_kernels();
+    // Fault sites address pre-optimization LUT positions; the optimizer
+    // renumbers, merges, and deletes instructions, so the campaign is only
+    // meaningful on the direct lowering. `compiled_kernels` guarantees that
+    // by construction — this assert pins the contract.
+    assert!(
+        kernels.iter().all(|k| !k.optimized()),
+        "fault campaign requires unoptimized kernels"
+    );
     let init_regs: Vec<u64> = device
         .registers()
         .iter()

@@ -21,6 +21,7 @@ pub mod faults;
 pub mod kernel;
 pub mod multi;
 pub mod observe;
+pub mod optimize;
 pub mod temporal;
 
 pub use device::{CompileError, CompileReport, Device};
@@ -30,10 +31,11 @@ pub use equivalence::{
 };
 pub use error::Error;
 pub use faults::{lut_fault_campaign, CampaignReport, LutFault};
-pub use kernel::{CompiledKernel, KernelScratch, LANES};
+pub use kernel::{CompiledKernel, KernelScratch, LANES, SUPPORTED_WIDTHS};
 pub use multi::{CompileOptions, ContextArtifacts, DeltaSeed, DeltaStats, MultiDevice, SimError};
 pub use observe::{
     captures_to_waveform, switch_energy_pj, ActivityReport, LutActivity, ProbeCapture, ProbeSet,
     ReconfigEnergy, DEFAULT_PROBE_CAPACITY, SWITCH_ENERGY_PJ_PER_BIT,
 };
+pub use optimize::{KernelOptions, OptimizeStats};
 pub use temporal::FabricTemporalExecutor;

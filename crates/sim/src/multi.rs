@@ -30,6 +30,7 @@ use crate::kernel::{self, CompiledKernel, KernelScratch, LANES};
 use crate::observe::{
     self, ActivityCensus, ActivityReport, ContextProbes, ProbeCapture, ProbeSet, ReconfigEnergy,
 };
+use crate::optimize::{KernelOptions, OptimizeStats};
 
 /// Compile-pipeline knobs.
 ///
@@ -53,6 +54,10 @@ pub struct CompileOptions {
     pub parallel: bool,
     /// Router knobs applied to every context.
     pub route: RouteOptions,
+    /// Simulation-kernel lowering knobs (optimizer pass). Unlike `parallel`,
+    /// these *do* change the compiled artifact (the kernel instruction
+    /// stream), so the serving layer folds them into the design fingerprint.
+    pub kernel: KernelOptions,
 }
 
 impl Default for CompileOptions {
@@ -60,6 +65,7 @@ impl Default for CompileOptions {
         CompileOptions {
             parallel: true,
             route: RouteOptions::default(),
+            kernel: KernelOptions::default(),
         }
     }
 }
@@ -74,6 +80,12 @@ impl CompileOptions {
     /// Router knobs applied to every context.
     pub fn with_route(mut self, route: RouteOptions) -> Self {
         self.route = route;
+        self
+    }
+
+    /// Simulation-kernel lowering knobs applied to every context.
+    pub fn with_kernel_options(mut self, kernel: KernelOptions) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -111,6 +123,16 @@ pub enum SimError {
     },
     /// `arm_probes` was given a signal name the context cannot resolve.
     UnknownProbe { context: usize, name: String },
+    /// A throughput run asked for a chunk width the kernel dispatcher does
+    /// not instantiate (see [`crate::kernel::SUPPORTED_WIDTHS`]).
+    UnsupportedWidth { width: usize },
+    /// A throughput run's stimulus length is not a whole number of chunks
+    /// (`n_inputs * width` words each).
+    ThroughputStimulus {
+        context: usize,
+        chunk_words: usize,
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -139,6 +161,20 @@ impl std::fmt::Display for SimError {
             SimError::UnknownProbe { context, name } => write!(
                 f,
                 "context {context} has no probe-able signal named {name:?}"
+            ),
+            SimError::UnsupportedWidth { width } => write!(
+                f,
+                "chunk width {width} unsupported (use one of {:?})",
+                crate::kernel::SUPPORTED_WIDTHS
+            ),
+            SimError::ThroughputStimulus {
+                context,
+                chunk_words,
+                got,
+            } => write!(
+                f,
+                "context {context} throughput stimulus must be a multiple of \
+                 {chunk_words} words (n_inputs * width), got {got}"
             ),
         }
     }
@@ -306,9 +342,16 @@ pub struct MultiDevice {
     /// Per-context register state (independent circuits, independent state).
     states: Vec<Vec<bool>>,
     active: usize,
-    /// Per-context compiled bit-parallel kernels (configuration is immutable
-    /// after compile, so these never invalidate), built on first batched use.
+    /// Per-context compiled bit-parallel kernels, built on first batched
+    /// use. Configuration is immutable after compile, so a cached kernel
+    /// only invalidates when the wanted *variant* changes: optimized when
+    /// [`KernelOptions::optimize`] is set and no observability consumer is
+    /// armed, unoptimized otherwise (probes, census, and fault campaigns
+    /// address pre-optimization LUT positions).
     kernels: Vec<Option<CompiledKernel>>,
+    /// Kernel lowering knobs from the compile options (mutable afterwards
+    /// via [`MultiDevice::set_kernel_options`]).
+    kernel_options: KernelOptions,
     /// Per-context lane-parallel register words; valid only while the
     /// matching `batch_synced` flag holds.
     batch_regs: Vec<Vec<u64>>,
@@ -473,7 +516,16 @@ impl MultiDevice {
                 routed.push(r);
             }
         }
-        Self::assemble(arch, graph, mapped, problems, placements, routed, rec)
+        Self::assemble(
+            arch,
+            graph,
+            mapped,
+            problems,
+            placements,
+            routed,
+            opts.kernel,
+            rec,
+        )
     }
 
     /// Compile with per-context artifact reuse from a prior compile of a
@@ -617,7 +669,16 @@ impl MultiDevice {
         if expired() {
             return Err(CompileError::DeadlineExceeded);
         }
-        let device = Self::assemble(arch, graph, mapped, problems, placements, routed, rec)?;
+        let device = Self::assemble(
+            arch,
+            graph,
+            mapped,
+            problems,
+            placements,
+            routed,
+            opts.kernel,
+            rec,
+        )?;
         Ok((device, stats))
     }
 
@@ -640,6 +701,7 @@ impl MultiDevice {
     /// switch columns, group per-site truth tables into LUT planes, and
     /// build the device. Deterministic in its inputs, so the two compile
     /// paths produce identical devices from identical per-context results.
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         arch: &ArchSpec,
         graph: RoutingGraph,
@@ -647,6 +709,7 @@ impl MultiDevice {
         problems: Vec<PlacementProblem>,
         placements: Vec<Placement>,
         routed: Vec<RoutedContext>,
+        kernel_options: KernelOptions,
         rec: &Recorder,
     ) -> Result<MultiDevice, CompileError> {
         let ctx = arch.context_id();
@@ -756,6 +819,7 @@ impl MultiDevice {
             states,
             active: 0,
             kernels: vec![None; n_programmed],
+            kernel_options,
             batch_regs: vec![Vec::new(); n_programmed],
             batch_synced: vec![false; n_programmed],
             batch_scratch: KernelScratch::new(),
@@ -954,11 +1018,7 @@ impl MultiDevice {
                 got: inputs.len(),
             });
         }
-        if self.kernels[c].is_none() {
-            let _span = self.recorder.span("sim_kernel_build");
-            let kernel = self.build_kernel(c);
-            self.kernels[c] = Some(kernel);
-        }
+        self.ensure_kernel(c, self.want_optimized(c));
         if !self.batch_synced[c] {
             // The context's scalar state moved since its last batched step:
             // every lane resumes from the same registers.
@@ -1013,6 +1073,181 @@ impl MultiDevice {
         )
     }
 
+    /// Throughput-mode batched run: drive `context` through a whole stimulus
+    /// stream at chunk width `width` (64·width lanes per step), optionally
+    /// fanning independent word blocks across up to `threads` workers.
+    ///
+    /// Panicking convenience wrapper over the canonical
+    /// [`MultiDevice::try_run_throughput`].
+    pub fn run_throughput(
+        &mut self,
+        context: usize,
+        stimulus: &[u64],
+        width: usize,
+        threads: usize,
+    ) -> Vec<u64> {
+        self.try_run_throughput(context, stimulus, width, threads)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Throughput-mode batched run over a prepared stimulus stream.
+    ///
+    /// `stimulus` is chunk-major and input-major within each chunk: step `t`
+    /// of input `i`, chunk word `w`, lives at
+    /// `stimulus[(t * n_inputs + i) * width + w]`; lane `l` of a chunk is
+    /// bit `l % 64` of word `l / 64`, one independent stimulus stream. The
+    /// returned buffer has the same shape over the context's outputs:
+    /// `out[(t * n_outputs + o) * width + w]`.
+    ///
+    /// Every lane starts from the context's current scalar register state
+    /// (broadcast), and — unlike [`MultiDevice::step_batch`] — the run does
+    /// **not** write state back: this is the "no mid-batch feedback
+    /// observation" streaming mode, a pure function of the stimulus that
+    /// leaves the device's scalar and batched state untouched.
+    ///
+    /// With `threads > 1` (and no probes or census armed) the chunk stream
+    /// is split into one block per worker and fanned across the compile
+    /// pool's scoped threads. Sequential circuits first run a cheap
+    /// register-cone-only prologue to seed each block's starting registers,
+    /// so the parallel run is bit-for-bit identical to the serial one.
+    /// Armed probes or an enabled census force `threads = 1` and the
+    /// unoptimized kernel (their samples address pre-optimization LUT
+    /// positions, in stream order), and sample all 64·width lanes.
+    pub fn try_run_throughput(
+        &mut self,
+        context: usize,
+        stimulus: &[u64],
+        width: usize,
+        threads: usize,
+    ) -> Result<Vec<u64>, SimError> {
+        self.check_context(context)?;
+        if !kernel::SUPPORTED_WIDTHS.contains(&width) {
+            return Err(SimError::UnsupportedWidth { width });
+        }
+        match width {
+            1 => self.run_throughput_inner::<1>(context, stimulus, threads),
+            2 => self.run_throughput_inner::<2>(context, stimulus, threads),
+            4 => self.run_throughput_inner::<4>(context, stimulus, threads),
+            _ => self.run_throughput_inner::<8>(context, stimulus, threads),
+        }
+    }
+
+    fn run_throughput_inner<const W: usize>(
+        &mut self,
+        c: usize,
+        stimulus: &[u64],
+        threads: usize,
+    ) -> Result<Vec<u64>, SimError> {
+        let n_inputs = self.mapped[c].n_inputs;
+        let chunk_words = n_inputs * W;
+        if chunk_words == 0 {
+            return Ok(Vec::new());
+        }
+        if !stimulus.len().is_multiple_of(chunk_words) {
+            return Err(SimError::ThroughputStimulus {
+                context: c,
+                chunk_words,
+                got: stimulus.len(),
+            });
+        }
+        let n_chunks = stimulus.len() / chunk_words;
+        let observed = self.census.is_some() || self.probes[c].is_some();
+        self.ensure_kernel(c, self.want_optimized(c));
+        let kernel = self.kernels[c].take().expect("kernel built above");
+        let n_outputs = kernel.n_outputs();
+        // Every lane starts from the scalar register state.
+        let mut regs = Vec::new();
+        kernel::broadcast_wide(&self.states[c], &mut regs, W);
+        // `threads` is an explicit caller knob (bench cells sweep it), so it
+        // is honored even past `available_parallelism` — oversubscription
+        // just timeslices, and the block-split path stays exercised on small
+        // machines. Observability forces the serial path: samples are
+        // stream-ordered.
+        let workers = if observed {
+            1
+        } else {
+            threads.clamp(1, n_chunks.max(1))
+        };
+        let out = if workers > 1 {
+            // Sequential prologue: advance only the registers' fanin cone
+            // to find each block's starting register chunks. Combinational
+            // contexts skip it entirely.
+            let block_len = n_chunks.div_ceil(workers);
+            let n_blocks = n_chunks.div_ceil(block_len);
+            let mut block_regs: Vec<Vec<u64>> = Vec::with_capacity(n_blocks);
+            if kernel.n_regs() == 0 {
+                block_regs.resize(n_blocks, Vec::new());
+            } else {
+                let cone = kernel.state_cone();
+                let mut scratch = KernelScratch::new();
+                let mut r = regs.clone();
+                for b in 0..n_blocks {
+                    block_regs.push(r.clone());
+                    if b + 1 == n_blocks {
+                        break;
+                    }
+                    for t in b * block_len..(b + 1) * block_len {
+                        kernel.step_state_cone_wide::<W>(
+                            &cone,
+                            &stimulus[t * chunk_words..][..chunk_words],
+                            &mut r,
+                            &mut scratch,
+                        );
+                    }
+                }
+            }
+            let blocks = fan_out(n_blocks, workers, |_, b| {
+                let lo = b * block_len;
+                let hi = ((b + 1) * block_len).min(n_chunks);
+                let mut regs = block_regs[b].clone();
+                let mut scratch = KernelScratch::new();
+                let mut step_out = Vec::with_capacity(n_outputs * W);
+                let mut block_out = Vec::with_capacity((hi - lo) * n_outputs * W);
+                for t in lo..hi {
+                    kernel.step_wide::<W>(
+                        &stimulus[t * chunk_words..][..chunk_words],
+                        &mut regs,
+                        &mut scratch,
+                        &mut step_out,
+                    );
+                    block_out.extend_from_slice(&step_out);
+                }
+                block_out
+            });
+            let mut out = Vec::with_capacity(n_chunks * n_outputs * W);
+            for block in blocks {
+                out.extend(block);
+            }
+            out
+        } else {
+            let mut out = vec![0u64; n_chunks * n_outputs * W];
+            let mut scratch = std::mem::take(&mut self.batch_scratch);
+            let mut step_out = Vec::with_capacity(n_outputs * W);
+            for t in 0..n_chunks {
+                let stim = &stimulus[t * chunk_words..][..chunk_words];
+                if let Some(probes) = self.probes[c].as_mut() {
+                    probes.snapshot_regs(&regs);
+                }
+                kernel.step_wide::<W>(stim, &mut regs, &mut scratch, &mut step_out);
+                out[t * n_outputs * W..][..n_outputs * W].copy_from_slice(&step_out);
+                if let Some(census) = self.census.as_mut() {
+                    census.record_wide(c, &scratch.lut_words, W);
+                }
+                if let Some(probes) = self.probes[c].as_mut() {
+                    probes.sample_wide(stim, &scratch.lut_words, W);
+                }
+            }
+            self.batch_scratch = scratch;
+            out
+        };
+        self.kernels[c] = Some(kernel);
+        self.recorder
+            .incr("sim.throughput_words", (n_chunks * W) as u64);
+        self.recorder
+            .incr("sim.cycles", (n_chunks * W * LANES) as u64);
+        Ok(out)
+    }
+
     fn resolve(&self, c: usize, src: MappedSource, inputs: &[bool], lut_vals: &[bool]) -> bool {
         match src {
             MappedSource::Input(i) => inputs[i],
@@ -1054,15 +1289,55 @@ impl MultiDevice {
 
     /// Build (and cache) `context`'s compiled batch kernel, returning a
     /// shared reference. Serving layers clone the kernel out once per
-    /// design so sessions can step it without holding the device.
+    /// design so sessions can step it without holding the device. The
+    /// kernel is optimized exactly when [`MultiDevice::kernel_options`]
+    /// asks for it and no probes or census are armed.
     pub fn kernel(&mut self, context: usize) -> Result<&CompiledKernel, SimError> {
         self.check_context(context)?;
-        if self.kernels[context].is_none() {
+        self.ensure_kernel(context, self.want_optimized(context));
+        Ok(self.kernels[context].as_ref().expect("kernel built above"))
+    }
+
+    /// Current kernel lowering knobs.
+    pub fn kernel_options(&self) -> KernelOptions {
+        self.kernel_options
+    }
+
+    /// Change the kernel lowering knobs after compile. Cached kernels of the
+    /// wrong variant are rebuilt lazily on their next use.
+    pub fn set_kernel_options(&mut self, options: KernelOptions) {
+        self.kernel_options = options;
+    }
+
+    /// What one optimizer run does to `context`'s kernel — exact counts for
+    /// bench reporting, computed on a fresh unoptimized lowering without
+    /// touching the kernel cache.
+    pub fn kernel_optimize_stats(&self, context: usize) -> Result<OptimizeStats, SimError> {
+        self.check_context(context)?;
+        Ok(self.build_kernel(context).optimize_with_stats().1)
+    }
+
+    /// Should `context`'s kernel be optimized right now? Only when the
+    /// options ask for it *and* nothing that addresses pre-optimization LUT
+    /// positions (armed probes, the activity census) is watching.
+    fn want_optimized(&self, context: usize) -> bool {
+        self.kernel_options.optimize && self.census.is_none() && self.probes[context].is_none()
+    }
+
+    /// Make the cached kernel for `context` exist in the wanted variant.
+    fn ensure_kernel(&mut self, context: usize, optimized: bool) {
+        let stale = match &self.kernels[context] {
+            Some(k) => k.optimized() != optimized,
+            None => true,
+        };
+        if stale {
             let _span = self.recorder.span("sim_kernel_build");
-            let kernel = self.build_kernel(context);
+            let mut kernel = self.build_kernel(context);
+            if optimized {
+                kernel = kernel.optimize();
+            }
             self.kernels[context] = Some(kernel);
         }
-        Ok(self.kernels[context].as_ref().expect("kernel built above"))
     }
 
     fn check_context(&self, context: usize) -> Result<(), SimError> {

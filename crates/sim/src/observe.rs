@@ -212,24 +212,34 @@ impl ContextProbes {
     /// the pre-edge values this cycle's logic saw; `lut_words` are the LUT
     /// output words the kernel just computed.
     pub(crate) fn sample(&mut self, inputs: &[u64], lut_words: &[u64]) {
+        self.sample_wide(inputs, lut_words, 1);
+    }
+
+    /// As [`ContextProbes::sample`] at chunk width `w`: every buffer is
+    /// signal-major with `w` words per signal, and each probe records all
+    /// `w` words of its chunk — all `64 * w` lanes — per step. The ring
+    /// capacity still counts words, so a width-`w` step consumes `w` slots.
+    pub(crate) fn sample_wide(&mut self, inputs: &[u64], lut_words: &[u64], w: usize) {
         for p in &mut self.probes {
-            let word = match p.target {
-                ProbeTarget::Input(i) => inputs[i],
-                ProbeTarget::Register(r) => self.pre_regs[r],
-                ProbeTarget::Lut(l) => lut_words[l],
-                ProbeTarget::Const(v) => {
-                    if v {
-                        u64::MAX
-                    } else {
-                        0
+            for k in 0..w {
+                let word = match p.target {
+                    ProbeTarget::Input(i) => inputs[i * w + k],
+                    ProbeTarget::Register(r) => self.pre_regs[r * w + k],
+                    ProbeTarget::Lut(l) => lut_words[l * w + k],
+                    ProbeTarget::Const(v) => {
+                        if v {
+                            u64::MAX
+                        } else {
+                            0
+                        }
                     }
+                };
+                if p.ring.len() == self.capacity {
+                    p.ring.pop_front();
+                    p.dropped += 1;
                 }
-            };
-            if p.ring.len() == self.capacity {
-                p.ring.pop_front();
-                p.dropped += 1;
+                p.ring.push_back(word);
             }
-            p.ring.push_back(word);
         }
     }
 
@@ -246,7 +256,10 @@ impl ContextProbes {
 }
 
 /// One probe's buffered samples after a run: `samples[t]` is the probed
-/// signal at retained clock edge `t`, one stimulus lane per bit.
+/// signal at retained clock edge `t`, one stimulus lane per bit. Runs at a
+/// wider chunk width `W` record `W` consecutive words per retained edge
+/// (`samples[t*W + w]` is chunk word `w`); use
+/// [`ProbeCapture::lane_bits_wide`] to slice those.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProbeCapture {
     pub name: String,
@@ -258,8 +271,19 @@ pub struct ProbeCapture {
 impl ProbeCapture {
     /// Extract one stimulus lane as a scalar bit stream.
     pub fn lane_bits(&self, lane: usize) -> Vec<bool> {
-        assert!(lane < LANES, "lane {lane} out of range");
-        self.samples.iter().map(|w| (w >> lane) & 1 == 1).collect()
+        self.lane_bits_wide(1, lane)
+    }
+
+    /// Extract one of `64 * width` stimulus lanes from a capture recorded at
+    /// chunk width `width`: lane `l` is bit `l % 64` of chunk word `l / 64`.
+    pub fn lane_bits_wide(&self, width: usize, lane: usize) -> Vec<bool> {
+        assert!(width > 0, "width must be positive");
+        assert!(lane < LANES * width, "lane {lane} out of range");
+        let (word, bit) = (lane / LANES, lane % LANES);
+        self.samples
+            .chunks_exact(width)
+            .map(|c| (c[word] >> bit) & 1 == 1)
+            .collect()
     }
 }
 
@@ -309,16 +333,33 @@ impl ActivityCensus {
     }
 
     pub(crate) fn record(&mut self, c: usize, lut_words: &[u64]) {
-        let n = lut_words.len();
+        self.record_wide(c, lut_words, 1);
+    }
+
+    /// As [`ActivityCensus::record`] at chunk width `w`: `lut_words` holds
+    /// `w` words per LUT (LUT-major), every one of the `64 * w` lanes counts
+    /// toward toggles/ones, and the step adds `64 * w` lane-cycles. The
+    /// previous-word baseline is per (LUT, chunk word); if the observed
+    /// width changes between steps the baseline restarts at all-zero,
+    /// matching the first-step convention.
+    pub(crate) fn record_wide(&mut self, c: usize, lut_words: &[u64], w: usize) {
+        let total = lut_words.len();
+        let n = total / w;
+        if self.prev[c].len() != total {
+            self.prev[c].clear();
+            self.prev[c].resize(total, 0);
+        }
         self.toggles[c].resize(n, 0);
         self.ones[c].resize(n, 0);
-        self.prev[c].resize(n, 0);
-        for (i, &w) in lut_words.iter().enumerate() {
-            self.toggles[c][i] += (self.prev[c][i] ^ w).count_ones() as u64;
-            self.ones[c][i] += w.count_ones() as u64;
-            self.prev[c][i] = w;
+        for i in 0..n {
+            for k in 0..w {
+                let word = lut_words[i * w + k];
+                self.toggles[c][i] += (self.prev[c][i * w + k] ^ word).count_ones() as u64;
+                self.ones[c][i] += word.count_ones() as u64;
+                self.prev[c][i * w + k] = word;
+            }
         }
-        self.lane_cycles[c] += LANES as u64;
+        self.lane_cycles[c] += (LANES * w) as u64;
     }
 
     /// Roll context `c`'s counters into a report against `m` (for fanout).

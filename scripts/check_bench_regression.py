@@ -11,7 +11,14 @@ When the baseline carries a "sim" section, a fresh BENCH_sim.json is also
 gated: throughputs may not fall an order of magnitude below baseline, the
 batched-over-scalar speedup has a hard floor (the bit-parallel kernel must
 actually pay for itself), and the seeded fault campaign's detection counts
-must reproduce exactly.
+must reproduce exactly. When that section also carries the wide-word
+matrix keys, the streaming-runner cells are gated too: every
+(optimizer, width, threads) cell in the baseline must be present, every
+cell must have verified bit-identical against the width-1 unoptimized
+reference (0 divergences), the best cell must beat the same run's
+step-batch throughput by the SIM_MATRIX_FLOOR factor, and the kernel
+optimizer's per-context instruction counts — deterministic functions of
+the seeded compile — must reproduce exactly.
 
 When the baseline carries a "serve" section, a fresh BENCH_serve.json is
 gated too: the repeat-submission phase must hit cache on 100% of jobs,
@@ -61,6 +68,10 @@ TIME_FLOOR_US = 1_000
 # The 64-lane kernel must beat the scalar interpreter by at least this much
 # on any runner; anything lower means the batched path stopped paying off.
 SIM_SPEEDUP_FLOOR = 8.0
+# The best wide-word streaming cell must beat the same run's step-batch
+# throughput by at least this factor — the wide-word + optimizer tentpole.
+# Same-run ratio, so runner speed cancels out.
+SIM_MATRIX_FLOOR = 3.0
 # 1->4 worker throughput scaling floor for the serving layer, enforced only
 # on runners whose available_parallelism is at least this many cores (a
 # 1-core container cannot scale no matter how good the code is).
@@ -155,6 +166,69 @@ def main() -> int:
                     errors.append(
                         f"sim.{key}: {sim[key]} vs baseline {sim_base[key]} "
                         f"(seeded campaign must be deterministic)")
+            if "matrix_best_vectors_per_sec" in sim_base:
+                best = sim.get("matrix_best_vectors_per_sec", 0.0)
+                want = sim_base["matrix_best_vectors_per_sec"]
+                if best < want / TIME_BLOWUP:
+                    errors.append(
+                        f"sim.matrix_best_vectors_per_sec: {best:.0f}/s vs "
+                        f"baseline {want:.0f}/s (> {TIME_BLOWUP:.0f}x slower)")
+                if best < SIM_MATRIX_FLOOR * sim["batched_vectors_per_sec"]:
+                    errors.append(
+                        f"sim.matrix_best_vectors_per_sec: {best:.0f}/s is "
+                        f"under {SIM_MATRIX_FLOOR:.0f}x the same run's "
+                        f"step-batch {sim['batched_vectors_per_sec']:.0f}/s "
+                        f"(wide-word + optimizer path stopped paying off)")
+                if sim.get("reference_divergences", -1) != 0:
+                    errors.append(
+                        f"sim.reference_divergences: "
+                        f"{sim.get('reference_divergences')} (must be 0: the "
+                        f"width-1 reference must match the scalar path)")
+                cells = {(c["optimize"], c["width"], c["threads"]): c
+                         for c in sim.get("matrix", [])}
+                for b in sim_base["matrix"]:
+                    key = (b["optimize"], b["width"], b["threads"])
+                    got = cells.get(key)
+                    if got is None:
+                        errors.append(
+                            f"sim.matrix cell optimize={key[0]} width={key[1]} "
+                            f"threads={key[2]} disappeared")
+                    elif got["divergences"] != 0:
+                        errors.append(
+                            f"sim.matrix cell optimize={key[0]} width={key[1]} "
+                            f"threads={key[2]}: {got['divergences']} divergences "
+                            f"(every cell must be bit-identical to the "
+                            f"reference)")
+                # The optimizer's per-context effect is a deterministic
+                # function of the seeded compile: exact counts, and never an
+                # instruction- or word-op-count increase.
+                want_opt = {o["context"]: o for o in sim_base["optimizer"]}
+                got_opt = {o["context"]: o for o in sim.get("optimizer", [])}
+                if set(want_opt) != set(got_opt):
+                    errors.append(
+                        f"sim.optimizer contexts {sorted(got_opt)} vs baseline "
+                        f"{sorted(want_opt)}")
+                for c, b in want_opt.items():
+                    o = got_opt.get(c)
+                    if o is None:
+                        continue
+                    for key in ["instrs_before", "instrs_after",
+                                "word_ops_before", "word_ops_after",
+                                "folded_operands", "deduped", "dead",
+                                "specialized"]:
+                        if o[key] != b[key]:
+                            errors.append(
+                                f"sim.optimizer[ctx {c}].{key}: {o[key]} vs "
+                                f"baseline {b[key]} (seeded optimizer must be "
+                                f"deterministic)")
+                    if o["instrs_after"] > o["instrs_before"]:
+                        errors.append(
+                            f"sim.optimizer[ctx {c}]: instruction count grew "
+                            f"{o['instrs_before']} -> {o['instrs_after']}")
+                    if o["word_ops_after"] > o["word_ops_before"]:
+                        errors.append(
+                            f"sim.optimizer[ctx {c}]: word-op count grew "
+                            f"{o['word_ops_before']} -> {o['word_ops_after']}")
 
     serve_checked = False
     if "serve" in base:

@@ -6,7 +6,7 @@
 
 use mcfpga::netlist::{library, random_netlist, workload, RandomNetlistParams};
 use mcfpga::prelude::*;
-use mcfpga::sim::{LutFault, LANES};
+use mcfpga::sim::{KernelOptions, LutFault, LANES};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -152,6 +152,162 @@ proptest! {
             }
         }
     }
+    /// Kernel-optimizer soundness end to end: the same device stepped with
+    /// optimized batched kernels agrees with the scalar path (which never
+    /// touches kernels) on every lane — across random workloads, random
+    /// word-boundary context switches, random register state, and injected
+    /// configuration faults.
+    #[test]
+    fn optimized_batched_matches_scalar_on_all_lanes(
+        seed in 0u64..10_000,
+        n_ctx in 1usize..=4,
+        inject in any::<bool>(),
+    ) {
+        let arch = ArchSpec::paper_default();
+        let w = workload(
+            RandomNetlistParams {
+                n_inputs: 6,
+                n_gates: 30,
+                n_outputs: 4,
+                dff_fraction: 0.2,
+            },
+            n_ctx,
+            0.2,
+            seed,
+        );
+        let mut dev = Device::compile(&arch, &w).unwrap();
+        dev.set_kernel_options(KernelOptions::new().with_optimize(true));
+        if inject {
+            dev.inject_lut_fault(LutFault { lb: 0, output: 0, plane: 0, assignment: 1 });
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0DD1);
+        let words = 6usize;
+        let schedule: Vec<(usize, Vec<u64>)> = (0..words)
+            .map(|_| {
+                (
+                    rng.gen_range(0..n_ctx),
+                    (0..6).map(|_| rng.next_u64()).collect(),
+                )
+            })
+            .collect();
+        dev.reset();
+        let mut batch_out = Vec::with_capacity(words);
+        for (c, inputs) in &schedule {
+            dev.switch_context(*c);
+            batch_out.push(dev.step_batch(inputs));
+        }
+        for lane in 0..LANES {
+            dev.reset();
+            for (word, (c, inputs)) in schedule.iter().enumerate() {
+                dev.switch_context(*c);
+                let bits: Vec<bool> = inputs.iter().map(|iw| (iw >> lane) & 1 == 1).collect();
+                let out = dev.step(&bits);
+                for (o, &b) in out.iter().enumerate() {
+                    prop_assert_eq!(
+                        (batch_out[word][o] >> lane) & 1 == 1,
+                        b,
+                        "word {} lane {} output {}",
+                        word,
+                        lane,
+                        o
+                    );
+                }
+            }
+        }
+    }
+
+    /// Throughput runner: every chunk word is an *independent* 64-lane
+    /// stimulus stream, so a width-`W` run equals `W` separate width-1
+    /// unoptimized serial runs, word for word, at every supported width,
+    /// thread count, and optimizer setting — and the width-1 reference
+    /// itself equals 64 scalar replays, lane by lane, from the same random
+    /// register state.
+    #[test]
+    fn throughput_runner_matches_reference_at_every_width(
+        seed in 0u64..10_000,
+        optimize in any::<bool>(),
+    ) {
+        let arch = ArchSpec::paper_default();
+        let circuits = vec![random_netlist(
+            RandomNetlistParams {
+                n_inputs: 5,
+                n_gates: 25,
+                n_outputs: 3,
+                dff_fraction: 0.2,
+            },
+            seed,
+        )];
+        let mut dev = MultiDevice::compile(&arch, &circuits).unwrap();
+        let n_inputs = 5usize;
+        let n_outputs = dev.kernel(0).unwrap().n_outputs();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+        let init: Vec<bool> = (0..dev.registers(0).len()).map(|_| rng.gen_bool(0.5)).collect();
+        dev.set_registers(0, &init);
+        // One narrow stream per word of the widest chunk; every stream (and
+        // every chunk word of a wide run) starts from the same broadcast
+        // register state, because the runner never writes state back.
+        let n_chunks = 8usize;
+        let max_width = *mcfpga::sim::SUPPORTED_WIDTHS.last().unwrap();
+        let streams: Vec<Vec<u64>> = (0..max_width)
+            .map(|_| (0..n_chunks * n_inputs).map(|_| rng.next_u64()).collect())
+            .collect();
+        let refs: Vec<Vec<u64>> = streams
+            .iter()
+            .map(|s| dev.run_throughput(0, s, 1, 1))
+            .collect();
+        prop_assert_eq!(refs[0].len(), n_chunks * n_outputs);
+        dev.set_kernel_options(KernelOptions::new().with_optimize(optimize));
+        for &width in mcfpga::sim::SUPPORTED_WIDTHS {
+            // Interleave the first `width` streams: stream `w` becomes word
+            // `w` of every chunk.
+            let mut wide = vec![0u64; n_chunks * n_inputs * width];
+            for t in 0..n_chunks {
+                for i in 0..n_inputs {
+                    for w in 0..width {
+                        wide[(t * n_inputs + i) * width + w] = streams[w][t * n_inputs + i];
+                    }
+                }
+            }
+            for threads in [1usize, 3] {
+                let out = dev.run_throughput(0, &wide, width, threads);
+                prop_assert_eq!(out.len(), n_chunks * n_outputs * width);
+                for t in 0..n_chunks {
+                    for o in 0..n_outputs {
+                        for w in 0..width {
+                            prop_assert_eq!(
+                                out[(t * n_outputs + o) * width + w],
+                                refs[w][t * n_outputs + o],
+                                "width {} threads {} chunk {} output {} word {}",
+                                width, threads, t, o, w
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Scalar replay of stream 0's reference: the runner left the
+        // registers untouched, so every replay starts from the same state.
+        prop_assert_eq!(dev.registers(0), init.as_slice());
+        for lane in 0..LANES {
+            dev.set_registers(0, &init);
+            for t in 0..n_chunks {
+                let bits: Vec<bool> = (0..n_inputs)
+                    .map(|i| (streams[0][t * n_inputs + i] >> lane) & 1 == 1)
+                    .collect();
+                let out = dev.step(&bits);
+                for (o, &b) in out.iter().enumerate() {
+                    prop_assert_eq!(
+                        (refs[0][t * n_outputs + o] >> lane) & 1 == 1,
+                        b,
+                        "chunk {} lane {} output {}",
+                        t,
+                        lane,
+                        o
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// Regression: a fault injected after a batched step must show up in the
@@ -192,6 +348,43 @@ fn kernel_cache_invalidates_after_fault_injection() {
         }
     }
     // Clearing the fault invalidates again and restores the healthy words.
+    dev.clear_lut_fault(fault);
+    let cleared: Vec<Vec<u64>> = words.iter().map(|w| dev.step_batch(w)).collect();
+    assert_eq!(healthy, cleared);
+}
+
+/// Regression: the config-epoch invalidation must cover *optimized* cached
+/// kernels too — a fault injected between optimized batched steps rebuilds
+/// (and re-optimizes) the kernel instead of replaying pre-fault logic.
+#[test]
+fn optimized_kernel_cache_invalidates_after_fault_injection() {
+    let arch = ArchSpec::paper_default();
+    let circuits = vec![library::parity(8); 4];
+    let mut dev = Device::compile(&arch, &circuits).unwrap();
+    dev.set_kernel_options(KernelOptions::new().with_optimize(true));
+    let mut rng = StdRng::seed_from_u64(42);
+    let words: Vec<Vec<u64>> = (0..20)
+        .map(|_| (0..8).map(|_| rng.next_u64()).collect())
+        .collect();
+    let healthy: Vec<Vec<u64>> = words.iter().map(|w| dev.step_batch(w)).collect();
+    let fault = LutFault {
+        lb: 0,
+        output: 0,
+        plane: 0,
+        assignment: 3,
+    };
+    dev.inject_lut_fault(fault);
+    let faulty: Vec<Vec<u64>> = words.iter().map(|w| dev.step_batch(w)).collect();
+    assert_ne!(
+        healthy, faulty,
+        "stale optimized kernel reused pre-fault logic"
+    );
+    // The faulty optimized batch agrees with the unoptimized faulty batch:
+    // the optimizer folds the *post-fault* tables.
+    let mut plain = Device::compile(&arch, &circuits).unwrap();
+    plain.inject_lut_fault(fault);
+    let plain_faulty: Vec<Vec<u64>> = words.iter().map(|w| plain.step_batch(w)).collect();
+    assert_eq!(faulty, plain_faulty);
     dev.clear_lut_fault(fault);
     let cleared: Vec<Vec<u64>> = words.iter().map(|w| dev.step_batch(w)).collect();
     assert_eq!(healthy, cleared);

@@ -7,7 +7,7 @@
 
 use mcfpga::netlist::{random_netlist, Netlist, RandomNetlistParams};
 use mcfpga::prelude::*;
-use mcfpga::sim::{ProbeSet, LANES};
+use mcfpga::sim::{ProbeSet, LANES, SUPPORTED_WIDTHS};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -191,6 +191,99 @@ proptest! {
         prop_assert_eq!(&run(&mut probed), &baseline, "disarmed probes perturbed outputs");
         for c in 0..n_ctx {
             prop_assert_eq!(probed.registers(c), plain.registers(c), "context {}", c);
+        }
+    }
+
+    /// Probes and the activity census see *every* lane of a wide throughput
+    /// run: at chunk width `W`, each probe records all `W` words per step
+    /// (64·W lanes), matching the width-1 captures of the interleaved
+    /// streams word for word, and census toggles / lane-cycles equal the
+    /// per-stream sums. Observability also pins the kernel to its
+    /// unoptimized lowering — the optimizer setting must not change any
+    /// sample.
+    #[test]
+    fn wide_throughput_probes_capture_every_lane(
+        seed in 0u64..10_000,
+        optimize in any::<bool>(),
+    ) {
+        let arch = ArchSpec::paper_default();
+        let circuits = random_circuits(seed, 1);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xCAFE);
+        let n_inputs = 5usize;
+        let n_chunks = 6usize;
+        let max_width = *SUPPORTED_WIDTHS.last().unwrap();
+        let init: Vec<bool> = {
+            let dev = MultiDevice::compile(&arch, &circuits).unwrap();
+            (0..dev.registers(0).len()).map(|_| rng.gen_bool(0.5)).collect()
+        };
+        let streams: Vec<Vec<u64>> = (0..max_width)
+            .map(|_| (0..n_chunks * n_inputs).map(|_| rng.next_u64()).collect())
+            .collect();
+        let armed = |dev: &mut MultiDevice| {
+            let mut set = ProbeSet::new();
+            for name in dev.probe_signals(0).unwrap() {
+                set = set.tap(&name);
+            }
+            dev.arm_probes(0, &set).unwrap();
+            dev.enable_activity_census();
+            dev.set_registers(0, &init);
+        };
+        // Width-1 references: one fresh probed device per stream.
+        let mut ref_caps = Vec::with_capacity(max_width);
+        let mut ref_toggles = Vec::with_capacity(max_width);
+        for stream in &streams {
+            let mut dev = MultiDevice::compile(&arch, &circuits).unwrap();
+            armed(&mut dev);
+            dev.run_throughput(0, stream, 1, 1);
+            ref_caps.push(dev.probe_captures(0).unwrap());
+            ref_toggles.push(dev.activity_census(0).unwrap().toggles_total);
+        }
+        for &width in SUPPORTED_WIDTHS {
+            let mut wide = vec![0u64; n_chunks * n_inputs * width];
+            for t in 0..n_chunks {
+                for i in 0..n_inputs {
+                    for w in 0..width {
+                        wide[(t * n_inputs + i) * width + w] = streams[w][t * n_inputs + i];
+                    }
+                }
+            }
+            let mut dev = MultiDevice::compile(&arch, &circuits).unwrap();
+            dev.set_kernel_options(
+                mcfpga::sim::KernelOptions::new().with_optimize(optimize),
+            );
+            armed(&mut dev);
+            // threads > 1 requested: observability must force the ordered
+            // serial path rather than fail or drop samples.
+            dev.run_throughput(0, &wide, width, 3);
+            let captures = dev.probe_captures(0).unwrap();
+            prop_assert_eq!(captures.len(), ref_caps[0].len());
+            for (p, cap) in captures.iter().enumerate() {
+                prop_assert_eq!(cap.samples.len(), n_chunks * width);
+                for t in 0..n_chunks {
+                    for (w, ref_cap) in ref_caps.iter().enumerate().take(width) {
+                        prop_assert_eq!(
+                            cap.samples[t * width + w],
+                            ref_cap[p].samples[t],
+                            "width {} probe {} chunk {} word {}",
+                            width,
+                            p,
+                            t,
+                            w
+                        );
+                    }
+                }
+                // Lane extraction helper: lane w*64+b of the wide capture is
+                // lane b of stream w's width-1 capture.
+                let lane = (width - 1) * LANES + 7;
+                prop_assert_eq!(
+                    cap.lane_bits_wide(width, lane),
+                    ref_caps[width - 1][p].lane_bits(7)
+                );
+            }
+            let report = dev.activity_census(0).unwrap();
+            prop_assert_eq!(report.lane_cycles, (n_chunks * LANES * width) as u64);
+            let want: u64 = ref_toggles[..width].iter().sum();
+            prop_assert_eq!(report.toggles_total, want, "width {}", width);
         }
     }
 }
