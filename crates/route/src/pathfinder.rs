@@ -36,7 +36,7 @@ pub struct Net {
 ///     .with_full_ripup(true);
 /// assert_eq!(opts.max_iterations, 60);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub struct RouteOptions {
     pub max_iterations: usize,

@@ -23,6 +23,8 @@ use serde::{Deserialize, Serialize};
 pub enum JobKind {
     Compile,
     Sim,
+    Checkpoint,
+    Restore,
 }
 
 impl JobKind {
@@ -31,6 +33,8 @@ impl JobKind {
         match self {
             JobKind::Compile => "compile",
             JobKind::Sim => "sim",
+            JobKind::Checkpoint => "checkpoint",
+            JobKind::Restore => "restore",
         }
     }
 }

@@ -168,6 +168,12 @@ pub struct CompiledDesign {
     artifacts: Vec<ContextArtifacts>,
     switch_fp: u64,
     compile_us: u64,
+    /// The compile request the design was built from, retained so a session
+    /// checkpoint can carry everything needed to recompile the design on a
+    /// server that has never seen it (see [`crate::SessionSnapshot`]).
+    arch: ArchSpec,
+    circuits: Vec<Netlist>,
+    options: CompileOptions,
 }
 
 impl CompiledDesign {
@@ -212,7 +218,14 @@ impl CompiledDesign {
         let fingerprint = DesignFingerprint::new(arch, circuits, options);
         let seeds = vec![DeltaSeed::Cold; circuits.len()];
         let (device, _) = MultiDevice::compile_delta(arch, circuits, options, rec, &seeds, cancel)?;
-        Ok(CompiledDesign::from_device(device, fingerprint, start))
+        Ok(CompiledDesign::from_device(
+            device,
+            fingerprint,
+            start,
+            arch,
+            circuits,
+            options,
+        ))
     }
 
     /// Recompile a perturbed request against a cached near-match `base`,
@@ -254,7 +267,7 @@ impl CompiledDesign {
         let (device, stats) =
             MultiDevice::compile_delta(arch, circuits, options, rec, &seeds, cancel)?;
         Ok((
-            CompiledDesign::from_device(device, fingerprint, start),
+            CompiledDesign::from_device(device, fingerprint, start, arch, circuits, options),
             stats,
         ))
     }
@@ -263,6 +276,9 @@ impl CompiledDesign {
         mut device: MultiDevice,
         fingerprint: DesignFingerprint,
         start: std::time::Instant,
+        arch: &ArchSpec,
+        circuits: &[Netlist],
+        options: &CompileOptions,
     ) -> CompiledDesign {
         let n = device.n_contexts();
         let mut kernels = Vec::with_capacity(n);
@@ -282,6 +298,9 @@ impl CompiledDesign {
             artifacts: device.context_artifacts(),
             switch_fp: fp,
             compile_us: start.elapsed().as_micros() as u64,
+            arch: arch.clone(),
+            circuits: circuits.to_vec(),
+            options: *options,
         }
     }
 
@@ -296,6 +315,9 @@ impl CompiledDesign {
             artifacts: Vec::new(),
             switch_fp: 0,
             compile_us: 0,
+            arch: ArchSpec::paper_default(),
+            circuits: Vec::new(),
+            options: CompileOptions::default(),
         }
     }
 
@@ -337,6 +359,21 @@ impl CompiledDesign {
     /// the cached artifact is returned without recompiling).
     pub fn compile_us(&self) -> u64 {
         self.compile_us
+    }
+
+    /// The architecture the design was compiled onto.
+    pub fn arch(&self) -> &ArchSpec {
+        &self.arch
+    }
+
+    /// The per-context netlists of the compile request.
+    pub fn circuits(&self) -> &[Netlist] {
+        &self.circuits
+    }
+
+    /// The compile options of the request.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
     }
 }
 

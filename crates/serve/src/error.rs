@@ -4,6 +4,59 @@
 use crate::admission::ShedReason;
 use crate::server::SessionId;
 
+/// Why a submission was structurally invalid — caught at submit time,
+/// before the job ever reaches the queue (see [`SubmitError::Malformed`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MalformedReason {
+    /// A sim job named a context the session's design does not program.
+    ContextOutOfRange { context: usize, programmed: usize },
+    /// A sim job's stimulus row carries the wrong number of input words for
+    /// the targeted context's kernel.
+    InputArity {
+        cycle: usize,
+        expected: usize,
+        got: usize,
+    },
+    /// A snapshot's register state does not match its own compile request
+    /// (wrong per-context count), or its active context is out of range.
+    SnapshotShape { detail: String },
+    /// A snapshot was written by an incompatible snapshot-format version.
+    SnapshotVersion { expected: u32, got: u32 },
+    /// A routed submission named a session no alive shard holds.
+    UnknownSession { session: SessionId },
+}
+
+impl std::fmt::Display for MalformedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MalformedReason::ContextOutOfRange {
+                context,
+                programmed,
+            } => write!(
+                f,
+                "context {context} out of range ({programmed} programmed)"
+            ),
+            MalformedReason::InputArity {
+                cycle,
+                expected,
+                got,
+            } => write!(
+                f,
+                "stimulus cycle {cycle} carries {got} input words, kernel expects {expected}"
+            ),
+            MalformedReason::SnapshotShape { detail } => {
+                write!(f, "snapshot shape invalid: {detail}")
+            }
+            MalformedReason::SnapshotVersion { expected, got } => {
+                write!(f, "snapshot version {got}, this build reads {expected}")
+            }
+            MalformedReason::UnknownSession { session } => {
+                write!(f, "no alive shard holds session {}", session.raw())
+            }
+        }
+    }
+}
+
 /// A submission the server refused to enqueue. The job never ran; the
 /// caller decides whether to retry, shed, or redirect.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,6 +67,11 @@ pub enum SubmitError {
     /// (overload protection; see [`crate::AdmissionPolicy`]). The reason is
     /// also counted under `serve.shed.*` and traced as a `job_shed` event.
     Shed { reason: ShedReason },
+    /// The submission is structurally invalid (bad stimulus shape, bad
+    /// snapshot) — caught at submit time so a malformed job never burns a
+    /// worker. Counted under `serve.jobs_malformed` and charged to the
+    /// tenant's `rejected` bucket.
+    Malformed { reason: MalformedReason },
     /// The server is shutting down and accepts no new work.
     Shutdown,
 }
@@ -25,6 +83,7 @@ impl std::fmt::Display for SubmitError {
                 write!(f, "submission queue full ({capacity} jobs)")
             }
             SubmitError::Shed { reason } => write!(f, "shed by admission policy: {reason}"),
+            SubmitError::Malformed { reason } => write!(f, "malformed submission: {reason}"),
             SubmitError::Shutdown => write!(f, "server is shutting down"),
         }
     }
@@ -44,6 +103,10 @@ pub enum ServeError {
     /// A [`crate::SimJob`] named a session this server doesn't hold
     /// (never opened, or already closed).
     SessionNotFound { session: SessionId },
+    /// A restore's register state does not fit the design its compile
+    /// request resolves to on this build — the snapshot and the artifact
+    /// disagree about register counts or context count.
+    SnapshotMismatch { detail: String },
 }
 
 impl std::fmt::Display for ServeError {
@@ -55,6 +118,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Job(e) => write!(f, "job failed: {e}"),
             ServeError::SessionNotFound { session } => {
                 write!(f, "unknown session {session:?}")
+            }
+            ServeError::SnapshotMismatch { detail } => {
+                write!(f, "snapshot does not fit restored design: {detail}")
             }
         }
     }

@@ -7,11 +7,17 @@
 //! that layer:
 //!
 //! - A [`Server`] owns a fixed worker pool and a **bounded** submission
-//!   queue. When the queue is full, [`Server::submit_compile`] /
-//!   [`Server::submit_sim`] return [`SubmitError::QueueFull`] — callers get
-//!   explicit backpressure, never unbounded memory growth. Jobs can carry
-//!   deadlines; a job still queued past its deadline completes with
-//!   [`ServeError::Deadline`] instead of running late.
+//!   queue behind one unified door: [`Server::submit`] accepts anything
+//!   `Into<`[`Request`]`>` — compile, sim, checkpoint, restore — and
+//!   resolves to an [`Outcome`]; the typed wrappers
+//!   ([`Server::submit_compile`], [`Server::submit_sim`], …) are thin
+//!   [`JobHandle::map`]s over it. When the queue is full, submission
+//!   returns [`SubmitError::QueueFull`] — callers get explicit
+//!   backpressure, never unbounded memory growth. Structurally invalid
+//!   submissions (bad stimulus shape, bad snapshot) are refused at the
+//!   door with [`SubmitError::Malformed`]. Jobs can carry deadlines; a job
+//!   still queued past its deadline completes with [`ServeError::Deadline`]
+//!   instead of running late.
 //! - [`CompileJob`]s (netlist set + architecture + options) resolve through
 //!   a **content-addressed LRU cache** of [`CompiledDesign`]s: repeat
 //!   submissions of the same content hit cache instead of recompiling, and
@@ -19,6 +25,17 @@
 //! - Each completed compile opens a private session. [`SimJob`]s step the
 //!   design's 64-lane batch kernels against that session's own register
 //!   state — tenants share configuration, never runtime state.
+//! - Sessions are **portable**: [`Server::checkpoint_session`] serializes
+//!   one into a [`SessionSnapshot`] (full compile request + per-context
+//!   register lanes + counters) and [`Server::restore_session`] resumes it
+//!   — on this server or any other — with bit-identical subsequent output,
+//!   delta/cold-recompiling through the design cache when the artifact is
+//!   unknown.
+//! - A [`ShardRouter`] scales the same [`Request`] door across N servers:
+//!   rendezvous-hashed placement by design fingerprint, live migration
+//!   ([`ShardRouter::migrate_session`]), and kill/recovery built on the
+//!   checkpoint store ([`ShardRouter::kill_shard`] /
+//!   [`ShardRouter::recover`]).
 //! - Queue depth, cache hits/misses/evictions, wait/service latency
 //!   histograms, and per-job outcomes stream through `mcfpga-obs`;
 //!   [`Server::report`] condenses them into a serializable [`ServeReport`].
@@ -57,6 +74,8 @@ mod error;
 mod job;
 mod report;
 mod server;
+mod session;
+mod shard;
 mod snapshot;
 mod tenant;
 
@@ -65,10 +84,15 @@ pub use admission::{
 };
 pub use config::ServeConfig;
 pub use design::{design_key, CompiledDesign, DesignFingerprint};
-pub use error::{ServeError, SubmitError};
-pub use job::{CompileJob, CompileOutcome, JobHandle, JobId, SimJob, SimOutcome};
+pub use error::{MalformedReason, ServeError, SubmitError};
+pub use job::{
+    CheckpointJob, CheckpointOutcome, CompileJob, CompileOutcome, JobHandle, JobId, Outcome,
+    Request, RestoreJob, RestoreOutcome, SimJob, SimOutcome,
+};
 pub use mcfpga_sim::DeltaStats;
 pub use report::ServeReport;
 pub use server::{Server, SessionId};
+pub use session::{SessionSnapshot, SNAPSHOT_VERSION};
+pub use shard::{Migration, ShardError, ShardRouter};
 pub use snapshot::{HealthSnapshot, TenantInflight};
 pub use tenant::{TenantReport, TenantStats, DEFAULT_TENANT};

@@ -52,6 +52,18 @@ pub struct ServeReport {
     pub delta_contexts_reused: u64,
     /// Designs evicted by LRU pressure.
     pub cache_evictions: u64,
+    /// Submissions refused at the door as structurally invalid
+    /// (`serve.jobs_malformed`) — counted into the submitting tenant's
+    /// `rejected` bucket, so conservation still holds.
+    pub jobs_malformed: u64,
+    /// Session checkpoints taken (`serve.checkpoints`), queued and
+    /// synchronous alike.
+    pub checkpoints: u64,
+    /// Sessions restored from snapshots (`serve.restores`).
+    pub restores: u64,
+    /// Restores that missed the design cache and had to compile
+    /// (`serve.restore.recompiles`). A subset of `restores`.
+    pub restore_recompiles: u64,
     /// Deepest the submission queue has ever been.
     pub queue_depth_hwm: u64,
     /// Trace events evicted from the recorder's ring — nonzero means the
@@ -97,6 +109,10 @@ impl ServeReport {
             cache_near_hits: report.counter("serve.cache.near_hit"),
             delta_contexts_reused: report.counter("serve.delta.contexts_reused"),
             cache_evictions: report.counter("serve.cache_evictions"),
+            jobs_malformed: report.counter("serve.jobs_malformed"),
+            checkpoints: report.counter("serve.checkpoints"),
+            restores: report.counter("serve.restores"),
+            restore_recompiles: report.counter("serve.restore.recompiles"),
             queue_depth_hwm: report.gauge("serve.queue_depth_hwm").unwrap_or(0.0) as u64,
             context_switches: report.counter("sim.context_switches"),
             reconfig_bits_flipped: report.counter("sim.switch.bits_flipped"),

@@ -8,7 +8,10 @@
 //! atomic mirror of the same value serves lock-free snapshot reads.
 //!
 //! Lock ordering: queue → tenants. The tenant table is never locked before
-//! the queue, and no lock is held across a compile or sim step.
+//! the queue, and no lock is held across a compile or sim step. The
+//! sessions map lock only guards the `SessionId → Arc<Session>` table;
+//! per-session state sits behind each session's own lock, so a checkpoint
+//! of one session never stalls sim jobs on another.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -23,13 +26,29 @@ use crate::admission::{AdmissionContext, AdmissionDecision, JobKind};
 use crate::cache::DesignCache;
 use crate::config::ServeConfig;
 use crate::design::{CompiledDesign, DesignFingerprint};
-use crate::error::{ServeError, SubmitError};
-use crate::job::{CompileJob, CompileOutcome, JobHandle, JobId, Shared, SimJob, SimOutcome};
+use crate::error::{MalformedReason, ServeError, SubmitError};
+use crate::job::{
+    CheckpointJob, CheckpointOutcome, CompileJob, CompileOutcome, JobHandle, JobId, Outcome,
+    Request, RestoreJob, RestoreOutcome, Shared, SimJob, SimOutcome,
+};
 use crate::report::ServeReport;
+use crate::session::{SessionSnapshot, SNAPSHOT_VERSION};
 use crate::snapshot::{HealthSnapshot, RollingLatency, TenantInflight};
 use crate::tenant::{TenantStats, TenantTable, DEFAULT_TENANT};
 
+/// Session ids are allocated from one process-global counter, not
+/// per-server, so an id stays meaningful as its session migrates between
+/// the shards of a [`crate::ShardRouter`] — no two servers in a process
+/// ever mint the same id.
+static NEXT_SESSION: AtomicU64 = AtomicU64::new(1);
+
+fn next_session_id() -> SessionId {
+    SessionId(NEXT_SESSION.fetch_add(1, Ordering::Relaxed))
+}
+
 /// Opaque handle to one tenant's private runtime state on a server.
+/// Process-globally unique: ids survive checkpoint/restore-based migration
+/// between servers without collision (restore still mints a fresh id).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SessionId(u64);
 
@@ -38,20 +57,40 @@ impl SessionId {
     pub fn raw(&self) -> u64 {
         self.0
     }
+
+    /// Rehydrate an id from its raw form — for the shard router's snapshot
+    /// store, which keys by raw id. Ids are process-globally allocated, so
+    /// this never forges a colliding identity.
+    pub(crate) fn from_raw(raw: u64) -> SessionId {
+        SessionId(raw)
+    }
 }
 
-/// One tenant's mutable state: per-context lane-parallel register words and
-/// reusable kernel scratch. The compiled design itself is shared and
-/// immutable; only this struct is private to the session, which is what
-/// keeps tenants from contaminating each other.
-struct Session {
-    design: Arc<CompiledDesign>,
+/// The mutable half of a session: per-context lane-parallel register words,
+/// reusable kernel scratch, and the execution counters a checkpoint carries.
+struct SessionState {
     regs: Vec<Vec<u64>>,
     scratch: KernelScratch,
+    active_context: usize,
+    words_stepped: u64,
+    lane_cycles: u64,
+}
+
+/// One tenant's session. The compiled design is shared and immutable; only
+/// [`SessionState`] is private to the session, which is what keeps tenants
+/// from contaminating each other. The design and tenant label sit *outside*
+/// the state lock so submit-time stimulus validation can read them while a
+/// sim job holds the state — and a checkpoint taking the state lock
+/// naturally serializes against in-flight sim jobs, so a snapshot is always
+/// a consistent between-jobs state.
+struct Session {
+    design: Arc<CompiledDesign>,
+    tenant: String,
+    state: Mutex<SessionState>,
 }
 
 impl Session {
-    fn new(design: Arc<CompiledDesign>) -> Session {
+    fn new(design: Arc<CompiledDesign>, tenant: String) -> Session {
         // Every lane of every context starts from the design's power-on
         // register state (bit broadcast across the 64 lanes).
         let regs = (0..design.n_contexts())
@@ -65,22 +104,14 @@ impl Session {
             .collect();
         Session {
             design,
-            regs,
-            scratch: KernelScratch::new(),
-        }
-    }
-}
-
-enum Work {
-    Compile(CompileJob, Arc<Shared<CompileOutcome>>),
-    Sim(SimJob, Arc<Shared<SimOutcome>>),
-}
-
-impl Work {
-    fn kind(&self) -> JobKind {
-        match self {
-            Work::Compile(..) => JobKind::Compile,
-            Work::Sim(..) => JobKind::Sim,
+            tenant,
+            state: Mutex::new(SessionState {
+                regs,
+                scratch: KernelScratch::new(),
+                active_context: 0,
+                words_stepped: 0,
+                lane_cycles: 0,
+            }),
         }
     }
 }
@@ -88,7 +119,8 @@ impl Work {
 struct QueuedJob {
     job: JobId,
     tenant: String,
-    work: Work,
+    request: Request,
+    shared: Arc<Shared>,
     enqueued: Instant,
     deadline: Option<std::time::Duration>,
 }
@@ -99,8 +131,7 @@ struct ServerInner {
     available: Condvar,
     shutdown: AtomicBool,
     cache: Mutex<DesignCache>,
-    sessions: Mutex<HashMap<SessionId, Arc<Mutex<Session>>>>,
-    next_session: AtomicU64,
+    sessions: Mutex<HashMap<SessionId, Arc<Session>>>,
     next_job: AtomicU64,
     // Lock-free mirrors of queue state for snapshot reads; written only by
     // `note_queue_depth` while the queue lock is held.
@@ -159,6 +190,14 @@ impl Drop for BusyGuard<'_> {
 /// compiled designs are shared through a content-addressed LRU cache; each
 /// tenant's register state lives in a private session.
 ///
+/// All work enters through one door: [`Server::submit`] accepts anything
+/// `Into<`[`Request`]`>` — compile, sim, checkpoint, restore — and returns
+/// a `JobHandle<`[`Outcome`]`>`. The typed wrappers ([`Server::submit_compile`],
+/// [`Server::submit_sim`], …) are thin [`JobHandle::map`]s over the same
+/// path. Structurally invalid submissions (bad stimulus shape, bad
+/// snapshot) are refused at the door with [`SubmitError::Malformed`]
+/// instead of burning a worker.
+///
 /// Every submission attempt is accounted to its tenant's [`TenantStats`]
 /// ledger (conserved: `submitted` equals `completed + failed + expired +
 /// rejected + shed + inflight`), every accepted job's trace events carry its
@@ -166,6 +205,11 @@ impl Drop for BusyGuard<'_> {
 /// and [`Server::snapshot`] reads live health without touching the queue
 /// lock. An [`crate::AdmissionPolicy`] may shed work before the hard
 /// capacity bound; each shed is typed, counted, and traced.
+///
+/// Sessions are portable: [`Server::checkpoint_session`] serializes one
+/// into a [`SessionSnapshot`] and [`Server::restore_session`] resumes it —
+/// on this server or any other — with bit-identical subsequent output,
+/// recompiling through the design cache when the artifact is unknown.
 ///
 /// Dropping the server stops intake, drains every already-accepted job, and
 /// joins the workers — so an accepted [`JobHandle`] always completes.
@@ -208,7 +252,6 @@ impl Server {
             shutdown: AtomicBool::new(false),
             cache: Mutex::new(cache),
             sessions: Mutex::new(HashMap::new()),
-            next_session: AtomicU64::new(1),
             next_job: AtomicU64::new(1),
             depth: AtomicUsize::new(0),
             depth_hwm: AtomicUsize::new(0),
@@ -232,38 +275,19 @@ impl Server {
         Server { inner, workers }
     }
 
-    /// Enqueue a compile job. Refused with [`SubmitError::QueueFull`] when
-    /// the bounded queue is at capacity, or [`SubmitError::Shed`] when the
-    /// admission policy declines it — the caller owns the retry policy.
-    pub fn submit_compile(
-        &self,
-        job: CompileJob,
-    ) -> Result<JobHandle<CompileOutcome>, SubmitError> {
-        let shared = Shared::new();
-        let deadline = job.deadline;
-        let tenant = job.tenant.clone();
-        let id = self.submit(Work::Compile(job, shared.clone()), deadline, tenant)?;
-        Ok(JobHandle { job: id, shared })
-    }
-
-    /// Enqueue a sim job against a session returned by a completed compile.
-    pub fn submit_sim(&self, job: SimJob) -> Result<JobHandle<SimOutcome>, SubmitError> {
-        let shared = Shared::new();
-        let deadline = job.deadline;
-        let tenant = job.tenant.clone();
-        let id = self.submit(Work::Sim(job, shared.clone()), deadline, tenant)?;
-        Ok(JobHandle { job: id, shared })
-    }
-
-    fn submit(
-        &self,
-        work: Work,
-        deadline: Option<std::time::Duration>,
-        tenant: Option<String>,
-    ) -> Result<JobId, SubmitError> {
+    /// Enqueue any request — the unified submission door. Refused with
+    /// [`SubmitError::QueueFull`] when the bounded queue is at capacity,
+    /// [`SubmitError::Shed`] when the admission policy declines it, or
+    /// [`SubmitError::Malformed`] when the submission is structurally
+    /// invalid — the caller owns the retry policy.
+    pub fn submit(&self, request: impl Into<Request>) -> Result<JobHandle<Outcome>, SubmitError> {
+        let request = request.into();
         let inner = &self.inner;
-        let tenant = tenant.unwrap_or_else(|| DEFAULT_TENANT.to_string());
-        let kind = work.kind();
+        let tenant = request
+            .tenant()
+            .unwrap_or_else(|| DEFAULT_TENANT.to_string());
+        let kind = request.kind();
+        let deadline = request.deadline();
         let job = JobId(inner.next_job.fetch_add(1, Ordering::Relaxed));
         let crec = inner.rec.correlated(job.raw(), &tenant);
         inner.tenants.on_submitted(&tenant);
@@ -271,6 +295,21 @@ impl Server {
             inner.rec.incr("serve.jobs_rejected", 1);
             inner.tenants.on_rejected(&tenant);
             return Err(SubmitError::Shutdown);
+        }
+        // Structural validation before the queue lock: a malformed job is
+        // refused here, typed, and never reaches a worker. Charged to the
+        // tenant's `rejected` bucket so the ledger stays conserved.
+        if let Err(reason) = self.validate(&request) {
+            inner.rec.incr("serve.jobs_malformed", 1);
+            inner.tenants.on_rejected(&tenant);
+            crec.instant(
+                "job_malformed",
+                &[
+                    ("kind", kind.name().into()),
+                    ("reason", reason.to_string().into()),
+                ],
+            );
+            return Err(SubmitError::Malformed { reason });
         }
         let mut queue = inner.queue.lock().unwrap();
         if queue.len() >= inner.config.queue_capacity {
@@ -316,10 +355,12 @@ impl Server {
             return Err(SubmitError::Shed { reason });
         }
         inner.tenants.on_accepted(&tenant, kind);
+        let shared = Shared::new();
         queue.push_back(QueuedJob {
             job,
             tenant,
-            work,
+            request,
+            shared: shared.clone(),
             enqueued: Instant::now(),
             deadline: deadline.or(inner.config.default_deadline),
         });
@@ -332,7 +373,129 @@ impl Server {
             &[("kind", kind.name().into()), ("queue_depth", depth.into())],
         );
         inner.available.notify_one();
-        Ok(job)
+        Ok(JobHandle::new(job, shared))
+    }
+
+    /// Structural checks that need no worker: sim stimulus shape against
+    /// the session's design, snapshot self-consistency. A sim job naming an
+    /// unknown session passes here — session existence is racy by nature,
+    /// so the worker reports [`ServeError::SessionNotFound`] as before.
+    fn validate(&self, request: &Request) -> Result<(), MalformedReason> {
+        match request {
+            Request::Sim(job) => {
+                let session = self
+                    .inner
+                    .sessions
+                    .lock()
+                    .unwrap()
+                    .get(&job.session)
+                    .cloned();
+                let Some(session) = session else {
+                    return Ok(());
+                };
+                let design = &session.design;
+                if job.context >= design.n_contexts() {
+                    return Err(MalformedReason::ContextOutOfRange {
+                        context: job.context,
+                        programmed: design.n_contexts(),
+                    });
+                }
+                let expected = design.kernel(job.context).n_inputs();
+                for (cycle, words) in job.words.iter().enumerate() {
+                    if words.len() != expected {
+                        return Err(MalformedReason::InputArity {
+                            cycle,
+                            expected,
+                            got: words.len(),
+                        });
+                    }
+                }
+                Ok(())
+            }
+            Request::Restore(job) => job.snapshot.validate_shape(),
+            _ => Ok(()),
+        }
+    }
+
+    /// Enqueue a compile job. A typed wrapper over [`Server::submit`].
+    pub fn submit_compile(
+        &self,
+        job: CompileJob,
+    ) -> Result<JobHandle<CompileOutcome>, SubmitError> {
+        Ok(self.submit(job)?.map(|o| {
+            o.into_compile()
+                .expect("compile request completes with a compile outcome")
+        }))
+    }
+
+    /// Enqueue a sim job against a session returned by a completed compile.
+    /// A typed wrapper over [`Server::submit`].
+    pub fn submit_sim(&self, job: SimJob) -> Result<JobHandle<SimOutcome>, SubmitError> {
+        Ok(self.submit(job)?.map(|o| {
+            o.into_sim()
+                .expect("sim request completes with a sim outcome")
+        }))
+    }
+
+    /// Enqueue a checkpoint job. A typed wrapper over [`Server::submit`];
+    /// see [`Server::checkpoint_session`] for the synchronous form.
+    pub fn submit_checkpoint(
+        &self,
+        job: CheckpointJob,
+    ) -> Result<JobHandle<CheckpointOutcome>, SubmitError> {
+        Ok(self.submit(job)?.map(|o| {
+            o.into_checkpoint()
+                .expect("checkpoint request completes with a checkpoint outcome")
+        }))
+    }
+
+    /// Enqueue a restore job. A typed wrapper over [`Server::submit`];
+    /// see [`Server::restore_session`] for the synchronous form.
+    pub fn submit_restore(
+        &self,
+        job: RestoreJob,
+    ) -> Result<JobHandle<RestoreOutcome>, SubmitError> {
+        Ok(self.submit(job)?.map(|o| {
+            o.into_restore()
+                .expect("restore request completes with a restore outcome")
+        }))
+    }
+
+    /// Serialize one session into a portable [`SessionSnapshot`] — the
+    /// synchronous control-plane form (a queued [`CheckpointJob`] does the
+    /// same through the worker pool, with queue accounting). Taken behind
+    /// the session's own lock, so the snapshot is a consistent between-jobs
+    /// state: an in-flight sim job either fully precedes or fully follows
+    /// it. The session stays live.
+    pub fn checkpoint_session(&self, session: SessionId) -> Result<SessionSnapshot, ServeError> {
+        let job = JobId(self.inner.next_job.fetch_add(1, Ordering::Relaxed));
+        do_checkpoint(&self.inner, session, job)
+    }
+
+    /// Resume a [`SessionSnapshot`] as a fresh session on this server — the
+    /// synchronous control-plane form of [`RestoreJob`]. The design is
+    /// resolved through the cache by the fingerprint recomputed from the
+    /// snapshot's carried compile request, delta/cold-compiling on a miss;
+    /// subsequent output is bit-identical to the uninterrupted run.
+    pub fn restore_session(&self, snapshot: SessionSnapshot) -> Result<RestoreOutcome, ServeError> {
+        if let Err(reason) = snapshot.validate_shape() {
+            return Err(ServeError::SnapshotMismatch {
+                detail: reason.to_string(),
+            });
+        }
+        let job = JobId(self.inner.next_job.fetch_add(1, Ordering::Relaxed));
+        let (session, design, recompiled, delta, refingerprinted) =
+            do_restore(&self.inner, &snapshot, job)?;
+        Ok(RestoreOutcome {
+            job,
+            session,
+            design,
+            recompiled,
+            delta,
+            refingerprinted,
+            wait_us: 0,
+            service_us: 0,
+        })
     }
 
     /// Drop a session's private state. Sim jobs naming it afterwards fail
@@ -344,6 +507,37 @@ impl Server {
             .unwrap()
             .remove(&session)
             .is_some()
+    }
+
+    /// Whether this server currently holds `session` — how a shard router
+    /// locates a session's owner.
+    pub fn has_session(&self, session: SessionId) -> bool {
+        self.inner.sessions.lock().unwrap().contains_key(&session)
+    }
+
+    /// Ids of every live session, ascending.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        let mut ids: Vec<SessionId> = self
+            .inner
+            .sessions
+            .lock()
+            .unwrap()
+            .keys()
+            .copied()
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// The design-fingerprint key a live session runs (`None` if unknown) —
+    /// what a shard router hashes to decide the session's home shard.
+    pub fn session_design_key(&self, session: SessionId) -> Option<u64> {
+        self.inner
+            .sessions
+            .lock()
+            .unwrap()
+            .get(&session)
+            .map(|s| s.design.key())
     }
 
     /// Live session count.
@@ -448,7 +642,7 @@ fn worker_loop(inner: &ServerInner) {
             }
         };
         let _busy = BusyGuard::new(inner);
-        let kind = queued.work.kind();
+        let kind = queued.request.kind();
         let crec = inner.rec.correlated(queued.job.raw(), &queued.tenant);
         let waited = queued.enqueued.elapsed();
         let wait_us = waited.as_micros() as u64;
@@ -470,11 +664,9 @@ fn worker_loop(inner: &ServerInner) {
                         ("deadline_us", (deadline.as_micros() as u64).into()),
                     ],
                 );
-                let expired = ServeError::Deadline { waited_us: wait_us };
-                match queued.work {
-                    Work::Compile(_, shared) => shared.complete(Err(expired)),
-                    Work::Sim(_, shared) => shared.complete(Err(expired)),
-                }
+                queued
+                    .shared
+                    .complete(Err(ServeError::Deadline { waited_us: wait_us }));
                 continue;
             }
         }
@@ -487,35 +679,40 @@ fn worker_loop(inner: &ServerInner) {
             deadline: queued.deadline,
         };
         let start = Instant::now();
-        match queued.work {
-            Work::Compile(job, shared) => {
-                let result = {
-                    let _span = meta.crec.span("compile_job");
-                    let _g = meta.crec.begin("compile_job", &[]);
-                    process_compile(inner, job, &meta)
-                };
-                finish(inner, start, wait_us, result, &shared, &meta);
+        let result = match queued.request {
+            Request::Compile(job) => {
+                let _span = meta.crec.span("compile_job");
+                let _g = meta.crec.begin("compile_job", &[]);
+                process_compile(inner, job, &meta).map(Outcome::Compile)
             }
-            Work::Sim(job, shared) => {
-                let result = {
-                    let _span = meta.crec.span("sim_job");
-                    let _g = meta.crec.begin("sim_job", &[]);
-                    process_sim(inner, &job, &meta)
-                };
-                finish(inner, start, wait_us, result, &shared, &meta);
+            Request::Sim(job) => {
+                let _span = meta.crec.span("sim_job");
+                let _g = meta.crec.begin("sim_job", &[]);
+                process_sim(inner, &job, &meta).map(Outcome::Sim)
             }
-        }
+            Request::Checkpoint(job) => {
+                let _span = meta.crec.span("checkpoint_job");
+                let _g = meta.crec.begin("checkpoint_job", &[]);
+                process_checkpoint(inner, &job, &meta).map(Outcome::Checkpoint)
+            }
+            Request::Restore(job) => {
+                let _span = meta.crec.span("restore_job");
+                let _g = meta.crec.begin("restore_job", &[]);
+                process_restore(inner, &job, &meta).map(Outcome::Restore)
+            }
+        };
+        finish(inner, start, wait_us, result, &queued.shared, &meta);
     }
 }
 
 /// Record service latency + outcome counters, charge the tenant, stamp the
 /// timings into the outcome, and release the waiting client.
-fn finish<T: Timed>(
+fn finish(
     inner: &ServerInner,
     start: Instant,
     wait_us: u64,
-    result: Result<T, ServeError>,
-    shared: &Shared<T>,
+    result: Result<Outcome, ServeError>,
+    shared: &Shared,
     meta: &JobMeta,
 ) {
     let service_us = start.elapsed().as_micros() as u64;
@@ -542,24 +739,6 @@ fn finish<T: Timed>(
             );
             shared.complete(Err(e));
         }
-    }
-}
-
-trait Timed {
-    fn set_times(&mut self, wait_us: u64, service_us: u64);
-}
-
-impl Timed for CompileOutcome {
-    fn set_times(&mut self, wait_us: u64, service_us: u64) {
-        self.wait_us = wait_us;
-        self.service_us = service_us;
-    }
-}
-
-impl Timed for SimOutcome {
-    fn set_times(&mut self, wait_us: u64, service_us: u64) {
-        self.wait_us = wait_us;
-        self.service_us = service_us;
     }
 }
 
@@ -671,12 +850,11 @@ fn process_compile(
             (design, false)
         }
     };
-    let session = SessionId(inner.next_session.fetch_add(1, Ordering::Relaxed));
-    inner
-        .sessions
-        .lock()
-        .unwrap()
-        .insert(session, Arc::new(Mutex::new(Session::new(design.clone()))));
+    let session = next_session_id();
+    inner.sessions.lock().unwrap().insert(
+        session,
+        Arc::new(Session::new(design.clone(), meta.tenant.clone())),
+    );
     Ok(CompileOutcome {
         job: meta.job,
         design,
@@ -702,16 +880,19 @@ fn process_sim(
         .ok_or(ServeError::SessionNotFound {
             session: job.session,
         })?;
-    let mut guard = session.lock().unwrap();
+    let mut guard = session.state.lock().unwrap();
     let s = &mut *guard;
-    if job.context >= s.design.n_contexts() {
+    // Defense in depth: submit-time validation already refused out-of-shape
+    // stimulus for sessions it could see, but the session table is racy
+    // (the session may have been restored with a different design since).
+    if job.context >= session.design.n_contexts() {
         return Err(SimError::ContextNotProgrammed {
             context: job.context,
-            programmed: s.design.n_contexts(),
+            programmed: session.design.n_contexts(),
         }
         .into());
     }
-    let kernel = s.design.kernel(job.context);
+    let kernel = session.design.kernel(job.context);
     let regs = &mut s.regs[job.context];
     let mut outputs = Vec::with_capacity(job.words.len());
     for words in &job.words {
@@ -729,6 +910,9 @@ fn process_sim(
     }
     // Lane-cycles: one queue word steps all 64 stimulus lanes one cycle.
     let cycles = (job.words.len() * LANES) as u64;
+    s.active_context = job.context;
+    s.words_stepped += job.words.len() as u64;
+    s.lane_cycles += cycles;
     inner.rec.incr("serve.sim_cycles", cycles);
     inner.tenants.on_sim_cycles(&meta.tenant, cycles);
     meta.crec.instant(
@@ -747,6 +931,229 @@ fn process_sim(
     })
 }
 
+fn process_checkpoint(
+    inner: &ServerInner,
+    job: &CheckpointJob,
+    meta: &JobMeta,
+) -> Result<CheckpointOutcome, ServeError> {
+    let snapshot = do_checkpoint(inner, job.session, meta.job)?;
+    Ok(CheckpointOutcome {
+        job: meta.job,
+        session: job.session,
+        snapshot,
+        wait_us: 0,
+        service_us: 0,
+    })
+}
+
+fn process_restore(
+    inner: &ServerInner,
+    job: &RestoreJob,
+    meta: &JobMeta,
+) -> Result<RestoreOutcome, ServeError> {
+    let (session, design, recompiled, delta, refingerprinted) =
+        do_restore(inner, &job.snapshot, meta.job)?;
+    Ok(RestoreOutcome {
+        job: meta.job,
+        session,
+        design,
+        recompiled,
+        delta,
+        refingerprinted,
+        wait_us: 0,
+        service_us: 0,
+    })
+}
+
+/// The checkpoint core shared by the synchronous
+/// [`Server::checkpoint_session`] and the queued [`CheckpointJob`] path:
+/// serialize the session's full compile request plus its mutable state,
+/// behind the session's own lock.
+fn do_checkpoint(
+    inner: &ServerInner,
+    id: SessionId,
+    job: JobId,
+) -> Result<SessionSnapshot, ServeError> {
+    let session = inner
+        .sessions
+        .lock()
+        .unwrap()
+        .get(&id)
+        .cloned()
+        .ok_or(ServeError::SessionNotFound { session: id })?;
+    let snapshot = {
+        let state = session.state.lock().unwrap();
+        SessionSnapshot {
+            version: SNAPSHOT_VERSION,
+            source_session: id.raw(),
+            design_key: session.design.key(),
+            switch_fp: session.design.fingerprint(),
+            arch: session.design.arch().clone(),
+            circuits: session.design.circuits().to_vec(),
+            options: *session.design.options(),
+            tenant: session.tenant.clone(),
+            active_context: state.active_context,
+            regs: state.regs.clone(),
+            words_stepped: state.words_stepped,
+            lane_cycles: state.lane_cycles,
+        }
+    };
+    inner.rec.incr("serve.checkpoints", 1);
+    let crec = inner.rec.correlated(job.raw(), &session.tenant);
+    crec.instant(
+        "session_checkpoint",
+        &[
+            ("session", id.raw().into()),
+            ("contexts", snapshot.regs.len().into()),
+            ("words_stepped", snapshot.words_stepped.into()),
+        ],
+    );
+    Ok(snapshot)
+}
+
+/// What [`do_restore`] hands back: the fresh session id, the resolved
+/// design, whether it was recompiled, the delta stats if the near-match
+/// path ran, and whether the snapshot's stored key had to be re-derived.
+type Restored = (
+    SessionId,
+    Arc<CompiledDesign>,
+    bool,
+    Option<DeltaStats>,
+    bool,
+);
+
+/// The restore core shared by the synchronous [`Server::restore_session`]
+/// and the queued [`RestoreJob`] path. Resolution order: recompute the
+/// fingerprint from the snapshot's carried request (authoritative — the
+/// recorded `design_key` is never trusted across builds) → exact cache hit
+/// → delta compile against a cached near match → cold compile; the artifact
+/// is bit-identical on every path. The restored register state is validated
+/// against the resolved design before the session goes live.
+fn do_restore(
+    inner: &ServerInner,
+    snapshot: &SessionSnapshot,
+    job: JobId,
+) -> Result<Restored, ServeError> {
+    let crec = inner.rec.correlated(job.raw(), &snapshot.tenant);
+    let fp = snapshot.fingerprint();
+    let key = fp.key();
+    let refingerprinted = key != snapshot.design_key;
+    let cached = inner.cache.lock().unwrap().get(key);
+    let mut delta: Option<DeltaStats> = None;
+    let (design, recompiled) = match cached {
+        Some(design) => (design, false),
+        None => {
+            inner.rec.incr("serve.restore.recompiles", 1);
+            let near = inner.cache.lock().unwrap().near_match(&fp);
+            let compiled = match near {
+                Some((base, shared)) => {
+                    inner.rec.incr("serve.cache.near_hit", 1);
+                    CompiledDesign::delta_compile_with(
+                        &snapshot.arch,
+                        &snapshot.circuits,
+                        &snapshot.options,
+                        &crec,
+                        &base,
+                        None,
+                    )
+                    .map(|(design, stats)| {
+                        inner
+                            .rec
+                            .incr("serve.delta.contexts_reused", stats.contexts_reused as u64);
+                        crec.instant(
+                            "delta_compile",
+                            &[
+                                ("base_key", base.key().into()),
+                                ("shared_contexts", shared.into()),
+                                ("contexts_total", stats.contexts_total.into()),
+                                ("contexts_reused", stats.contexts_reused.into()),
+                            ],
+                        );
+                        delta = Some(stats);
+                        design
+                    })
+                }
+                None => CompiledDesign::compile_cancellable(
+                    &snapshot.arch,
+                    &snapshot.circuits,
+                    &snapshot.options,
+                    &crec,
+                    None,
+                ),
+            };
+            let design = Arc::new(compiled.map_err(ServeError::from)?);
+            let evicted = inner.cache.lock().unwrap().insert(key, design.clone());
+            inner.rec.incr("serve.cache_evictions", evicted);
+            (design, true)
+        }
+    };
+    // The snapshot's register state must fit the artifact its own request
+    // resolves to on this build.
+    if design.n_contexts() != snapshot.regs.len() {
+        return Err(ServeError::SnapshotMismatch {
+            detail: format!(
+                "design programs {} contexts, snapshot carries {}",
+                design.n_contexts(),
+                snapshot.regs.len()
+            ),
+        });
+    }
+    for (c, regs) in snapshot.regs.iter().enumerate() {
+        let expected = design.kernel(c).n_regs();
+        if regs.len() != expected {
+            return Err(ServeError::SnapshotMismatch {
+                detail: format!(
+                    "context {c}: {} register words, design has {} registers",
+                    regs.len(),
+                    expected
+                ),
+            });
+        }
+    }
+    // Within one build, an unchanged design key must mean an unchanged
+    // routed artifact — the snapshot's switch fingerprint is the witness.
+    if !refingerprinted && design.fingerprint() != snapshot.switch_fp {
+        return Err(ServeError::SnapshotMismatch {
+            detail: "switch fingerprint diverged under an unchanged design key".to_string(),
+        });
+    }
+    let session = next_session_id();
+    inner.sessions.lock().unwrap().insert(
+        session,
+        Arc::new(Session {
+            design: design.clone(),
+            tenant: snapshot.tenant.clone(),
+            state: Mutex::new(SessionState {
+                regs: snapshot.regs.clone(),
+                scratch: KernelScratch::new(),
+                active_context: snapshot.active_context,
+                words_stepped: snapshot.words_stepped,
+                lane_cycles: snapshot.lane_cycles,
+            }),
+        }),
+    );
+    inner.rec.incr("serve.restores", 1);
+    if recompiled {
+        crec.instant(
+            "session_restore_recompiled",
+            &[
+                ("design_key", key.into()),
+                ("delta", delta.is_some().into()),
+            ],
+        );
+    }
+    crec.instant(
+        "session_restore",
+        &[
+            ("source_session", snapshot.source_session.into()),
+            ("session", session.raw().into()),
+            ("recompiled", recompiled.into()),
+            ("refingerprinted", refingerprinted.into()),
+        ],
+    );
+    Ok((session, design, recompiled, delta, refingerprinted))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -759,5 +1166,13 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send::<JobHandle<CompileOutcome>>();
         assert_send::<JobHandle<SimOutcome>>();
+        assert_send::<JobHandle<Outcome>>();
+    }
+
+    #[test]
+    fn session_ids_are_process_global() {
+        let a = next_session_id();
+        let b = next_session_id();
+        assert!(b.raw() > a.raw());
     }
 }

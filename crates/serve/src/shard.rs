@@ -1,0 +1,531 @@
+//! Sharded front-end: N [`Server`] instances behind the same unified
+//! [`Request`] door, with live migration and kill/recovery built on session
+//! checkpoints.
+//!
+//! Placement is **rendezvous hashing** over the *alive* shards, keyed by
+//! the design fingerprint: every compile (and every restore) of the same
+//! content lands on the same shard, so the per-shard design caches stay
+//! disjoint and hot instead of N copies of everything. When the alive set
+//! changes, rendezvous hashing moves only the sessions whose highest-scoring
+//! shard changed — [`ShardRouter::rebalance`] migrates exactly those.
+//!
+//! Fault model: a killed shard ([`ShardRouter::kill_shard`]) drops its
+//! server — in-flight handles still complete (the pool drains on drop), but
+//! its live sessions are gone *unless they were checkpointed*. The router
+//! keeps every checkpoint it has taken in a snapshot store;
+//! [`ShardRouter::recover`] restores the orphans onto surviving shards,
+//! recompiling where the survivor's cache misses. The `experiments shard`
+//! failure drill proves the recovered sessions produce word-for-word the
+//! output of an unkilled reference run.
+//!
+//! Control-plane operations (checkpoint, migrate, kill, recover, rebalance)
+//! serialize on one internal lock; data-plane submissions only take the
+//! targeted shard's read lock.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, RwLock};
+use std::time::Instant;
+
+use mcfpga_obs::Recorder;
+
+use crate::config::ServeConfig;
+use crate::design::DesignFingerprint;
+use crate::error::{MalformedReason, ServeError, SubmitError};
+use crate::job::{JobHandle, Outcome, Request};
+use crate::server::{Server, SessionId};
+use crate::session::SessionSnapshot;
+use crate::snapshot::HealthSnapshot;
+
+/// A routed operation that could not reach a live server.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Every shard is killed; nothing can accept work.
+    NoAliveShards,
+    /// The named shard is killed (or out of range).
+    ShardDown { shard: usize },
+    /// No alive shard holds the session.
+    SessionNotFound { session: SessionId },
+    /// The targeted shard refused the submission.
+    Submit(SubmitError),
+    /// A control-plane checkpoint/restore failed on the shard.
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::NoAliveShards => write!(f, "no alive shards"),
+            ShardError::ShardDown { shard } => write!(f, "shard {shard} is down"),
+            ShardError::SessionNotFound { session } => {
+                write!(f, "no alive shard holds session {}", session.raw())
+            }
+            ShardError::Submit(e) => write!(f, "shard refused submission: {e}"),
+            ShardError::Serve(e) => write!(f, "shard operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Submit(e) => Some(e),
+            ShardError::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SubmitError> for ShardError {
+    fn from(e: SubmitError) -> ShardError {
+        ShardError::Submit(e)
+    }
+}
+
+impl From<ServeError> for ShardError {
+    fn from(e: ServeError) -> ShardError {
+        ShardError::Serve(e)
+    }
+}
+
+/// One completed live migration: the session's old and new identity and
+/// what the move cost.
+#[derive(Debug, Clone)]
+pub struct Migration {
+    /// Shard the session left.
+    pub from: usize,
+    /// Shard the session now runs on.
+    pub to: usize,
+    /// The session's id before the move (now closed).
+    pub session: SessionId,
+    /// The session's id after the move (restore always mints a fresh id).
+    pub new_session: SessionId,
+    /// Whether the destination had to compile the design (its cache
+    /// missed).
+    pub recompiled: bool,
+    /// Wall microseconds checkpoint → restore → close took.
+    pub migrate_us: u64,
+}
+
+/// SplitMix64 — the per-(key, shard) score mix for rendezvous hashing.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A fixed-width front-end over `n` independent [`Server`]s — the scale-out
+/// unit. See the module docs for the placement and fault model.
+///
+/// ```no_run
+/// use mcfpga_serve::{CompileJob, ServeConfig, ShardRouter, SimJob};
+///
+/// let router = ShardRouter::new(3, ServeConfig::default().with_workers(2));
+/// let arch = mcfpga_arch::ArchSpec::paper_default();
+/// let circuits = vec![mcfpga_netlist::library::adder(4)];
+/// let compiled = router
+///     .submit(CompileJob::new(arch, circuits))?
+///     .wait()?
+///     .into_compile()
+///     .unwrap();
+/// let sim = router
+///     .submit(SimJob::new(compiled.session, 0, vec![vec![0; 9]]))?
+///     .wait()?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct ShardRouter {
+    shards: Vec<RwLock<Option<Server>>>,
+    config: ServeConfig,
+    /// Serializes control-plane session movement (checkpoint / migrate /
+    /// kill / recover / rebalance) so two operations never race over the
+    /// same session. Data-plane submits don't take it.
+    ctrl: Mutex<()>,
+    /// Every checkpoint the router has taken, keyed by the source session's
+    /// raw id — the recovery source after a shard kill. Refreshed on every
+    /// checkpoint, dropped when the session is migrated or recovered (the
+    /// old id is then dead).
+    store: Mutex<HashMap<u64, SessionSnapshot>>,
+    rec: Recorder,
+}
+
+impl ShardRouter {
+    /// `n` shards, each its own [`Server`] sized by `config`, telemetry
+    /// disabled.
+    pub fn new(n: usize, config: ServeConfig) -> ShardRouter {
+        ShardRouter::with_recorder(n, config, &Recorder::disabled())
+    }
+
+    /// `n` shards sharing one recorder: `serve.*` counters aggregate across
+    /// shards; per-shard health stays separable via
+    /// [`ShardRouter::shard_snapshot`].
+    pub fn with_recorder(n: usize, config: ServeConfig, rec: &Recorder) -> ShardRouter {
+        assert!(n > 0, "a router needs at least one shard");
+        let shards = (0..n)
+            .map(|_| RwLock::new(Some(Server::with_recorder(config.clone(), rec))))
+            .collect();
+        ShardRouter {
+            shards,
+            config,
+            ctrl: Mutex::new(()),
+            store: Mutex::new(HashMap::new()),
+            rec: rec.clone(),
+        }
+    }
+
+    /// Total shard slots (alive or killed).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Indices of shards currently alive.
+    pub fn alive_shards(&self) -> Vec<usize> {
+        (0..self.shards.len())
+            .filter(|&i| self.shards[i].read().unwrap().is_some())
+            .collect()
+    }
+
+    /// Rendezvous winner for `key` among `alive`: the shard with the
+    /// highest `mix(key ⊕ shard-salt)` score. Stable under membership
+    /// change — only keys whose winner died move.
+    fn rendezvous(key: u64, alive: &[usize]) -> usize {
+        *alive
+            .iter()
+            .max_by_key(|&&i| mix(key ^ mix(i as u64 + 1)))
+            .expect("rendezvous over a non-empty alive set")
+    }
+
+    /// The shard a design key routes to right now.
+    pub fn home_shard(&self, design_key: u64) -> Result<usize, ShardError> {
+        let alive = self.alive_shards();
+        if alive.is_empty() {
+            return Err(ShardError::NoAliveShards);
+        }
+        Ok(Self::rendezvous(design_key, &alive))
+    }
+
+    /// The shard currently holding `session`, found by scanning alive
+    /// shards (session ids are process-global, so at most one holds it).
+    pub fn session_owner(&self, session: SessionId) -> Option<usize> {
+        (0..self.shards.len()).find(|&i| {
+            self.shards[i]
+                .read()
+                .unwrap()
+                .as_ref()
+                .is_some_and(|s| s.has_session(session))
+        })
+    }
+
+    /// Route one request to its shard — the same unified door as
+    /// [`Server::submit`]. Compiles and restores route by design
+    /// fingerprint (cache affinity); sims and checkpoints follow their
+    /// session's current owner.
+    pub fn submit(&self, request: impl Into<Request>) -> Result<JobHandle<Outcome>, ShardError> {
+        let request = request.into();
+        let shard = match &request {
+            Request::Compile(job) => {
+                let key = DesignFingerprint::new(&job.arch, &job.circuits, &job.options).key();
+                self.home_shard(key)?
+            }
+            Request::Restore(job) => self.home_shard(job.snapshot.fingerprint().key())?,
+            Request::Sim(job) => self.owner_or_unknown(job.session)?,
+            Request::Checkpoint(job) => self.owner_or_unknown(job.session)?,
+        };
+        let guard = self.shards[shard].read().unwrap();
+        let server = guard.as_ref().ok_or(ShardError::ShardDown { shard })?;
+        Ok(server.submit(request)?)
+    }
+
+    fn owner_or_unknown(&self, session: SessionId) -> Result<usize, ShardError> {
+        if self.alive_shards().is_empty() {
+            return Err(ShardError::NoAliveShards);
+        }
+        self.session_owner(session)
+            .ok_or(ShardError::Submit(SubmitError::Malformed {
+                reason: MalformedReason::UnknownSession { session },
+            }))
+    }
+
+    /// Checkpoint one session wherever it lives, retaining the snapshot in
+    /// the router's store (the recovery source after a kill) and returning
+    /// it to the caller.
+    pub fn checkpoint(&self, session: SessionId) -> Result<SessionSnapshot, ShardError> {
+        let _ctrl = self.ctrl.lock().unwrap();
+        self.checkpoint_locked(session)
+    }
+
+    fn checkpoint_locked(&self, session: SessionId) -> Result<SessionSnapshot, ShardError> {
+        let shard = self
+            .session_owner(session)
+            .ok_or(ShardError::SessionNotFound { session })?;
+        let guard = self.shards[shard].read().unwrap();
+        let server = guard.as_ref().ok_or(ShardError::ShardDown { shard })?;
+        let snapshot = server.checkpoint_session(session)?;
+        drop(guard);
+        self.rec.incr("shard.checkpoints", 1);
+        self.store
+            .lock()
+            .unwrap()
+            .insert(session.raw(), snapshot.clone());
+        Ok(snapshot)
+    }
+
+    /// Checkpoint every live session on every alive shard. The returned
+    /// pairs are `(session, snapshot)`; all snapshots also land in the
+    /// store.
+    pub fn checkpoint_all(&self) -> Vec<(SessionId, SessionSnapshot)> {
+        let _ctrl = self.ctrl.lock().unwrap();
+        let mut out = Vec::new();
+        for i in 0..self.shards.len() {
+            let ids = {
+                let guard = self.shards[i].read().unwrap();
+                match guard.as_ref() {
+                    Some(s) => s.session_ids(),
+                    None => continue,
+                }
+            };
+            for id in ids {
+                if let Ok(snap) = self.checkpoint_locked(id) {
+                    out.push((id, snap));
+                }
+            }
+        }
+        out
+    }
+
+    /// Live-migrate one session to shard `to`: checkpoint at the source,
+    /// restore at the destination, close the source copy. The session's
+    /// pending sim jobs either complete before the checkpoint (their effect
+    /// is carried) or fail `SessionNotFound` after the close — never half
+    /// applied.
+    pub fn migrate_session(&self, session: SessionId, to: usize) -> Result<Migration, ShardError> {
+        let _ctrl = self.ctrl.lock().unwrap();
+        self.migrate_locked(session, to)
+    }
+
+    fn migrate_locked(&self, session: SessionId, to: usize) -> Result<Migration, ShardError> {
+        let start = Instant::now();
+        let from = self
+            .session_owner(session)
+            .ok_or(ShardError::SessionNotFound { session })?;
+        let snapshot = {
+            let guard = self.shards[from].read().unwrap();
+            let server = guard
+                .as_ref()
+                .ok_or(ShardError::ShardDown { shard: from })?;
+            server.checkpoint_session(session)?
+        };
+        let restored = {
+            let slot = self
+                .shards
+                .get(to)
+                .ok_or(ShardError::ShardDown { shard: to })?;
+            let guard = slot.read().unwrap();
+            let server = guard.as_ref().ok_or(ShardError::ShardDown { shard: to })?;
+            server.restore_session(snapshot)?
+        };
+        {
+            let guard = self.shards[from].read().unwrap();
+            if let Some(server) = guard.as_ref() {
+                server.close_session(session);
+            }
+        }
+        // The old id is dead; any retained snapshot of it is unusable as a
+        // recovery source for a *live* session, so drop it.
+        self.store.lock().unwrap().remove(&session.raw());
+        let migrate_us = start.elapsed().as_micros() as u64;
+        self.rec.incr("shard.migrations", 1);
+        if restored.recompiled {
+            self.rec.incr("shard.migrate.recompiles", 1);
+        }
+        self.rec.observe("shard.migrate_us", migrate_us as f64);
+        Ok(Migration {
+            from,
+            to,
+            session,
+            new_session: restored.session,
+            recompiled: restored.recompiled,
+            migrate_us,
+        })
+    }
+
+    /// Kill shard `i`: the server is dropped (its queue drains first, so
+    /// accepted handles still complete) and its live sessions die with it.
+    /// Returns the ids that were live on the shard — the set
+    /// [`ShardRouter::recover`] can bring back from stored checkpoints.
+    pub fn kill_shard(&self, i: usize) -> Result<Vec<SessionId>, ShardError> {
+        let _ctrl = self.ctrl.lock().unwrap();
+        let server = {
+            let mut guard = self
+                .shards
+                .get(i)
+                .ok_or(ShardError::ShardDown { shard: i })?
+                .write()
+                .unwrap();
+            guard.take().ok_or(ShardError::ShardDown { shard: i })?
+        };
+        let lost = server.session_ids();
+        drop(server); // drains the pool, joins the workers
+        self.rec.incr("shard.kills", 1);
+        Ok(lost)
+    }
+
+    /// Restart a killed shard slot with a fresh (empty) server. Returns
+    /// `false` if the slot was already alive.
+    pub fn revive_shard(&self, i: usize) -> bool {
+        let _ctrl = self.ctrl.lock().unwrap();
+        let Some(slot) = self.shards.get(i) else {
+            return false;
+        };
+        let mut guard = slot.write().unwrap();
+        if guard.is_some() {
+            return false;
+        }
+        *guard = Some(Server::with_recorder(self.config.clone(), &self.rec));
+        true
+    }
+
+    /// Restore every stored snapshot whose session no alive shard holds —
+    /// the recovery path after [`ShardRouter::kill_shard`]. Each orphan is
+    /// restored onto its design's current home shard (so cache affinity is
+    /// re-established) and returns `(old_id, new_id)`; the store entry
+    /// moves to the new id.
+    pub fn recover(&self) -> Result<Vec<(SessionId, SessionId)>, ShardError> {
+        let _ctrl = self.ctrl.lock().unwrap();
+        let alive = self.alive_shards();
+        if alive.is_empty() {
+            return Err(ShardError::NoAliveShards);
+        }
+        let orphans: Vec<SessionSnapshot> = {
+            let store = self.store.lock().unwrap();
+            store.values().cloned().collect()
+        };
+        let mut recovered = Vec::new();
+        for snapshot in orphans {
+            let old = snapshot.source_session;
+            let old_id = SessionId::from_raw(old);
+            if self.session_owner(old_id).is_some() {
+                // Still alive somewhere — nothing to recover.
+                continue;
+            }
+            let shard = Self::rendezvous(snapshot.fingerprint().key(), &alive);
+            let restored = {
+                let guard = self.shards[shard].read().unwrap();
+                let server = guard.as_ref().ok_or(ShardError::ShardDown { shard })?;
+                server.restore_session(snapshot.clone())?
+            };
+            self.rec.incr("shard.restores", 1);
+            if restored.recompiled {
+                self.rec.incr("shard.restore.recompiles", 1);
+            }
+            self.rec.incr("shard.sessions_recovered", 1);
+            let mut store = self.store.lock().unwrap();
+            store.remove(&old);
+            let mut snap = snapshot;
+            snap.source_session = restored.session.raw();
+            store.insert(restored.session.raw(), snap);
+            recovered.push((old_id, restored.session));
+        }
+        Ok(recovered)
+    }
+
+    /// Move every session whose design no longer hashes to its current
+    /// shard (after a kill or revive changed the alive set). Returns the
+    /// migrations performed.
+    pub fn rebalance(&self) -> Result<Vec<Migration>, ShardError> {
+        let _ctrl = self.ctrl.lock().unwrap();
+        let alive = self.alive_shards();
+        if alive.is_empty() {
+            return Err(ShardError::NoAliveShards);
+        }
+        let mut moves = Vec::new();
+        for &i in &alive {
+            let pairs: Vec<(SessionId, u64)> = {
+                let guard = self.shards[i].read().unwrap();
+                match guard.as_ref() {
+                    Some(s) => s
+                        .session_ids()
+                        .into_iter()
+                        .filter_map(|id| s.session_design_key(id).map(|k| (id, k)))
+                        .collect(),
+                    None => continue,
+                }
+            };
+            for (id, key) in pairs {
+                let home = Self::rendezvous(key, &alive);
+                if home != i {
+                    moves.push(self.migrate_locked(id, home)?);
+                }
+            }
+        }
+        Ok(moves)
+    }
+
+    /// Snapshots retained in the recovery store right now.
+    pub fn stored_snapshots(&self) -> usize {
+        self.store.lock().unwrap().len()
+    }
+
+    /// Live sessions across all alive shards.
+    pub fn n_sessions(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| {
+                self.shards[i]
+                    .read()
+                    .unwrap()
+                    .as_ref()
+                    .map_or(0, |s| s.n_sessions())
+            })
+            .sum()
+    }
+
+    /// One shard's live health view (`None` if the shard is killed).
+    pub fn shard_snapshot(&self, i: usize) -> Option<HealthSnapshot> {
+        self.shards
+            .get(i)?
+            .read()
+            .unwrap()
+            .as_ref()
+            .map(|s| s.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendezvous_is_stable_and_minimal() {
+        let alive3 = vec![0, 1, 2];
+        let alive2 = vec![0, 2]; // shard 1 died
+        let mut moved = 0;
+        let mut stayed = 0;
+        for key in 0..1000u64 {
+            let before = ShardRouter::rendezvous(key, &alive3);
+            let after = ShardRouter::rendezvous(key, &alive2);
+            // Determinism.
+            assert_eq!(before, ShardRouter::rendezvous(key, &alive3));
+            if before == 1 {
+                // Keys homed on the dead shard must move to a survivor.
+                assert_ne!(after, 1);
+                moved += 1;
+            } else {
+                // Keys homed on survivors must not move at all.
+                assert_eq!(after, before);
+                stayed += 1;
+            }
+        }
+        assert!(moved > 0 && stayed > 0, "both populations exercised");
+    }
+
+    #[test]
+    fn rendezvous_spreads_keys() {
+        let alive = vec![0, 1, 2];
+        let mut counts = [0usize; 3];
+        for key in 0..3000u64 {
+            counts[ShardRouter::rendezvous(key, &alive)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 600, "shard {i} got {c} of 3000 keys — badly skewed");
+        }
+    }
+}

@@ -46,10 +46,17 @@ pub struct TenantStats {
     pub compile_jobs: u64,
     /// Accepted sim jobs.
     pub sim_jobs: u64,
+    /// Accepted checkpoint jobs.
+    pub checkpoint_jobs: u64,
+    /// Accepted restore jobs.
+    pub restore_jobs: u64,
     /// Total compile service time, microseconds.
     pub compile_service_us: u64,
     /// Total sim service time, microseconds.
     pub sim_service_us: u64,
+    /// Total checkpoint/restore (session-control) service time,
+    /// microseconds.
+    pub ctrl_service_us: u64,
     /// Total queue wait across serviced and expired jobs, microseconds.
     pub wait_us_total: u64,
     /// Compile jobs answered from the design cache.
@@ -139,6 +146,8 @@ impl TenantTable {
             match kind {
                 JobKind::Compile => a.stats.compile_jobs += 1,
                 JobKind::Sim => a.stats.sim_jobs += 1,
+                JobKind::Checkpoint => a.stats.checkpoint_jobs += 1,
+                JobKind::Restore => a.stats.restore_jobs += 1,
             }
         });
     }
@@ -189,6 +198,7 @@ impl TenantTable {
             match kind {
                 JobKind::Compile => a.stats.compile_service_us += service_us,
                 JobKind::Sim => a.stats.sim_service_us += service_us,
+                JobKind::Checkpoint | JobKind::Restore => a.stats.ctrl_service_us += service_us,
             }
             a.wait.record(wait_us as f64);
             a.service.record(service_us as f64);

@@ -31,6 +31,7 @@ use crate::observe::{
     self, ActivityCensus, ActivityReport, ContextProbes, ProbeCapture, ProbeSet, ReconfigEnergy,
 };
 use crate::optimize::{KernelOptions, OptimizeStats};
+use serde::{Deserialize, Serialize};
 
 /// Compile-pipeline knobs.
 ///
@@ -42,7 +43,7 @@ use crate::optimize::{KernelOptions, OptimizeStats};
 /// let opts = CompileOptions::default().with_parallel(false);
 /// assert!(!opts.parallel);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub struct CompileOptions {
     /// Fan the per-context map/place/route work out across scoped threads
@@ -1379,6 +1380,48 @@ impl MultiDevice {
         }
         self.states[context].copy_from_slice(bits);
         self.batch_synced[context] = false;
+        Ok(())
+    }
+
+    /// Read `context`'s register state as 64-lane batch words (one `u64`
+    /// per register, one stimulus lane per bit) — the context-extraction
+    /// half of a checkpoint/migration protocol. When the context has only
+    /// been stepped scalar, the scalar state is broadcast across all lanes,
+    /// exactly as [`MultiDevice::try_step_batch`] would seed them.
+    pub fn lane_registers(&self, context: usize) -> Result<Vec<u64>, SimError> {
+        self.check_context(context)?;
+        if self.batch_synced[context] {
+            Ok(self.batch_regs[context].clone())
+        } else {
+            let mut words = Vec::new();
+            kernel::broadcast(&self.states[context], &mut words);
+            Ok(words)
+        }
+    }
+
+    /// Overwrite `context`'s register state from 64-lane batch words — the
+    /// context-restoration half: a state extracted with
+    /// [`MultiDevice::lane_registers`] on one device resumes bit-identically
+    /// on another device compiled from the same request. The scalar view
+    /// ([`MultiDevice::registers`]) tracks lane 0, matching what a batch
+    /// step leaves behind.
+    pub fn try_set_lane_registers(
+        &mut self,
+        context: usize,
+        words: &[u64],
+    ) -> Result<(), SimError> {
+        self.check_context(context)?;
+        if words.len() != self.states[context].len() {
+            return Err(SimError::RegisterCount {
+                context,
+                expected: self.states[context].len(),
+                got: words.len(),
+            });
+        }
+        self.batch_regs[context].clear();
+        self.batch_regs[context].extend_from_slice(words);
+        self.batch_synced[context] = true;
+        kernel::extract_lane(&self.batch_regs[context], 0, &mut self.states[context]);
         Ok(())
     }
 

@@ -40,11 +40,13 @@
 //! artifact bit-stable. Throughput-mode callers opt in per compile.
 
 use crate::kernel::{CompiledKernel, KernelInstr, Op, Operand};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Kernel lowering knobs, threaded through `Device` / `MultiDevice` /
-/// `Flow` / serve compile options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+/// `Flow` / serve compile options. Serializable so session snapshots can
+/// carry the full compile request across servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 #[non_exhaustive]
 pub struct KernelOptions {
     /// Run the optimizer pass on every compiled kernel. Off by default —

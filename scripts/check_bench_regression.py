@@ -51,8 +51,16 @@ baseline floor fraction of the same run's plain batched throughput from
 BENCH_sim.json (disarmed probes must stay effectively free), and the
 seeded activity census must reproduce its per-context LUT ranking exactly.
 
+When the baseline carries a "shard" section, a fresh BENCH_shard.json is
+gated on the scale-out serving contract: the kill must have actually cost
+sessions (otherwise the experiment proves nothing), every session on the
+killed shard must be recovered with zero lost, the failure-injected run
+must match the unkilled reference word-for-word (zero divergences), the
+conservation flag must hold, and migration p99 latency may only blow up by
+the usual timing factor over baseline.
+
 Usage: check_bench_regression.py [fresh] [baseline] [fresh_sim] [fresh_serve]
-       [fresh_serve_obs] [fresh_delta] [fresh_probe]
+       [fresh_serve_obs] [fresh_delta] [fresh_probe] [fresh_shard]
 Exits non-zero listing every regression found.
 """
 
@@ -394,6 +402,51 @@ def main() -> int:
                     f"probe.activity_top: {got_ranks} vs baseline "
                     f"{want_ranks} (seeded census must be deterministic)")
 
+    shard_checked = False
+    if "shard" in base:
+        shard_path = sys.argv[8] if len(sys.argv) > 8 else "BENCH_shard.json"
+        try:
+            shard = json.load(open(shard_path))
+        except OSError:
+            errors.append(
+                f"baseline has a shard section but {shard_path} is missing")
+            shard = None
+        if shard is not None:
+            shard_checked = True
+            shard_base = base["shard"]
+            # The kill must have hit live sessions; a kill that lost nothing
+            # exercises neither the store nor the restore path.
+            if shard["sessions_on_killed"] < 1:
+                errors.append(
+                    f"shard.sessions_on_killed: {shard['sessions_on_killed']} "
+                    f"(the killed shard held no sessions — no recovery was "
+                    f"exercised)")
+            # The non-negotiable invariants: every session on the killed
+            # shard comes back, and the failure-injected run's output is
+            # word-for-word the unkilled reference's.
+            if shard["sessions_lost"] != 0:
+                errors.append(
+                    f"shard.sessions_lost: {shard['sessions_lost']} "
+                    f"(must be 0: every checkpointed session must survive "
+                    f"a shard kill)")
+            if shard["sessions_recovered"] != shard["sessions_on_killed"]:
+                errors.append(
+                    f"shard.sessions_recovered: {shard['sessions_recovered']} "
+                    f"of {shard['sessions_on_killed']} killed-shard sessions")
+            if shard["divergences"] != 0:
+                errors.append(
+                    f"shard.divergences: {shard['divergences']} (must be 0: "
+                    f"migration and recovery must be bit-invisible vs the "
+                    f"unkilled reference)")
+            if not shard["conserved"]:
+                errors.append("shard.conserved is false: sessions were lost "
+                              "or duplicated across the kill")
+            want = shard_base["migrate_p99_us"]
+            if want >= TIME_FLOOR_US and shard["migrate_p99_us"] > TIME_BLOWUP * want:
+                errors.append(
+                    f"shard.migrate_p99_us: {shard['migrate_p99_us']} us vs "
+                    f"baseline {want} us (> {TIME_BLOWUP:.0f}x)")
+
     if errors:
         print(f"BENCH regression vs {base_path}:")
         for e in errors:
@@ -405,7 +458,8 @@ def main() -> int:
           + (", serve gate OK" if serve_checked else "")
           + (", serve_obs SLOs OK" if obs_checked else "")
           + (", delta gate OK" if delta_checked else "")
-          + (", probe gate OK" if probe_checked else "") + ").")
+          + (", probe gate OK" if probe_checked else "")
+          + (", shard gate OK" if shard_checked else "") + ").")
     return 0
 
 

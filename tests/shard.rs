@@ -1,0 +1,602 @@
+//! Integration tests of session portability and the sharded front-end:
+//! checkpoint/restore bit-identity (including restore-with-recompile onto a
+//! cacheless server), snapshot serde round-trips under adversarial register
+//! state, submit-time malformed-job validation, the unified request door
+//! with handle combinators, live migration, and shard kill/recovery.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mcfpga_arch::ArchSpec;
+use mcfpga_netlist::{library, Netlist};
+use mcfpga_obs::Recorder;
+use mcfpga_serve::{
+    CheckpointJob, CompileJob, CompiledDesign, MalformedReason, RestoreJob, ServeConfig, Server,
+    SessionId, ShardError, ShardRouter, SimJob, SubmitError, SNAPSHOT_VERSION,
+};
+use mcfpga_sim::{CompileOptions, MultiDevice};
+use proptest::prelude::*;
+
+fn arch() -> ArchSpec {
+    ArchSpec::paper_default()
+}
+
+fn serial() -> CompileOptions {
+    CompileOptions::default().with_parallel(false)
+}
+
+/// Stateful circuits: any register-state loss or leak across a checkpoint
+/// changes outputs, so bit-identity below proves exact state transfer.
+fn stateful_circuits() -> Vec<Netlist> {
+    vec![library::counter(4), library::lfsr(8, 0x8e)]
+}
+
+/// One scripted sim batch: which context, how many cycles, seed for words.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    context: usize,
+    cycles: usize,
+    seed: u64,
+}
+
+fn words_for(op: Op, cycle: usize, n_inputs: usize) -> Vec<u64> {
+    (0..n_inputs)
+        .map(|i| {
+            let x = op
+                .seed
+                .wrapping_add((cycle as u64) << 32)
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            x ^ (x >> 29)
+        })
+        .collect()
+}
+
+fn run_op(
+    server: &Server,
+    session: SessionId,
+    design: &Arc<CompiledDesign>,
+    op: Op,
+) -> Vec<Vec<u64>> {
+    let n_in = design.kernel(op.context).n_inputs();
+    let words = (0..op.cycles)
+        .map(|cycle| words_for(op, cycle, n_in))
+        .collect();
+    server
+        .submit_sim(SimJob::new(session, op.context, words))
+        .expect("sim accepted")
+        .wait()
+        .expect("sim completes")
+        .outputs
+}
+
+/// Server-free ground truth: replay the ops on a private device.
+fn reference_outputs(circuits: &[Netlist], ops: &[Op]) -> Vec<Vec<Vec<u64>>> {
+    let mut device = MultiDevice::compile_opts(&arch(), circuits, &serial(), &Recorder::disabled())
+        .expect("reference compile");
+    ops.iter()
+        .map(|op| {
+            device.try_switch_context(op.context).expect("context");
+            (0..op.cycles)
+                .map(|cycle| {
+                    let n_in = device.kernel(op.context).expect("context").n_inputs();
+                    device
+                        .try_step_batch(&words_for(*op, cycle, n_in))
+                        .expect("reference step")
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn to_ops(raw: Vec<(usize, usize, u64)>) -> Vec<Op> {
+    raw.into_iter()
+        .map(|(context, cycles, seed)| Op {
+            context,
+            cycles,
+            seed,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The tentpole invariant: checkpoint → restore → step produces exactly
+    /// the output of the uninterrupted run, on all 64·W lanes, wherever the
+    /// snapshot is cut and whichever contexts the workload hops between —
+    /// both restoring on the same server (cache hit) and onto a fresh
+    /// server that has never compiled the design (cold recompile).
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically(
+        raw_ops in proptest::collection::vec((0usize..2, 1usize..4, 0u64..u64::MAX), 2..8),
+        cut_frac in 0usize..100,
+    ) {
+        let ops = to_ops(raw_ops);
+        let circuits = stateful_circuits();
+        let cut = ops.len() * cut_frac / 100;
+        let reference = reference_outputs(&circuits, &ops);
+
+        // Uninterrupted serving run.
+        let uncut = Server::new(ServeConfig::default().with_workers(1));
+        let c = uncut
+            .submit_compile(CompileJob::new(arch(), circuits.clone()).with_options(serial()))
+            .expect("accepted").wait().expect("compiles");
+        let mut uninterrupted = Vec::new();
+        for &op in &ops {
+            uninterrupted.push(run_op(&uncut, c.session, &c.design, op));
+        }
+        prop_assert_eq!(&uninterrupted, &reference, "serving run matches device replay");
+
+        // Interrupted run: snapshot mid-workload, resume twice.
+        let a = Server::new(ServeConfig::default().with_workers(1));
+        let ca = a
+            .submit_compile(CompileJob::new(arch(), circuits.clone()).with_options(serial()))
+            .expect("accepted").wait().expect("compiles");
+        let mut before = Vec::new();
+        for &op in &ops[..cut] {
+            before.push(run_op(&a, ca.session, &ca.design, op));
+        }
+        let snapshot = a.checkpoint_session(ca.session).expect("checkpoint");
+        prop_assert_eq!(snapshot.source_session, ca.session.raw());
+
+        // Resume on the same server: the design cache hits.
+        let warm = a.restore_session(snapshot.clone()).expect("warm restore");
+        prop_assert!(!warm.recompiled, "same server must hit its own cache");
+        prop_assert!(!warm.refingerprinted);
+        // Resume on a server that never saw the design: cold recompile.
+        let b = Server::new(ServeConfig::default().with_workers(1));
+        let cold = b.restore_session(snapshot).expect("cold restore");
+        prop_assert!(cold.recompiled, "fresh server must recompile");
+
+        let mut warm_after = before.clone();
+        let mut cold_after = before;
+        for &op in &ops[cut..] {
+            warm_after.push(run_op(&a, warm.session, &warm.design, op));
+            cold_after.push(run_op(&b, cold.session, &cold.design, op));
+        }
+        prop_assert_eq!(&warm_after, &uninterrupted, "warm restore diverged");
+        prop_assert_eq!(&cold_after, &uninterrupted, "cold restore diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Snapshot serde round-trip under adversarial register state: inject
+    /// arbitrary 64-lane words (shape-valid, content-arbitrary), serialize,
+    /// deserialize, and prove the wire copy restores to the same machine —
+    /// JSON-identical re-serialization plus behavioral bit-identity.
+    #[test]
+    fn snapshot_serde_round_trip_is_exact(
+        raw_warmup in proptest::collection::vec((0usize..2, 1usize..4, 0u64..u64::MAX), 2..5),
+        lane_words in proptest::collection::vec(any::<u64>(), 8..32),
+        probe_seed in any::<u64>(),
+    ) {
+        let warmup = to_ops(raw_warmup);
+        let circuits = stateful_circuits();
+        let server = Server::new(ServeConfig::default().with_workers(1));
+        let c = server
+            .submit_compile(CompileJob::new(arch(), circuits).with_options(serial()))
+            .expect("accepted").wait().expect("compiles");
+        for &op in &warmup {
+            run_op(&server, c.session, &c.design, op);
+        }
+        let mut snapshot = server.checkpoint_session(c.session).expect("checkpoint");
+        // Overwrite the register lanes with adversarial words (all-ones,
+        // alternating, arbitrary): the snapshot must carry them verbatim.
+        let mut feed = lane_words.iter().cycle();
+        for regs in &mut snapshot.regs {
+            for w in regs.iter_mut() {
+                *w = *feed.next().unwrap();
+            }
+        }
+
+        let json = serde_json::to_string(&snapshot).expect("serialize");
+        let wire: mcfpga_serve::SessionSnapshot =
+            serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(
+            serde_json::to_string(&wire).expect("re-serialize"),
+            json.clone(),
+            "round trip must be byte-stable"
+        );
+        prop_assert!(snapshot.serialized_bytes() == json.len());
+
+        // Behavioral identity: the original and the wire copy restore to
+        // machines that step identically from the injected state.
+        let s1 = Server::new(ServeConfig::default().with_workers(1));
+        let s2 = Server::new(ServeConfig::default().with_workers(1));
+        let r1 = s1.restore_session(snapshot).expect("restore original");
+        let r2 = s2.restore_session(wire).expect("restore wire copy");
+        for context in 0..2 {
+            let op = Op { context, cycles: 3, seed: probe_seed };
+            prop_assert_eq!(
+                run_op(&s1, r1.session, &r1.design, op),
+                run_op(&s2, r2.session, &r2.design, op),
+                "wire copy diverged on context {}", context
+            );
+        }
+    }
+}
+
+/// Regression: restore onto a server with `cache_capacity: 0` (caching
+/// disabled entirely) must recompile and still resume bit-identically —
+/// the restore path cannot depend on the cache retaining anything.
+#[test]
+fn restore_onto_cacheless_server_recompiles_bit_identically() {
+    let circuits = stateful_circuits();
+    let ops: Vec<Op> = (0..4)
+        .map(|i| Op {
+            context: i % 2,
+            cycles: 2,
+            seed: 0xfeed_0000 + i as u64,
+        })
+        .collect();
+    let reference = reference_outputs(&circuits, &ops);
+
+    let a = Server::new(ServeConfig::default().with_workers(1));
+    let c = a
+        .submit_compile(CompileJob::new(arch(), circuits).with_options(serial()))
+        .expect("accepted")
+        .wait()
+        .expect("compiles");
+    let mut outputs = Vec::new();
+    for &op in &ops[..2] {
+        outputs.push(run_op(&a, c.session, &c.design, op));
+    }
+    let snapshot = a.checkpoint_session(c.session).expect("checkpoint");
+
+    let b = Server::new(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_cache_capacity(0),
+    );
+    let restored = b.restore_session(snapshot).expect("restore");
+    assert!(restored.recompiled, "cacheless server must recompile");
+    assert_eq!(b.cached_designs(), 0, "capacity 0 retains nothing");
+    for &op in &ops[2..] {
+        outputs.push(run_op(&b, restored.session, &restored.design, op));
+    }
+    assert_eq!(outputs, reference, "cacheless restore diverged");
+}
+
+/// Satellite fix: structurally invalid submissions are refused at the door
+/// with `SubmitError::Malformed` — typed, counted, and conserved in the
+/// tenant ledger — instead of burning a worker.
+#[test]
+fn malformed_submissions_are_refused_at_submit_time() {
+    let server =
+        Server::with_recorder(ServeConfig::default().with_workers(1), &Recorder::enabled());
+    let c = server
+        .submit_compile(
+            CompileJob::new(arch(), stateful_circuits())
+                .with_options(serial())
+                .with_tenant("acme"),
+        )
+        .expect("accepted")
+        .wait()
+        .expect("compiles");
+    let n_in = c.design.kernel(0).n_inputs();
+
+    // Wrong input arity, caught naming the offending cycle.
+    let bad_arity = server.submit(
+        SimJob::new(c.session, 0, vec![vec![0; n_in], vec![0; n_in + 1]]).with_tenant("acme"),
+    );
+    match bad_arity {
+        Err(SubmitError::Malformed {
+            reason:
+                MalformedReason::InputArity {
+                    cycle,
+                    expected,
+                    got,
+                },
+        }) => {
+            assert_eq!(cycle, 1);
+            assert_eq!(expected, n_in);
+            assert_eq!(got, n_in + 1);
+        }
+        other => panic!("expected InputArity, got {other:?}"),
+    }
+
+    // Context the design does not program.
+    let bad_ctx = server.submit(SimJob::new(c.session, 9, vec![vec![0; n_in]]).with_tenant("acme"));
+    match bad_ctx {
+        Err(SubmitError::Malformed {
+            reason:
+                MalformedReason::ContextOutOfRange {
+                    context: 9,
+                    programmed: 2,
+                },
+        }) => {}
+        other => panic!("expected ContextOutOfRange, got {other:?}"),
+    }
+
+    // Snapshot from the future.
+    let mut snapshot = server.checkpoint_session(c.session).expect("checkpoint");
+    let good = snapshot.clone();
+    snapshot.version = SNAPSHOT_VERSION + 1;
+    match server.submit(RestoreJob::new(snapshot).with_tenant("acme")) {
+        Err(SubmitError::Malformed {
+            reason: MalformedReason::SnapshotVersion { got, .. },
+        }) => assert_eq!(got, SNAPSHOT_VERSION + 1),
+        other => panic!("expected SnapshotVersion, got {other:?}"),
+    }
+
+    // Snapshot whose register state disagrees with its own request.
+    let mut torn = good;
+    torn.regs.pop();
+    match server.submit(RestoreJob::new(torn).with_tenant("acme")) {
+        Err(SubmitError::Malformed {
+            reason: MalformedReason::SnapshotShape { .. },
+        }) => {}
+        other => panic!("expected SnapshotShape, got {other:?}"),
+    }
+
+    // Every refusal is charged to the tenant's rejected bucket and the
+    // ledger still conserves every attempt.
+    let stats = server.tenant_stats("acme").expect("tenant exists");
+    assert_eq!(stats.rejected, 4);
+    assert!(stats.is_conserved(), "ledger conservation: {stats:?}");
+    assert_eq!(server.report().jobs_malformed, 4);
+}
+
+/// The unified door and the handle combinators: `submit` takes any request
+/// kind, `wait_timeout` bounds the wait without consuming the handle, and
+/// `map` post-processes outcomes. Checkpoint/restore also flow through the
+/// queue as first-class jobs with tenant accounting.
+#[test]
+fn unified_submit_wait_timeout_and_map() {
+    let server =
+        Server::with_recorder(ServeConfig::default().with_workers(1), &Recorder::enabled());
+
+    // Occupy the single worker so the probe job measurably queues.
+    let heavy = server
+        .submit(
+            CompileJob::new(
+                arch(),
+                vec![
+                    library::adder(4),
+                    library::multiplier(3),
+                    library::alu(4),
+                    library::popcount(6),
+                ],
+            )
+            .with_options(serial()),
+        )
+        .expect("accepted");
+    let probe = server
+        .submit(CompileJob::new(arch(), stateful_circuits()).with_options(serial()))
+        .expect("accepted");
+    // Still queued behind the heavy compile: a zero-budget wait times out,
+    // and the handle stays usable afterwards.
+    assert!(
+        probe.wait_timeout(Duration::ZERO).is_none(),
+        "probe cannot have completed behind a busy worker in zero time"
+    );
+    let heavy_out = heavy.wait().expect("heavy completes");
+    assert!(heavy_out.clone().into_compile().is_some());
+    assert!(heavy_out.into_sim().is_none());
+    let compiled = probe
+        .wait_timeout(Duration::from_secs(60))
+        .expect("probe completes within a minute")
+        .expect("probe compiles")
+        .into_compile()
+        .expect("compile outcome");
+
+    // map: a handle typed to exactly what the caller wants.
+    let n_in = compiled.design.kernel(0).n_inputs();
+    let outputs = server
+        .submit(SimJob::new(compiled.session, 0, vec![vec![!0u64; n_in]]))
+        .expect("accepted")
+        .map(|o| o.into_sim().expect("sim outcome").outputs)
+        .wait()
+        .expect("sim completes");
+    assert_eq!(outputs.len(), 1);
+
+    // Checkpoint and restore as queued jobs, with tenant accounting.
+    let snap = server
+        .submit_checkpoint(CheckpointJob::new(compiled.session).with_tenant("ctrl"))
+        .expect("accepted")
+        .wait()
+        .expect("checkpoint completes");
+    assert_eq!(snap.session, compiled.session);
+    let restored = server
+        .submit_restore(RestoreJob::new(snap.snapshot))
+        .expect("accepted")
+        .wait()
+        .expect("restore completes");
+    assert_ne!(
+        restored.session, compiled.session,
+        "restore mints a fresh id"
+    );
+    let ctrl = server.tenant_stats("ctrl").expect("ctrl tenant");
+    assert_eq!(ctrl.checkpoint_jobs, 1);
+    assert!(ctrl.is_conserved());
+    // The restore job defaulted to the snapshot's tenant ("default").
+    let report = server.report();
+    assert_eq!(report.checkpoints, 1);
+    assert_eq!(report.restores, 1);
+}
+
+/// Live migration through the router: state moves, the old id dies, the
+/// resumed session matches the device-replay ground truth.
+#[test]
+fn router_migrates_sessions_with_exact_state() {
+    let circuits = stateful_circuits();
+    let ops: Vec<Op> = (0..6)
+        .map(|i| Op {
+            context: i % 2,
+            cycles: 2,
+            seed: 0xabcd + i as u64,
+        })
+        .collect();
+    let reference = reference_outputs(&circuits, &ops);
+
+    let router = ShardRouter::new(2, ServeConfig::default().with_workers(1));
+    let compiled = router
+        .submit(CompileJob::new(arch(), circuits).with_options(serial()))
+        .expect("routed")
+        .wait()
+        .expect("compiles")
+        .into_compile()
+        .expect("compile outcome");
+    let mut outputs = Vec::new();
+    let mut session = compiled.session;
+    for (i, &op) in ops.iter().enumerate() {
+        let n_in = compiled.design.kernel(op.context).n_inputs();
+        let words = (0..op.cycles)
+            .map(|cycle| words_for(op, cycle, n_in))
+            .collect();
+        outputs.push(
+            router
+                .submit(SimJob::new(session, op.context, words))
+                .expect("routed")
+                .wait()
+                .expect("sim completes")
+                .into_sim()
+                .expect("sim outcome")
+                .outputs,
+        );
+        // Bounce the session to the other shard between every batch.
+        if i + 1 < ops.len() {
+            let from = router.session_owner(session).expect("owned");
+            let to = (from + 1) % router.n_shards();
+            let m = router.migrate_session(session, to).expect("migrates");
+            assert_eq!(m.from, from);
+            assert_eq!(m.to, to);
+            assert_eq!(router.session_owner(m.new_session), Some(to));
+            session = m.new_session;
+        }
+    }
+    assert_eq!(outputs, reference, "migrated session diverged");
+
+    // The pre-migration id is dead everywhere.
+    let n_in = compiled.design.kernel(0).n_inputs();
+    match router.submit(SimJob::new(compiled.session, 0, vec![vec![0; n_in]])) {
+        Err(ShardError::Submit(SubmitError::Malformed {
+            reason: MalformedReason::UnknownSession { session: s },
+        })) => assert_eq!(s, compiled.session),
+        other => panic!("expected UnknownSession, got {other:?}"),
+    }
+}
+
+/// Kill one of three shards mid-workload: every checkpointed session comes
+/// back on a survivor and the resumed output is word-for-word the replay
+/// ground truth — zero lost sessions.
+#[test]
+fn router_recovers_killed_shard_sessions_from_checkpoints() {
+    // Distinct designs per tenant so placement spreads.
+    let designs: Vec<Vec<Netlist>> = vec![
+        vec![library::counter(4), library::lfsr(8, 0x8e)],
+        vec![library::counter(6), library::lfsr(8, 0xb8)],
+        vec![library::counter(5), library::lfsr(6, 0x2d)],
+        vec![library::counter(3), library::lfsr(7, 0x53)],
+    ];
+    let ops: Vec<Op> = (0..6)
+        .map(|i| Op {
+            context: i % 2,
+            cycles: 2,
+            seed: 0x5eed_0000 + i as u64,
+        })
+        .collect();
+    let cut = 3;
+
+    let router = ShardRouter::new(3, ServeConfig::default().with_workers(1));
+    let compiled: Vec<_> = designs
+        .iter()
+        .map(|circuits| {
+            router
+                .submit(CompileJob::new(arch(), circuits.clone()).with_options(serial()))
+                .expect("routed")
+                .wait()
+                .expect("compiles")
+                .into_compile()
+                .expect("compile outcome")
+        })
+        .collect();
+    assert_eq!(router.n_sessions(), designs.len());
+
+    let mut outputs: Vec<Vec<Vec<Vec<u64>>>> = vec![Vec::new(); designs.len()];
+    for (t, c) in compiled.iter().enumerate() {
+        for &op in &ops[..cut] {
+            let n_in = c.design.kernel(op.context).n_inputs();
+            let words = (0..op.cycles)
+                .map(|cycle| words_for(op, cycle, n_in))
+                .collect();
+            outputs[t].push(
+                router
+                    .submit(SimJob::new(c.session, op.context, words))
+                    .expect("routed")
+                    .wait()
+                    .expect("sim completes")
+                    .into_sim()
+                    .expect("sim outcome")
+                    .outputs,
+            );
+        }
+    }
+
+    // Checkpoint everything, then kill the shard holding the most sessions.
+    let checkpointed = router.checkpoint_all();
+    assert_eq!(checkpointed.len(), designs.len());
+    let victim = (0..router.n_shards())
+        .max_by_key(|&i| router.shard_snapshot(i).map_or(0, |snap| snap.sessions))
+        .unwrap();
+    let lost = router.kill_shard(victim).expect("kill");
+    assert!(!lost.is_empty(), "victim shard held sessions");
+    assert_eq!(router.n_sessions(), designs.len() - lost.len());
+
+    let recovered = router.recover().expect("recover");
+    assert_eq!(
+        recovered.len(),
+        lost.len(),
+        "every killed session must come back"
+    );
+    assert_eq!(router.n_sessions(), designs.len(), "zero lost sessions");
+
+    // Remap ids and finish the workload; outputs must match the replay.
+    let mut live: Vec<SessionId> = compiled.iter().map(|c| c.session).collect();
+    for (old, new) in &recovered {
+        if let Some(slot) = live.iter_mut().find(|s| *s == old) {
+            *slot = *new;
+        }
+    }
+    for (t, c) in compiled.iter().enumerate() {
+        for &op in &ops[cut..] {
+            let n_in = c.design.kernel(op.context).n_inputs();
+            let words = (0..op.cycles)
+                .map(|cycle| words_for(op, cycle, n_in))
+                .collect();
+            outputs[t].push(
+                router
+                    .submit(SimJob::new(live[t], op.context, words))
+                    .expect("routed")
+                    .wait()
+                    .expect("sim completes")
+                    .into_sim()
+                    .expect("sim outcome")
+                    .outputs,
+            );
+        }
+    }
+    for (t, circuits) in designs.iter().enumerate() {
+        let reference = reference_outputs(circuits, &ops);
+        assert_eq!(
+            outputs[t], reference,
+            "tenant {t} diverged across the kill/recovery"
+        );
+    }
+
+    // A revived shard rejoins placement; rebalance moves sessions home.
+    assert!(router.revive_shard(victim));
+    assert!(!router.revive_shard(victim), "already alive");
+    let moves = router.rebalance().expect("rebalance");
+    for m in &moves {
+        assert_eq!(
+            router.session_owner(m.new_session),
+            Some(m.to),
+            "rebalanced session must land on its home shard"
+        );
+    }
+    assert_eq!(router.n_sessions(), designs.len());
+}
